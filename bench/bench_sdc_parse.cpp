@@ -1,0 +1,123 @@
+// Ablation A4: SDC front-end throughput (google-benchmark microbenches):
+// lexing, parsing + object resolution, globbing queries, and writing.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "gen/design_gen.h"
+#include "sdc/lexer.h"
+#include "sdc/parser.h"
+#include "sdc/query.h"
+#include "sdc/writer.h"
+
+namespace {
+
+using namespace mm;
+
+struct Fixture {
+  netlist::Library lib = netlist::Library::builtin();
+  netlist::Design design;
+  std::string deck;
+
+  explicit Fixture(size_t lines) : design(make_design()) {
+    std::ostringstream os;
+    os << "create_clock -name CLK0 -period 10 [get_ports clk0]\n";
+    for (size_t i = 1; os.tellp() >= 0 && i < lines; ++i) {
+      switch (i % 5) {
+        case 0:
+          os << "set_false_path -through [get_pins g" << (i * 7) % 1200
+             << "/Z]\n";
+          break;
+        case 1:
+          os << "set_multicycle_path 2 -setup -through [get_pins r"
+             << (i * 13) % 400 << "/Q]\n";
+          break;
+        case 2:
+          os << "set_input_delay " << 0.1 * (i % 30)
+             << " -clock CLK0 -add_delay [get_ports di_" << i % 8 << "]\n";
+          break;
+        case 3:
+          os << "set_case_analysis " << i % 2 << " en" << i % 3 << "\n";
+          break;
+        default:
+          os << "set_max_delay " << 1.0 + 0.01 * (i % 100)
+             << " -to [get_pins r" << (i * 3) % 400 << "/D]\n";
+          break;
+      }
+    }
+    deck = os.str();
+  }
+
+  static netlist::Design make_design() {
+    gen::DesignParams p;
+    p.num_regs = 400;
+    p.num_domains = 3;
+    return gen::generate_design(netlist_lib(), p);
+  }
+
+  static const netlist::Library& netlist_lib() {
+    static netlist::Library lib = netlist::Library::builtin();
+    return lib;
+  }
+};
+
+Fixture& fixture(size_t lines) {
+  static Fixture f100(100), f1000(1000), f10000(10000);
+  if (lines <= 100) return f100;
+  if (lines <= 1000) return f1000;
+  return f10000;
+}
+
+void BM_Lex(benchmark::State& state) {
+  Fixture& f = fixture(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sdc::lex_sdc(f.deck));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.deck.size()));
+}
+BENCHMARK(BM_Lex)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_Parse(benchmark::State& state) {
+  Fixture& f = fixture(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sdc::parse_sdc(f.deck, f.design));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.deck.size()));
+}
+BENCHMARK(BM_Parse)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_GlobQuery(benchmark::State& state) {
+  Fixture& f = fixture(1000);
+  sdc::Sdc sdc(&f.design);
+  sdc::QueryContext ctx(&f.design, &sdc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.get_pins({"r*/Q"}));
+  }
+}
+BENCHMARK(BM_GlobQuery);
+
+void BM_ExactQuery(benchmark::State& state) {
+  Fixture& f = fixture(1000);
+  sdc::Sdc sdc(&f.design);
+  sdc::QueryContext ctx(&f.design, &sdc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.get_pins({"r100/Q"}));
+  }
+}
+BENCHMARK(BM_ExactQuery);
+
+void BM_Write(benchmark::State& state) {
+  Fixture& f = fixture(static_cast<size_t>(state.range(0)));
+  const sdc::Sdc sdc = sdc::parse_sdc(f.deck, f.design);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sdc::write_sdc(sdc));
+  }
+}
+BENCHMARK(BM_Write)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Reproduces Table 5: mode reduction and merging runtime on designs A-F.
+//
+// Paper's designs are industrial and proprietary; ours are synthetic
+// stand-ins with identical mode-family structure (see DESIGN.md). Mode
+// counts and merged-mode counts match the paper exactly (they are
+// determined by the mode structure); absolute runtimes differ because the
+// substrate and scale differ — the paper's column is printed alongside.
+//
+// Usage: bench_table5 [MM_SCALE=0.01 in env scales design size]
+
+#include <cstdio>
+
+#include "merge/merger.h"
+#include "util/timer.h"
+#include "workloads.h"
+
+int main() {
+  using namespace mm;
+  using namespace mm::bench;
+
+  const netlist::Library lib = netlist::Library::builtin();
+
+  std::printf("Table 5: mode reduction and merging runtime (scale=%.3g)\n",
+              size_scale());
+  std::printf(
+      "%-7s %10s %8s %8s %8s | %8s %8s | %12s %12s\n", "Design", "Cells",
+      "#Modes", "Merged", "Merged*", "Red%%", "Red%%*", "Merge(s)", "Paper(s)");
+  std::printf("%s\n", std::string(96, '-').c_str());
+
+  double sum_red = 0.0, sum_red_paper = 0.0;
+  for (const TableRow& row : table_rows()) {
+    Workload w = make_table_workload(lib, row);
+
+    Stopwatch timer;
+    const merge::MergedModeSet out = merge::merge_mode_set(*w.graph, w.mode_ptrs);
+    const double seconds = timer.elapsed_seconds();
+
+    // Sign-off safety is non-negotiable for every merged mode.
+    size_t optimism = 0;
+    for (const auto& m : out.merged) {
+      optimism += m.equivalence.optimism_violations;
+    }
+
+    sum_red += out.reduction_percent();
+    sum_red_paper += row.paper_reduction;
+    std::printf("%-7s %10zu %8zu %8zu %8zu | %8.1f %8.1f | %12.2f %12.0f%s\n",
+                row.name, w.cells, w.mode_ptrs.size(), out.num_merged_modes(),
+                row.num_modes - static_cast<size_t>(
+                                    row.num_modes *
+                                    row.paper_reduction / 100.0 + 0.5),
+                out.reduction_percent(), row.paper_reduction, seconds,
+                row.paper_merge_runtime,
+                optimism ? "  [OPTIMISM VIOLATIONS!]" : "");
+  }
+  std::printf("%s\n", std::string(96, '-').c_str());
+  std::printf("%-7s %10s %8s %8s %8s | %8.1f %8.1f |\n", "Average", "", "", "",
+              "", sum_red / table_rows().size(),
+              sum_red_paper / table_rows().size());
+  std::printf("\n(Merged* / Red%%* = the paper's reported values; runtimes are\n"
+              " not comparable across substrates and are shown for shape only.)\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reproduces Table 6: overall STA runtime with individual modes vs merged
+// modes, and QoR conformity (% of endpoints whose merged-mode worst slack
+// deviates by at most 1% of the capture clock period from the worst
+// individual-mode slack).
+
+#include <cmath>
+#include <cstdio>
+
+#include "merge/merger.h"
+#include "timing/sta.h"
+#include "util/timer.h"
+#include "workloads.h"
+
+int main() {
+  using namespace mm;
+  using namespace mm::bench;
+
+  const netlist::Library lib = netlist::Library::builtin();
+
+  std::printf("Table 6: STA runtime reduction and QoR conformity (scale=%.3g)\n",
+              size_scale());
+  std::printf("%-7s %12s %12s %8s %8s | %10s %10s\n", "Design", "Indiv(s)",
+              "Merged(s)", "Red%%", "Red%%*", "Conform%%", "Conform%%*");
+  std::printf("%s\n", std::string(80, '-').c_str());
+
+  double sum_red = 0.0, sum_conf = 0.0;
+  for (const TableRow& row : table_rows()) {
+    Workload w = make_table_workload(lib, row);
+    const merge::MergedModeSet out = merge::merge_mode_set(*w.graph, w.mode_ptrs);
+
+    // STA over all individual modes (the paper's baseline flow).
+    Stopwatch t_indiv;
+    const timing::StaResult indiv = timing::run_sta_multi(*w.graph, w.mode_ptrs);
+    const double indiv_seconds = t_indiv.elapsed_seconds();
+
+    // STA over the merged modes only.
+    std::vector<const sdc::Sdc*> merged_ptrs;
+    for (const auto& m : out.merged) merged_ptrs.push_back(m.merge.merged.get());
+    Stopwatch t_merged;
+    const timing::StaResult merged = timing::run_sta_multi(*w.graph, merged_ptrs);
+    const double merged_seconds = t_merged.elapsed_seconds();
+
+    // Conformity: merged worst slack within 1% of capture period of the
+    // individual worst slack, per endpoint (paper's metric).
+    size_t conforming = 0, total = 0;
+    {
+      timing::ModeGraph ref(*w.graph, *merged_ptrs.front());
+      for (const auto& [ep, s] : indiv.endpoint_slack) {
+        ++total;
+        auto it = merged.endpoint_slack.find(ep);
+        if (it == merged.endpoint_slack.end()) continue;
+        double period = 0.0;
+        for (const auto& ca :
+             ref.capture_clocks_at(timing::PinId(ep))) {
+          const double p = merged_ptrs.front()->clock(ca.clock).period;
+          if (period == 0.0 || p < period) period = p;
+        }
+        if (period == 0.0) period = 10.0;
+        if (std::fabs(it->second - s) <= 0.01 * period) ++conforming;
+      }
+      for (const auto& [ep, s] : merged.endpoint_slack) {
+        if (!indiv.endpoint_slack.count(ep)) ++total;
+      }
+    }
+    const double conf = total ? 100.0 * conforming / total : 100.0;
+    const double red =
+        indiv_seconds > 0 ? 100.0 * (1.0 - merged_seconds / indiv_seconds) : 0;
+
+    sum_red += red;
+    sum_conf += conf;
+    std::printf("%-7s %12.3f %12.3f %8.1f %8.1f | %10.2f %10.2f\n", row.name,
+                indiv_seconds, merged_seconds, red, row.paper_sta_reduction,
+                conf, row.paper_conformity);
+  }
+  std::printf("%s\n", std::string(80, '-').c_str());
+  std::printf("%-7s %12s %12s %8.1f %8.1f | %10.2f %10.2f\n", "Average", "",
+              "", sum_red / table_rows().size(), 62.52,
+              sum_conf / table_rows().size(), 99.82);
+  std::printf("\n(Columns marked * are the paper's reported values.)\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation A2: thread scaling. The paper's engine is "implemented with a
+// multithreaded engine in C++ ... run on a single machine with 4 cores".
+// We sweep the thread count for the refinement + validation phase (per-mode
+// propagation parallelism) on a design-E-like workload.
+
+#include <cstdio>
+#include <thread>
+
+#include "merge/merger.h"
+#include "util/timer.h"
+#include "workloads.h"
+
+int main() {
+  using namespace mm;
+  using namespace mm::bench;
+
+  const netlist::Library lib = netlist::Library::builtin();
+
+  gen::DesignParams dp;
+  dp.num_regs = static_cast<size_t>(1.6e6 * size_scale() / 4.0);
+  if (dp.num_regs < 200) dp.num_regs = 200;
+  dp.num_domains = 4;
+  netlist::Design design = gen::generate_design(lib, dp);
+  timing::TimingGraph graph(design);
+
+  gen::ModeFamilyParams mp;
+  mp.num_modes = 5;  // design E: 5 modes -> 1 merged
+  mp.target_groups = 1;
+  std::vector<std::unique_ptr<sdc::Sdc>> modes;
+  std::vector<const sdc::Sdc*> ptrs;
+  for (const auto& gm : gen::generate_mode_family(dp, mp)) {
+    modes.push_back(
+        std::make_unique<sdc::Sdc>(sdc::parse_sdc(gm.sdc_text, design)));
+  }
+  for (const auto& m : modes) ptrs.push_back(m.get());
+
+  std::printf("Ablation A2: thread scaling (design-E-like, %zu cells, 5 modes)\n",
+              design.num_instances());
+  std::printf("(host reports %u hardware thread(s); speedups need >1 core)\n",
+              std::thread::hardware_concurrency());
+  std::printf("%8s %12s %10s\n", "threads", "merge(ms)", "speedup");
+
+  double base = 0.0;
+  for (size_t threads : {1, 2, 4, 8}) {
+    merge::MergeOptions options;
+    options.num_threads = threads;
+    Stopwatch timer;
+    const merge::ValidatedMergeResult out =
+        merge::merge_modes(graph, ptrs, options);
+    const double ms = timer.elapsed_ms();
+    if (base == 0.0) base = ms;
+    std::printf("%8zu %12.2f %9.2fx%s\n", threads, ms, base / ms,
+                out.equivalence.signoff_safe() ? "" : "  [UNSAFE!]");
+  }
+  return 0;
+}

@@ -1,0 +1,168 @@
+// Ablation A1: why the 3-pass algorithm exists. The paper (§3.2): "Doing
+// this by brute force on each path can be very expensive. The 3-pass
+// algorithm addresses this problem by performing comparison on sets of
+// timing paths and refining the path selection only if necessary."
+//
+// Workload: diamond ladders — N stages of reconvergent 2-input gates
+// between a launch and a capture register, so the path count is 2^N while
+// the graph stays linear in N. The per-mode false paths are resolvable at
+// pass-1 (endpoint) granularity, so the 3-pass never descends to path
+// enumeration; the brute-force comparator must walk every path.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "merge/merger.h"
+#include "netlist/builder.h"
+#include "sdc/parser.h"
+#include "timing/exceptions.h"
+#include "timing/relationships.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace mm;
+
+/// `ladders` diamond ladders of `stages` stages each:
+///   rs_l -> (a_i, b_i diamond per stage) -> rt_l
+netlist::Design make_diamond_design(const netlist::Library& lib,
+                                    size_t ladders, size_t stages) {
+  netlist::Design design("diamonds", &lib);
+  netlist::Builder b(&design);
+  b.input("clk");
+  b.input("din");
+  for (size_t l = 0; l < ladders; ++l) {
+    const std::string p = "l" + std::to_string(l) + "_";
+    b.inst("DFF", p + "rs", {{"D", "din"}, {"CP", "clk"}, {"Q", p + "q0"}});
+    std::string prev = p + "q0";
+    for (size_t s = 0; s < stages; ++s) {
+      const std::string sa = p + "a" + std::to_string(s);
+      const std::string sb = p + "b" + std::to_string(s);
+      const std::string sm = p + "m" + std::to_string(s);
+      // Diamond: two parallel gates off `prev`, reconverging in an AND.
+      b.inst("INV", sa, {{"A", prev}, {"Z", sa + "_z"}});
+      b.inst("BUF", sb, {{"A", prev}, {"Z", sb + "_z"}});
+      b.inst("AND2", sm,
+             {{"A", sa + "_z"}, {"B", sb + "_z"}, {"Z", sm + "_z"}});
+      prev = sm + "_z";
+    }
+    b.inst("DFF", p + "rt", {{"D", prev}, {"CP", "clk"}, {"Q", p + "qt"}});
+  }
+  return design;
+}
+
+/// Brute-force per-path comparison: enumerate every path to every endpoint
+/// and resolve its state against each mode — the paper's strawman.
+size_t brute_force(const timing::TimingGraph& graph,
+                   const std::vector<const sdc::Sdc*>& modes,
+                   const sdc::Sdc& merged, size_t path_cap) {
+  std::vector<std::unique_ptr<timing::ModeGraph>> mgs;
+  std::vector<std::unique_ptr<timing::CompiledExceptions>> ces;
+  for (const sdc::Sdc* m : modes) {
+    mgs.push_back(std::make_unique<timing::ModeGraph>(graph, *m));
+    ces.push_back(std::make_unique<timing::CompiledExceptions>(graph, *m));
+  }
+  timing::ModeGraph merged_mg(graph, merged);
+  timing::CompiledExceptions merged_ce(graph, merged);
+
+  size_t paths = 0;
+  struct Frame {
+    timing::PinId pin;
+    size_t next = 0;
+  };
+  for (timing::PinId sp : merged_mg.active_startpoints()) {
+    std::vector<Frame> stack{{sp, 0}};
+    std::vector<timing::PinId> current{sp};
+    while (!stack.empty() && paths < path_cap) {
+      Frame& frame = stack.back();
+      if (merged_mg.graph().is_endpoint(frame.pin) && stack.size() > 1) {
+        ++paths;
+        for (size_t m = 0; m < modes.size(); ++m) {
+          std::vector<uint8_t> progress =
+              ces[m]->initial_progress(sp, sdc::ClockId());
+          for (size_t i = 1; i < current.size(); ++i) {
+            if (!progress.empty()) ces[m]->advance(progress, current[i]);
+          }
+          (void)ces[m]->resolve(progress, sdc::ClockId(), frame.pin,
+                                sdc::ClockId(), true);
+        }
+        stack.pop_back();
+        current.pop_back();
+        continue;
+      }
+      const auto& outs = graph.fanout(frame.pin);
+      bool has_launch = false;
+      for (timing::ArcId aid : outs) {
+        if (graph.arc(aid).kind == timing::ArcKind::kLaunch) has_launch = true;
+      }
+      bool descended = false;
+      while (frame.next < outs.size()) {
+        const timing::ArcId aid = outs[frame.next++];
+        if (!merged_mg.arc_enabled(aid)) continue;
+        const timing::Arc& arc = graph.arc(aid);
+        if (has_launch && arc.kind != timing::ArcKind::kLaunch) continue;
+        current.push_back(arc.to);
+        stack.push_back({arc.to, 0});
+        descended = true;
+        break;
+      }
+      if (!descended) {
+        stack.pop_back();
+        current.pop_back();
+      }
+    }
+    if (paths >= path_cap) break;
+  }
+  return paths;
+}
+
+}  // namespace
+
+int main() {
+  const netlist::Library lib = netlist::Library::builtin();
+
+  std::printf(
+      "Ablation A1: 3-pass refinement vs brute-force path comparison\n"
+      "(diamond ladders: path count 2^stages, graph size linear)\n");
+  std::printf("%8s %10s | %12s | %14s %12s\n", "stages", "paths/lad",
+              "3pass(ms)", "bruteforce(ms)", "#paths");
+
+  const size_t ladders = 4;
+  const size_t cap = 4'000'000;
+  for (size_t stages : {8, 12, 16, 18, 20}) {
+    netlist::Design design = make_diamond_design(lib, ladders, stages);
+    timing::TimingGraph graph(design);
+
+    // Mode A false-paths each ladder's endpoint; mode B expresses the same
+    // thing from the startpoint side. Pass 1 resolves both at set level.
+    std::string sdc_a = "create_clock -name c -period 10 [get_ports clk]\n";
+    std::string sdc_b = sdc_a;
+    for (size_t l = 0; l < ladders; ++l) {
+      sdc_a += "set_false_path -to [get_pins l" + std::to_string(l) + "_rt/D]\n";
+      sdc_b += "set_false_path -from [get_pins l" + std::to_string(l) + "_rs/CP]\n";
+    }
+    const sdc::Sdc a = sdc::parse_sdc(sdc_a, design);
+    const sdc::Sdc b = sdc::parse_sdc(sdc_b, design);
+
+    merge::MergeOptions options;
+    options.validate = false;
+    mm::Stopwatch t1;
+    const merge::ValidatedMergeResult out =
+        merge::merge_modes(graph, {&a, &b}, options);
+    const double three_pass_ms = t1.elapsed_ms();
+
+    mm::Stopwatch t2;
+    const size_t paths = brute_force(graph, {&a, &b}, *out.merge.merged, cap);
+    const double brute_ms = t2.elapsed_ms();
+
+    std::printf("%8zu %10.3g | %12.2f | %14.2f %12zu%s\n", stages,
+                std::pow(2.0, static_cast<double>(stages)), three_pass_ms,
+                brute_ms, paths, paths >= cap ? " (capped!)" : "");
+  }
+  std::printf(
+      "\n(The 3-pass compares path *sets* per endpoint and only descends on\n"
+      " ambiguity: linear in graph size. Brute force walks 2^stages paths.)\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+#pragma once
+// Shared workload setup for the table benchmarks: the six synthetic designs
+// A-F standing in for the paper's industrial designs (same mode counts and
+// planted merged-mode counts as Table 5; sizes scaled by MM_SCALE).
+//
+// Paper Table 5 rows:
+//   design  size(Mcells)  #modes  #merged  %reduction  merge-runtime(s)
+//   A       0.2           95      16       83.1        6205
+//   B       0.2           3       1        66.6        85
+//   C       0.3           12      1        75.0        890
+//   D       1.4           3       1        66.6        450
+//   E       1.6           5       1        80.0        459
+//   F       2.8           3       2        33.3        1424
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gen/design_gen.h"
+#include "gen/mode_gen.h"
+#include "netlist/design.h"
+#include "sdc/parser.h"
+#include "timing/graph.h"
+
+namespace mm::bench {
+
+struct TableRow {
+  const char* name;
+  double paper_mcells;
+  size_t num_modes;
+  size_t target_groups;
+  double paper_reduction;     // Table 5
+  double paper_merge_runtime; // Table 5 (seconds)
+  double paper_sta_reduction; // Table 6 (%)
+  double paper_conformity;    // Table 6 (%)
+};
+
+inline const std::vector<TableRow>& table_rows() {
+  static const std::vector<TableRow> rows = {
+      {"A", 0.2, 95, 16, 83.1, 6205, 84.3, 99.89},
+      {"B", 0.2, 3, 1, 66.6, 85, 58.7, 100.00},
+      // The paper's row C prints "1" merged mode but reports 75.0%
+      // reduction, which implies 3 (12 -> 3); we follow the reduction
+      // figure, which is consistent with the table's average of 67.5%.
+      {"C", 0.3, 12, 3, 75.0, 890, 51.5, 99.91},
+      {"D", 1.4, 3, 1, 66.6, 450, 58.2, 99.18},
+      {"E", 1.6, 5, 1, 80.0, 459, 61.1, 99.93},
+      {"F", 2.8, 3, 2, 33.3, 1424, 61.3, 100.00},
+  };
+  return rows;
+}
+
+/// Size scale relative to the paper's cell counts (default 1/100, override
+/// with the MM_SCALE environment variable, e.g. MM_SCALE=0.05).
+inline double size_scale() {
+  if (const char* s = std::getenv("MM_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0) return v;
+  }
+  return 0.01;
+}
+
+struct Workload {
+  std::unique_ptr<netlist::Design> design;
+  std::unique_ptr<timing::TimingGraph> graph;
+  std::vector<std::unique_ptr<sdc::Sdc>> modes;
+  std::vector<const sdc::Sdc*> mode_ptrs;
+  std::vector<std::string> mode_names;
+  size_t cells = 0;
+};
+
+/// Build one Table-5 design + mode family at the current scale.
+inline Workload make_table_workload(const netlist::Library& lib,
+                                    const TableRow& row, uint64_t seed = 1) {
+  Workload w;
+  gen::DesignParams dp;
+  dp.name = std::string("design_") + row.name;
+  const double cells = row.paper_mcells * 1e6 * size_scale();
+  dp.comb_per_reg = 3;
+  dp.num_regs = std::max<size_t>(50, static_cast<size_t>(cells / 4.0));
+  dp.num_domains = 4;
+  dp.seed = seed;
+  w.design = std::make_unique<netlist::Design>(gen::generate_design(lib, dp));
+  w.graph = std::make_unique<timing::TimingGraph>(*w.design);
+  w.cells = w.design->num_instances();
+
+  gen::ModeFamilyParams mp;
+  mp.num_modes = row.num_modes;
+  mp.target_groups = row.target_groups;
+  mp.seed = seed;
+  for (const auto& gm : gen::generate_mode_family(dp, mp)) {
+    w.modes.push_back(
+        std::make_unique<sdc::Sdc>(sdc::parse_sdc(gm.sdc_text, *w.design)));
+    w.mode_names.push_back(gm.name);
+  }
+  for (const auto& m : w.modes) w.mode_ptrs.push_back(m.get());
+  return w;
+}
+
+}  // namespace mm::bench

@@ -1,0 +1,196 @@
+#include "gen/mode_gen.h"
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace mm::gen {
+
+namespace {
+
+struct Rng {
+  uint64_t state;
+  explicit Rng(uint64_t seed) : state(seed + 0x9e3779b97f4a7c15ull) {}
+  uint64_t next() {
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  size_t below(size_t n) { return n == 0 ? 0 : next() % n; }
+};
+
+enum class Kind { kFunc, kScan, kTest };
+
+Kind kind_of(size_t index_in_group, size_t group_size) {
+  if (group_size >= 2 && index_in_group == 1) return Kind::kScan;
+  if (group_size >= 3 && index_in_group == 2) return Kind::kTest;
+  return Kind::kFunc;
+}
+
+class ModeWriter {
+ public:
+  ModeWriter(const DesignParams& d, const ModeFamilyParams& p)
+      : d_(d), p_(p) {}
+
+  GeneratedMode make(size_t mode_index, size_t group, size_t index_in_group,
+                     size_t group_size) {
+    const Kind kind = kind_of(index_in_group, group_size);
+    GeneratedMode out;
+    out.group = group;
+    std::ostringstream os;
+    switch (kind) {
+      case Kind::kFunc: {
+        const size_t variant = index_in_group == 0 ? 0 : index_in_group - 2;
+        out.name = "func" + std::to_string(group) + "_" + std::to_string(variant);
+        write_func(os, group, variant);
+        break;
+      }
+      case Kind::kScan:
+        out.name = "scan" + std::to_string(group);
+        write_scan(os, group, /*shift=*/true);
+        break;
+      case Kind::kTest:
+        out.name = "test" + std::to_string(group);
+        write_scan(os, group, /*shift=*/false);
+        break;
+    }
+    write_mode_fps(os, mode_index);
+    out.sdc_text = os.str();
+    return out;
+  }
+
+ private:
+  double domain_period(size_t domain) const {
+    return p_.base_period * (1.0 + 0.25 * static_cast<double>(domain));
+  }
+
+  /// Conflict carrier: identical within a group, incompatible across groups
+  /// — present in every mode kind so the mergeability graph is exactly
+  /// block-diagonal.
+  void write_conflict_carrier(std::ostringstream& os, size_t group) const {
+    os << "set_input_transition "
+       << 0.1 + p_.group_conflict_step * static_cast<double>(group)
+       << " [get_ports di_0]\n";
+  }
+
+  void write_io_delays(std::ostringstream& os, const std::string& clock,
+                       double period) const {
+    const double delay = period * p_.io_delay_fraction;
+    os << "set_input_delay " << delay << " -clock " << clock
+       << " [get_ports di_*]\n";
+    os << "set_output_delay " << delay << " -clock " << clock
+       << " [get_ports do_*]\n";
+  }
+
+  void write_func(std::ostringstream& os, size_t group, size_t variant) {
+    const size_t domains = d_.num_domains;
+    for (size_t d = 0; d < domains; ++d) {
+      os << "create_clock -name CLK" << d << " -period " << domain_period(d)
+         << " [get_ports clk" << d << "]\n";
+    }
+    // Group-conflicting clock uncertainty on the common clock.
+    os << "set_clock_uncertainty -setup "
+       << 0.05 * p_.base_period +
+              p_.group_conflict_step * static_cast<double>(group)
+       << " [get_clocks CLK0]\n";
+    write_conflict_carrier(os, group);
+
+    os << "set_case_analysis 0 test_mode\n";
+    if (d_.scan) os << "set_case_analysis 0 scan_en\n";
+
+    // Power islands: the last domain is always off in functional modes;
+    // each variant additionally gates one rotating domain.
+    const size_t always_off = domains - 1;
+    const size_t variant_off =
+        domains > 1 ? variant % (domains - 1) : always_off;
+    for (size_t d = 0; d < domains; ++d) {
+      const bool off = (d == always_off) || (d == variant_off);
+      os << "set_case_analysis " << (off ? 0 : 1) << " en" << d << "\n";
+    }
+
+    write_io_delays(os, "CLK0", domain_period(0));
+
+    // Cross-domain clocks are asynchronous (common industrial default).
+    if (domains > 1) {
+      os << "set_clock_groups -asynchronous -name func_async";
+      for (size_t d = 0; d < domains; ++d) {
+        os << " -group [get_clocks CLK" << d << "]";
+      }
+      os << "\n";
+    }
+
+    // Group-common multicycle paths (identical across the group's
+    // functional modes; uniquified against the group's scan/test modes).
+    Rng rng(p_.seed * 977 + group);
+    for (size_t i = 0; i < p_.group_mcps; ++i) {
+      const size_t reg = rng.below(d_.num_regs);
+      os << "set_multicycle_path 2 -setup -through [get_pins r" << reg
+         << "/Q]\n";
+    }
+  }
+
+  void write_scan(std::ostringstream& os, size_t group, bool shift) {
+    os << "create_clock -name TCLK -period " << p_.base_period * 4
+       << " [get_ports tclk]\n";
+    write_conflict_carrier(os, group);
+    os << "set_case_analysis 1 test_mode\n";
+    if (d_.scan) os << "set_case_analysis " << (shift ? 1 : 0) << " scan_en\n";
+    for (size_t d = 0; d < d_.num_domains; ++d) {
+      os << "set_case_analysis 1 en" << d << "\n";
+    }
+    write_io_delays(os, "TCLK", p_.base_period * 4);
+  }
+
+  /// Per-mode unique false paths (droppable; §3.2 refinement re-derives
+  /// their effect where required).
+  void write_mode_fps(std::ostringstream& os, size_t mode_index) {
+    Rng rng(p_.seed * 131071 + mode_index);
+    const size_t num_gates = d_.num_regs * d_.comb_per_reg;
+    for (size_t i = 0; i < p_.mode_fps; ++i) {
+      switch (rng.below(3)) {
+        case 0:
+          os << "set_false_path -through [get_pins g" << rng.below(num_gates)
+             << "/Z]\n";
+          break;
+        case 1:
+          os << "set_false_path -to [get_pins r" << rng.below(d_.num_regs)
+             << "/D]\n";
+          break;
+        default:
+          os << "set_false_path -from [get_pins r" << rng.below(d_.num_regs)
+             << "/CP]\n";
+          break;
+      }
+    }
+  }
+
+  const DesignParams& d_;
+  const ModeFamilyParams& p_;
+};
+
+}  // namespace
+
+std::vector<GeneratedMode> generate_mode_family(const DesignParams& design,
+                                                const ModeFamilyParams& params) {
+  MM_ASSERT(params.num_modes > 0 && params.target_groups > 0);
+  MM_ASSERT(params.target_groups <= params.num_modes);
+
+  ModeWriter writer(design, params);
+  std::vector<GeneratedMode> modes;
+  modes.reserve(params.num_modes);
+
+  // Contiguous group blocks, sizes as even as possible.
+  size_t mode_index = 0;
+  for (size_t g = 0; g < params.target_groups; ++g) {
+    const size_t begin = g * params.num_modes / params.target_groups;
+    const size_t end = (g + 1) * params.num_modes / params.target_groups;
+    for (size_t k = begin; k < end; ++k) {
+      modes.push_back(writer.make(mode_index, g, k - begin, end - begin));
+      ++mode_index;
+    }
+  }
+  return modes;
+}
+
+}  // namespace mm::gen

@@ -1,0 +1,49 @@
+#pragma once
+// Mode-family generator: emits per-mode SDC *text* (exercised through the
+// real parser) for designs built by generate_design. This is the stand-in
+// for the paper's industrial mode decks.
+//
+// A family is organized into `target_groups` planted mergeable groups:
+// modes within a group are pairwise mergeable, modes across groups carry a
+// deliberately conflicting constraint value (clock uncertainty + input
+// transition), so the mergeability graph is block-diagonal and the clique
+// cover yields exactly `target_groups` superset modes — letting the Table-5
+// benchmark reproduce the paper's exact mode-reduction rows.
+//
+// Mode kinds cycle within a group:
+//   functional v : per-domain clocks on clk_d, test_mode=0, scan_en=0,
+//                  one domain power-gated per variant (en_d=0), I/O delays,
+//                  group-common MCPs, per-mode false paths;
+//   scan shift   : single TCLK on tclk, test_mode=1, scan_en=1, false paths
+//                  on data ports;
+//   test capture : TCLK on tclk, test_mode=1, scan_en=0.
+
+#include <string>
+#include <vector>
+
+#include "gen/design_gen.h"
+
+namespace mm::gen {
+
+struct ModeFamilyParams {
+  size_t num_modes = 3;
+  size_t target_groups = 1;
+  double base_period = 10.0;
+  size_t group_mcps = 2;        // group-common multicycle paths
+  size_t mode_fps = 3;          // per-mode unique false paths
+  double io_delay_fraction = 0.2;  // input/output delay = fraction * period
+  /// Conflict injected between groups (uncertainty / transition step).
+  double group_conflict_step = 0.5;
+  uint64_t seed = 7;
+};
+
+struct GeneratedMode {
+  std::string name;
+  std::string sdc_text;
+  size_t group = 0;
+};
+
+std::vector<GeneratedMode> generate_mode_family(const DesignParams& design,
+                                                const ModeFamilyParams& params);
+
+}  // namespace mm::gen

@@ -1,0 +1,118 @@
+#include "gen/paper_circuit.h"
+
+#include "netlist/builder.h"
+
+namespace mm::gen {
+
+using netlist::Builder;
+using netlist::Design;
+using netlist::PinDir;
+
+Design paper_circuit(const netlist::Library& lib) {
+  Design design("paper_fig1", &lib);
+  Builder b(&design);
+
+  b.input("clk1");
+  b.input("clk2");
+  b.input("sel1");
+  b.input("sel2");
+  b.input("in1");
+  b.output("out1");
+
+  b.inst("OR2", "or1", {{"A", "sel1"}, {"B", "sel2"}, {"Z", "sel_z"}});
+  b.inst("MUX2", "mux1",
+         {{"A", "clk1"}, {"B", "clk2"}, {"S", "sel_z"}, {"Z", "gclk"}});
+
+  b.inst("DFF", "rA", {{"D", "in1"}, {"CP", "clk1"}, {"Q", "qa"}});
+  b.inst("DFF", "rB", {{"D", "in1"}, {"CP", "clk1"}, {"Q", "qb"}});
+  b.inst("DFF", "rC", {{"D", "in1"}, {"CP", "clk1"}, {"Q", "qc"}});
+
+  b.inst("INV", "inv1", {{"A", "qa"}, {"Z", "n1"}});
+  b.inst("AND2", "and1", {{"A", "n1"}, {"B", "qb"}, {"Z", "n2"}});
+  b.inst("INV", "inv2", {{"A", "n2"}, {"Z", "n3"}});
+
+  b.inst("INV", "inv3", {{"A", "qc"}, {"Z", "n5"}});
+  b.inst("AND2", "and2", {{"A", "qc"}, {"B", "n5"}, {"Z", "n4"}});
+
+  b.inst("DFF", "rX", {{"D", "n1"}, {"CP", "gclk"}, {"Q", "qx"}});
+  b.inst("DFF", "rY", {{"D", "n3"}, {"CP", "gclk"}, {"Q", "qy"}});
+  b.inst("DFF", "rZ", {{"D", "n4"}, {"CP", "gclk"}, {"Q", "out1"}});
+
+  return design;
+}
+
+namespace constraint_sets {
+
+const char* kSet1 = R"(
+create_clock -name clkA -period 10 [get_ports clk1]
+set_multicycle_path 2 -through [get_pins inv1/Z]
+set_false_path -through [and1/Z]
+)";
+
+const char* kSet2ModeA = R"(
+create_clock -name clkA -period 10 [get_ports clk1]
+create_clock -name clkB -period 20 [get_ports clk2]
+set_clock_latency -min 1.0 [get_clocks clkB]
+)";
+
+const char* kSet2ModeB = R"(
+create_clock -name clkA -period 8 [get_ports clk1]
+create_clock -name clkB -period 5 [get_ports clk2]
+create_clock -name clkC -period 20 -add [get_ports clk2]
+set_clock_latency -min 1.05 [get_clocks clkC]
+)";
+
+const char* kSet3ModeA = R"(
+create_clock -period 10 -name clkA [get_ports clk1]
+create_clock -period 20 -name clkB [get_ports clk2]
+set_case_analysis 0 sel1
+set_case_analysis 1 sel2
+)";
+
+const char* kSet3ModeB = R"(
+create_clock -period 10 -name clkA [get_ports clk1]
+create_clock -period 20 -name clkB [get_ports clk2]
+set_case_analysis 1 sel1
+set_case_analysis 0 sel2
+)";
+
+const char* kSet4ModeA = R"(
+create_clock -name clkA -period 10 [get_ports clk1]
+set_case_analysis 0 [mux1/S]
+set_multicycle_path 2 -from [rA/CP]
+)";
+
+const char* kSet4ModeB = R"(
+create_clock -name clkB -period 20 [get_ports clk2]
+set_case_analysis 1 [mux1/S]
+)";
+
+const char* kSet5ModeA = R"(
+create_clock -name ClkA -period 2 [get_ports clk1]
+set_input_delay 0.2 -clock ClkA [get_ports in1]
+set_output_delay 0.2 -clock ClkA [get_ports out1]
+)";
+
+const char* kSet5ModeB = R"(
+create_clock -name ClkB -period 1 [get_ports clk1]
+set_input_delay 0.2 -clock ClkB [get_ports in1]
+set_output_delay 0.2 -clock ClkB [get_ports out1]
+set_case_analysis 0 rB/Q
+)";
+
+const char* kSet6ModeA = R"(
+create_clock -p 10 -name clkA [get_ports clk1]
+set_false_path -to rX/D
+set_false_path -to rY/D
+set_false_path -through inv3/Z
+)";
+
+const char* kSet6ModeB = R"(
+create_clock -p 10 -name clkA [get_ports clk1]
+set_false_path -from rA/CP
+set_false_path -to rZ/D
+)";
+
+}  // namespace constraint_sets
+
+}  // namespace mm::gen

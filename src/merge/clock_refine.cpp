@@ -1,0 +1,150 @@
+#include "merge/clock_refine.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "util/logger.h"
+
+namespace mm::merge {
+
+using timing::Arc;
+using timing::ArcId;
+using timing::ArcKind;
+using timing::ModeGraph;
+using timing::TimingGraph;
+
+namespace {
+
+void infer_disables(const RefineContext& ctx, MergeResult& result) {
+  Sdc& merged = *result.merged;
+
+  // Candidate pins: case-analysis targets of any individual mode.
+  std::set<uint32_t> candidates;
+  for (const Sdc* mode : ctx.modes) {
+    for (const sdc::CaseAnalysis& ca : mode->case_analysis()) {
+      candidates.insert(ca.pin.value());
+    }
+  }
+  if (candidates.empty()) return;
+
+  // Merged constants as they stand (before any inferred disables).
+  const ModeGraph merged_view(*ctx.graph, merged);
+
+  for (uint32_t pv : candidates) {
+    const PinId pin(pv);
+    if (merged_view.is_constant(pin)) continue;  // already dead in merged
+    bool constant_everywhere = true;
+    for (const auto& mg : ctx.mode_graphs) {
+      if (!mg->is_constant(pin)) {
+        constant_everywhere = false;
+        break;
+      }
+    }
+    if (!constant_everywhere) continue;
+    sdc::DisableTiming dt;
+    dt.pin = pin;
+    merged.disables().push_back(dt);
+    ++result.stats.inferred_disables;
+    result.note("inferred set_disable_timing on " +
+                std::string(ctx.graph->design().pin_name(pin)) +
+                " (constant in every individual mode)");
+  }
+}
+
+void refine_clock_propagation(const RefineContext& ctx, MergeResult& result) {
+  const TimingGraph& graph = *ctx.graph;
+  Sdc& merged = *result.merged;
+  const ClockMap& map = result.clock_map;
+
+  // allowed[pin] = merged clock ids justified by >= 1 individual mode.
+  std::vector<std::set<uint32_t>> allowed(graph.num_nodes());
+  for (size_t m = 0; m < ctx.modes.size(); ++m) {
+    const ModeGraph& mg = *ctx.mode_graphs[m];
+    for (size_t p = 0; p < graph.num_nodes(); ++p) {
+      for (const timing::ClockArrival& ca : mg.clocks_on(PinId(p))) {
+        const ClockId mc = map.merged_of(m, ca.clock);
+        if (mc.valid()) allowed[p].insert(mc.value());
+      }
+    }
+  }
+
+  // Merged-mode view with the disables inferred so far (constants + arc
+  // enables for the simulation).
+  const ModeGraph merged_view(graph, merged);
+
+  // Simulate merged clock propagation with the allowed-check inline.
+  // presence[pin] = merged clocks present; a clock reaching a pin where it
+  // is not allowed becomes a -stop_propagation constraint at that pin and
+  // does not continue (matching our ModeGraph stop semantics).
+  std::vector<std::set<uint32_t>> presence(graph.num_nodes());
+  std::set<std::pair<uint32_t, uint32_t>> stops;  // (pin, clock)
+
+  auto already_stopped = [&](PinId pin, ClockId clock) {
+    for (const sdc::ClockSenseStop& s : merged.clock_sense_stops()) {
+      if (s.pin == pin && (!s.clock.valid() || s.clock == clock)) return true;
+    }
+    return false;
+  };
+
+  auto try_insert = [&](PinId pin, ClockId clock) {
+    if (already_stopped(pin, clock)) return;
+    if (!allowed[pin.index()].count(clock.value())) {
+      stops.emplace(pin.value(), clock.value());
+      return;
+    }
+    presence[pin.index()].insert(clock.value());
+  };
+
+  auto run_pass = [&]() {
+    for (PinId pin : graph.topo_order()) {
+      if (presence[pin.index()].empty()) continue;
+      if (merged_view.is_constant(pin)) continue;
+      for (ArcId aid : graph.fanout(pin)) {
+        if (!merged_view.arc_enabled(aid)) continue;
+        const Arc& arc = graph.arc(aid);
+        if (arc.kind == ArcKind::kLaunch) continue;
+        for (uint32_t c : presence[pin.index()]) {
+          try_insert(arc.to, ClockId(c));
+        }
+      }
+    }
+  };
+
+  for (size_t ci = 0; ci < merged.num_clocks(); ++ci) {
+    const sdc::Clock& clock = merged.clock(ClockId(ci));
+    if (clock.is_generated) continue;
+    for (PinId src : clock.sources) try_insert(src, ClockId(ci));
+  }
+  run_pass();
+  bool any_generated = false;
+  for (size_t ci = 0; ci < merged.num_clocks(); ++ci) {
+    const sdc::Clock& clock = merged.clock(ClockId(ci));
+    if (!clock.is_generated) continue;
+    any_generated = true;
+    for (PinId src : clock.sources) try_insert(src, ClockId(ci));
+  }
+  if (any_generated) run_pass();
+
+  for (const auto& [pin, clock] : stops) {
+    sdc::ClockSenseStop stop;
+    stop.pin = PinId(pin);
+    stop.clock = ClockId(clock);
+    merged.clock_sense_stops().push_back(stop);
+    ++result.stats.clock_stops_added;
+    result.note("stop propagation of clock " +
+                merged.clock(ClockId(clock)).name + " at " +
+                std::string(graph.design().pin_name(PinId(pin))));
+  }
+}
+
+}  // namespace
+
+void refine_clock_network(const RefineContext& ctx, MergeResult& result,
+                          const MergeOptions& options) {
+  (void)options;
+  infer_disables(ctx, result);
+  refine_clock_propagation(ctx, result);
+}
+
+}  // namespace mm::merge

@@ -1,0 +1,24 @@
+#pragma once
+// Clock refinement (paper §3.1.8) plus the disable-timing inference shown
+// in Constraint Set 3:
+//
+//  1. For every pin that carried a set_case_analysis in at least one
+//     individual mode, is constant in ALL individual modes, but is not
+//     constant in the merged mode (its case values conflicted and were
+//     dropped): add set_disable_timing — the pin "never changes in any of
+//     the individual modes".
+//
+//  2. Simulate the merged mode's clock-network propagation; wherever a
+//     merged clock would reach a pin that its mapped-back clock reaches in
+//     NO individual mode, add set_clock_sense -stop_propagation for that
+//     clock at that pin (the propagation frontier), so the merged clock
+//     network matches the union of the individual ones exactly.
+
+#include "merge/refine_context.h"
+
+namespace mm::merge {
+
+void refine_clock_network(const RefineContext& ctx, MergeResult& result,
+                          const MergeOptions& options);
+
+}  // namespace mm::merge

@@ -1,0 +1,34 @@
+#pragma once
+// Canonical identity keys used across the merge engine: a clock's identity
+// independent of its name (sources + waveform + generation parameters), and
+// an exception's anchor signature with clocks replaced by their canonical
+// keys so that signatures compare across modes.
+
+#include <set>
+#include <string>
+
+#include "merge/types.h"
+
+namespace mm::merge {
+
+/// Canonical identity of a clock: same key <=> "same clock" across modes
+/// (the paper's duplicate test in §3.1.1).
+std::string clock_key(const Sdc& sdc, ClockId id);
+
+/// All clock keys of a mode.
+std::set<std::string> mode_clock_keys(const Sdc& sdc);
+
+/// Anchor signature of an exception; `include_value` adds kind value (MCP
+/// multiplier / delay bound) to the key.
+std::string exception_signature(const Sdc& sdc, const sdc::Exception& ex,
+                                bool include_value);
+
+/// Effective launch-clock keys of an exception in its mode: the -from
+/// clocks, or all the mode's clocks when the -from carries no clocks.
+std::set<std::string> effective_from_keys(const Sdc& sdc,
+                                          const sdc::Exception& ex);
+
+bool keys_disjoint(const std::set<std::string>& a,
+                   const std::set<std::string>& b);
+
+}  // namespace mm::merge

@@ -1,0 +1,243 @@
+#include "merge/mergeability.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "merge/keys.h"
+
+namespace mm::merge {
+
+namespace {
+
+bool within_tolerance(double a, double b, double rel_tol) {
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1e-12});
+  return std::fabs(a - b) <= rel_tol * scale + 1e-12;
+}
+
+}  // namespace
+
+PairVerdict check_mergeable(const Sdc& a, const Sdc& b,
+                            const MergeOptions& options) {
+  // --- matched clocks: clock-based constraint value compatibility ----------
+  // Map clock key -> clock id per mode; compare constraints on shared keys.
+  std::map<std::string, ClockId> a_clocks, b_clocks;
+  for (size_t i = 0; i < a.num_clocks(); ++i)
+    a_clocks.emplace(clock_key(a, ClockId(i)), ClockId(i));
+  for (size_t i = 0; i < b.num_clocks(); ++i)
+    b_clocks.emplace(clock_key(b, ClockId(i)), ClockId(i));
+
+  for (const auto& [key, ca] : a_clocks) {
+    auto it = b_clocks.find(key);
+    if (it == b_clocks.end()) continue;
+    const ClockId cb = it->second;
+
+    // Latencies (per source flag + flavor).
+    auto latency = [](const Sdc& sdc, ClockId c, bool source, bool max_side,
+                      bool& present) {
+      double v = 0.0;
+      present = false;
+      for (const sdc::ClockLatency& lat : sdc.clock_latencies()) {
+        if (lat.clock != c || lat.source != source) continue;
+        if (max_side ? !lat.minmax.max : !lat.minmax.min) continue;
+        v = lat.value;
+        present = true;
+      }
+      return v;
+    };
+    for (bool source : {false, true}) {
+      for (bool max_side : {false, true}) {
+        bool pa = false, pb = false;
+        const double va = latency(a, ca, source, max_side, pa);
+        const double vb = latency(b, cb, source, max_side, pb);
+        if (pa && pb && !within_tolerance(va, vb, options.value_tolerance)) {
+          return {false, "clock latency mismatch on matching clock (" +
+                             std::to_string(va) + " vs " + std::to_string(vb) +
+                             ")"};
+        }
+      }
+    }
+
+    // Uncertainties.
+    auto uncertainty = [](const Sdc& sdc, ClockId c, bool setup,
+                          bool& present) {
+      double v = 0.0;
+      present = false;
+      for (const sdc::ClockUncertainty& unc : sdc.clock_uncertainties()) {
+        if (unc.clock != c) continue;
+        if (setup ? !unc.setup_hold.setup : !unc.setup_hold.hold) continue;
+        v = unc.value;
+        present = true;
+      }
+      return v;
+    };
+    for (bool setup : {true, false}) {
+      bool pa = false, pb = false;
+      const double va = uncertainty(a, ca, setup, pa);
+      const double vb = uncertainty(b, cb, setup, pb);
+      if (pa && pb && !within_tolerance(va, vb, options.value_tolerance)) {
+        return {false, "clock uncertainty mismatch on matching clock"};
+      }
+    }
+
+    // Transitions.
+    auto transition = [](const Sdc& sdc, ClockId c, bool max_side,
+                         bool& present) {
+      double v = 0.0;
+      present = false;
+      for (const sdc::ClockTransition& tr : sdc.clock_transitions()) {
+        if (tr.clock != c) continue;
+        if (max_side ? !tr.minmax.max : !tr.minmax.min) continue;
+        v = tr.value;
+        present = true;
+      }
+      return v;
+    };
+    for (bool max_side : {true, false}) {
+      bool pa = false, pb = false;
+      const double va = transition(a, ca, max_side, pa);
+      const double vb = transition(b, cb, max_side, pb);
+      if (pa && pb && !within_tolerance(va, vb, options.value_tolerance)) {
+        return {false, "clock transition mismatch on matching clock"};
+      }
+    }
+  }
+
+  // --- drive / load compatibility ------------------------------------------
+  for (const sdc::DriveConstraint& da : a.drives()) {
+    for (const sdc::DriveConstraint& db : b.drives()) {
+      if (da.port_pin != db.port_pin || da.is_transition != db.is_transition)
+        continue;
+      if (!(da.minmax.min && db.minmax.min) && !(da.minmax.max && db.minmax.max))
+        continue;
+      if (!within_tolerance(da.value, db.value, options.value_tolerance)) {
+        return {false, "drive/transition value mismatch on port"};
+      }
+    }
+  }
+  for (const sdc::LoadConstraint& la : a.loads()) {
+    for (const sdc::LoadConstraint& lb : b.loads()) {
+      if (la.port_pin != lb.port_pin) continue;
+      if (!within_tolerance(la.value, lb.value, options.value_tolerance)) {
+        return {false, "load value mismatch on port"};
+      }
+    }
+  }
+
+  // --- exceptions ------------------------------------------------------------
+  const std::set<std::string> a_keys = mode_clock_keys(a);
+  const std::set<std::string> b_keys = mode_clock_keys(b);
+
+  // Same anchors, different kind/value: conflicting unless uniquifiable.
+  std::map<std::string, std::pair<const sdc::Exception*, const Sdc*>> by_anchor;
+  for (const sdc::Exception& ex : a.exceptions()) {
+    by_anchor.emplace(exception_signature(a, ex, /*include_value=*/false),
+                      std::make_pair(&ex, &a));
+  }
+  for (const sdc::Exception& ex : b.exceptions()) {
+    const std::string sig = exception_signature(b, ex, /*include_value=*/false);
+    auto it = by_anchor.find(sig);
+    if (it == by_anchor.end()) continue;
+    const sdc::Exception& other = *it->second.first;
+    if (other.kind == ex.kind && other.value == ex.value) continue;
+    // Conflicting values on identical anchors; uniquifiable only if the two
+    // exceptions' effective launch clocks are disjoint.
+    if (keys_disjoint(effective_from_keys(a, other), effective_from_keys(b, ex))) {
+      continue;
+    }
+    return {false, "conflicting exception values on identical anchors"};
+  }
+
+  // Non-false-path exception present in one mode only and not uniquifiable:
+  // the merged mode would either loosen (MCP) or tighten (min/max) the
+  // other mode's paths — mark non-mergeable.
+  auto check_one_sided = [&](const Sdc& holder,
+                             const std::set<std::string>& holder_sigs_other,
+                             const std::set<std::string>& other_keys)
+      -> PairVerdict {
+    for (const sdc::Exception& ex : holder.exceptions()) {
+      if (ex.kind == sdc::ExceptionKind::kFalsePath) continue;  // droppable
+      const std::string sig =
+          exception_signature(holder, ex, /*include_value=*/true);
+      if (holder_sigs_other.count(sig)) continue;  // common exception
+      if (!keys_disjoint(effective_from_keys(holder, ex), other_keys)) {
+        return {false,
+                "non-false-path exception unique to one mode cannot be "
+                "uniquified by clock restriction"};
+      }
+    }
+    return {true, ""};
+  };
+  std::set<std::string> a_sigs, b_sigs;
+  for (const sdc::Exception& ex : a.exceptions())
+    a_sigs.insert(exception_signature(a, ex, true));
+  for (const sdc::Exception& ex : b.exceptions())
+    b_sigs.insert(exception_signature(b, ex, true));
+
+  PairVerdict v = check_one_sided(a, b_sigs, b_keys);
+  if (!v.mergeable) return v;
+  v = check_one_sided(b, a_sigs, a_keys);
+  if (!v.mergeable) return v;
+
+  return {true, ""};
+}
+
+MergeabilityGraph::MergeabilityGraph(const std::vector<const Sdc*>& modes,
+                                     const MergeOptions& options)
+    : n_(modes.size()), adj_(n_ * n_, 0), reasons_(n_ * n_) {
+  for (size_t i = 0; i < n_; ++i) {
+    adj_[i * n_ + i] = 1;
+    for (size_t j = i + 1; j < n_; ++j) {
+      const PairVerdict verdict = check_mergeable(*modes[i], *modes[j], options);
+      adj_[i * n_ + j] = adj_[j * n_ + i] = verdict.mergeable ? 1 : 0;
+      if (!verdict.mergeable) {
+        reasons_[i * n_ + j] = reasons_[j * n_ + i] = verdict.reason;
+      }
+    }
+  }
+}
+
+size_t MergeabilityGraph::degree(size_t i) const {
+  size_t d = 0;
+  for (size_t j = 0; j < n_; ++j) {
+    if (j != i && edge(i, j)) ++d;
+  }
+  return d;
+}
+
+std::vector<std::vector<size_t>> MergeabilityGraph::clique_cover() const {
+  std::vector<size_t> order(n_);
+  for (size_t i = 0; i < n_; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return degree(a) > degree(b);
+  });
+
+  std::vector<uint8_t> assigned(n_, 0);
+  std::vector<std::vector<size_t>> cliques;
+  for (size_t seed : order) {
+    if (assigned[seed]) continue;
+    std::vector<size_t> clique{seed};
+    assigned[seed] = 1;
+    for (size_t cand : order) {
+      if (assigned[cand]) continue;
+      bool compatible = true;
+      for (size_t member : clique) {
+        if (!edge(cand, member)) {
+          compatible = false;
+          break;
+        }
+      }
+      if (compatible) {
+        clique.push_back(cand);
+        assigned[cand] = 1;
+      }
+    }
+    std::sort(clique.begin(), clique.end());
+    cliques.push_back(std::move(clique));
+  }
+  return cliques;
+}
+
+}  // namespace mm::merge

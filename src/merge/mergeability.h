@@ -1,0 +1,54 @@
+#pragma once
+// Mergeability analysis (paper §3, Figure 2): a mock run of preliminary
+// merging decides which mode pairs can be merged; the resulting
+// mergeability graph is covered with cliques by a greedy algorithm, each
+// clique becoming one superset mode.
+
+#include <string>
+#include <vector>
+
+#include "merge/types.h"
+
+namespace mm::merge {
+
+/// Why a pair of modes cannot merge (empty reason == mergeable).
+struct PairVerdict {
+  bool mergeable = true;
+  std::string reason;
+};
+
+/// Pairwise mergeability: a mock preliminary merge checking for
+///  - clock-based constraint values out of tolerance on matching clocks,
+///  - drive/load constraint values out of tolerance on the same port,
+///  - conflicting non-false-path exceptions (same anchors, different
+///    kind/value) that cannot be uniquified by clock restriction,
+///  - generated-clock master mismatches (clock blocking).
+PairVerdict check_mergeable(const Sdc& a, const Sdc& b,
+                            const MergeOptions& options);
+
+class MergeabilityGraph {
+ public:
+  /// Build the graph over `modes` (pairwise check_mergeable).
+  MergeabilityGraph(const std::vector<const Sdc*>& modes,
+                    const MergeOptions& options);
+
+  size_t num_modes() const { return n_; }
+  bool edge(size_t i, size_t j) const { return adj_[i * n_ + j] != 0; }
+  const std::string& reason(size_t i, size_t j) const {
+    return reasons_[i * n_ + j];
+  }
+  size_t degree(size_t i) const;
+
+  /// Greedy clique cover ("the maximal sets of mergeable individual modes
+  /// are identified by finding cliques of this graph ... using a greedy
+  /// algorithm as the number of modes is small"). Returns groups of mode
+  /// indices; singletons are modes that merge with nothing.
+  std::vector<std::vector<size_t>> clique_cover() const;
+
+ private:
+  size_t n_;
+  std::vector<uint8_t> adj_;
+  std::vector<std::string> reasons_;
+};
+
+}  // namespace mm::merge

@@ -1,0 +1,125 @@
+#include "merge/merger.h"
+
+#include <sstream>
+
+#include "merge/clock_refine.h"
+#include "merge/data_refine.h"
+#include "merge/preliminary.h"
+#include "util/logger.h"
+#include "util/timer.h"
+
+namespace mm::merge {
+
+ValidatedMergeResult merge_modes(const timing::TimingGraph& graph,
+                                 const std::vector<const Sdc*>& modes,
+                                 const MergeOptions& options) {
+  ValidatedMergeResult out{preliminary_merge(modes, options), {}};
+
+  if (options.run_refinement) {
+    Stopwatch timer;
+    RefineContext ctx(graph, modes, options.num_threads);
+    refine_clock_network(ctx, out.merge, options);
+    refine_data_network(ctx, out.merge, options);
+    out.merge.stats.refinement_seconds = timer.elapsed_seconds();
+
+    if (options.validate) {
+      Stopwatch vtimer;
+      out.equivalence = check_equivalence(ctx, *out.merge.merged,
+                                          out.merge.clock_map,
+                                          /*startpoint_level=*/false,
+                                          options.num_threads);
+      out.merge.stats.validate_seconds = vtimer.elapsed_seconds();
+      if (!out.equivalence.signoff_safe()) {
+        MM_ERROR("merged mode has %zu optimism violation(s)",
+                 out.equivalence.optimism_violations);
+      }
+    }
+  }
+  return out;
+}
+
+MergedModeSet merge_mode_set(const timing::TimingGraph& graph,
+                             const std::vector<const Sdc*>& modes,
+                             const MergeOptions& options) {
+  Stopwatch timer;
+  MergedModeSet out;
+  out.num_input_modes = modes.size();
+
+  MergeabilityGraph mgraph(modes, options);
+  out.cliques = mgraph.clique_cover();
+
+  for (const std::vector<size_t>& clique : out.cliques) {
+    std::vector<const Sdc*> members;
+    members.reserve(clique.size());
+    for (size_t idx : clique) members.push_back(modes[idx]);
+    out.merged.push_back(merge_modes(graph, members, options));
+  }
+  out.total_seconds = timer.elapsed_seconds();
+  return out;
+}
+
+std::string report_merge(const MergeResult& result,
+                         const EquivalenceReport& equivalence) {
+  const MergeStats& s = result.stats;
+  std::ostringstream os;
+  os << "=== mode merge report ===\n";
+  os << "preliminary merge (" << s.preliminary_seconds << " s)\n";
+  os << "  clocks: " << s.clocks_union << " union, " << s.clocks_deduped
+     << " deduplicated, " << s.clocks_renamed << " renamed\n";
+  os << "  clock constraints: " << s.clock_constraints_merged << " merged, "
+     << s.clock_constraints_dropped << " dropped\n";
+  os << "  external delays: " << s.port_delays_union << " union\n";
+  os << "  case_analysis: " << s.case_kept << " kept, " << s.case_dropped
+     << " dropped\n";
+  os << "  disable_timing: " << s.disables_kept << " kept, "
+     << s.disables_dropped << " dropped\n";
+  os << "  drive/load: " << s.drive_load_kept << " kept, "
+     << s.drive_load_dropped << " dropped\n";
+  os << "  clock exclusivity constraints: " << s.exclusivity_constraints
+     << "\n";
+  os << "  exceptions: " << s.exceptions_common << " common, "
+     << s.exceptions_uniquified << " uniquified, " << s.exceptions_dropped
+     << " dropped, " << s.exceptions_kept_pessimistic
+     << " kept pessimistic\n";
+  os << "refinement (" << s.refinement_seconds << " s)\n";
+  os << "  inferred disables: " << s.inferred_disables << "\n";
+  os << "  clock stop_propagation constraints: " << s.clock_stops_added << "\n";
+  os << "  data-network clock false paths: " << s.data_clock_fps_added << "\n";
+  os << "  pass 0: " << s.pass0_pair_fixed
+     << " clock-pair false paths\n";
+  os << "  pass 1: " << s.pass1_keys << " keys, " << s.pass1_mismatch_fixed
+     << " fixed, " << s.pass1_ambiguous << " ambiguous endpoints\n";
+  os << "  pass 2: " << s.pass2_keys << " keys, " << s.pass2_mismatch_fixed
+     << " fixed, " << s.pass2_ambiguous << " ambiguous pairs\n";
+  os << "  pass 3: " << s.pass3_pairs << " pairs, "
+     << s.pass3_paths_enumerated << " paths, " << s.pass3_fps_added
+     << " false paths added\n";
+  os << "  unresolved pessimism: " << s.unresolved_pessimism << "\n";
+  os << "validation (" << s.validate_seconds << " s)\n";
+  os << "  keys compared: " << equivalence.keys_compared << ", matches: "
+     << equivalence.matches << "\n";
+  os << "  optimism violations: " << equivalence.optimism_violations
+     << ", pessimism keys: " << equivalence.pessimism_keys
+     << ", state mismatches: " << equivalence.state_mismatches << "\n";
+  os << "  verdict: "
+     << (equivalence.equivalent()
+             ? "EQUIVALENT"
+             : (equivalence.signoff_safe() ? "SIGNOFF-SAFE (pessimistic)"
+                                           : "UNSAFE"))
+     << "\n";
+  for (const std::string& e : equivalence.examples) os << "    " << e << "\n";
+  if (!result.notes.empty()) {
+    os << "notes (" << result.notes.size() << "):\n";
+    size_t shown = 0;
+    for (const std::string& n : result.notes) {
+      os << "  - " << n << "\n";
+      if (++shown >= 20) {
+        os << "  ... (" << result.notes.size() - shown << " more)\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mm::merge

@@ -1,0 +1,55 @@
+#pragma once
+// Mode-merging orchestrator — the library's top-level public API.
+//
+//   merge_modes: N mergeable modes -> 1 superset mode
+//                (preliminary merge -> clock refinement -> data refinement
+//                 -> equivalence validation), the full paper §3 flow.
+//   merge_mode_set: the complete flow over an arbitrary mode set —
+//                mergeability graph, greedy clique cover, one merge per
+//                clique (Figure 2 + Tables 5/6 configuration).
+
+#include "merge/equivalence.h"
+#include "merge/mergeability.h"
+#include "merge/types.h"
+
+namespace mm::merge {
+
+struct ValidatedMergeResult {
+  MergeResult merge;
+  EquivalenceReport equivalence;  // empty unless options.validate
+};
+
+/// Merge N modes (assumed mergeable) into one superset mode over `graph`.
+ValidatedMergeResult merge_modes(const timing::TimingGraph& graph,
+                                 const std::vector<const Sdc*>& modes,
+                                 const MergeOptions& options = {});
+
+struct MergedModeSet {
+  /// One merged mode per clique (cliques of size 1 reuse the original mode's
+  /// constraints verbatim).
+  std::vector<ValidatedMergeResult> merged;
+  /// Clique membership: cliques[i] lists input mode indices merged into
+  /// merged[i].
+  std::vector<std::vector<size_t>> cliques;
+  size_t num_input_modes = 0;
+  double total_seconds = 0.0;
+
+  size_t num_merged_modes() const { return merged.size(); }
+  double reduction_percent() const {
+    if (num_input_modes == 0) return 0.0;
+    return 100.0 *
+           (1.0 - static_cast<double>(num_merged_modes()) /
+                      static_cast<double>(num_input_modes));
+  }
+};
+
+/// Full flow: mergeability analysis + clique cover + per-clique merges.
+MergedModeSet merge_mode_set(const timing::TimingGraph& graph,
+                             const std::vector<const Sdc*>& modes,
+                             const MergeOptions& options = {});
+
+/// Human-readable summary of one merge (stats + notes).
+std::string report_merge(const MergeResult& result,
+                         const EquivalenceReport& equivalence);
+
+}  // namespace mm::merge

@@ -1,0 +1,20 @@
+#pragma once
+// Preliminary mode merging (paper §3.1): build the superset mode whose
+// timing relationships are a superset of every individual mode's — union of
+// clocks and external delays, tolerance-merge of clock-based constraints,
+// intersection of case analysis / disable timing / drive-load, derived
+// clock exclusivity, and exception intersection with uniquification.
+//
+// The preliminary merged mode may temporarily time extra paths; §3.2
+// refinement (clock_refine / data_refine) removes them.
+
+#include "merge/types.h"
+
+namespace mm::merge {
+
+/// Merge N mergeable modes into one preliminary superset Sdc.
+/// All modes must reference the same Design.
+MergeResult preliminary_merge(const std::vector<const Sdc*>& modes,
+                              const MergeOptions& options);
+
+}  // namespace mm::merge

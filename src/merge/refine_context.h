@@ -1,0 +1,31 @@
+#pragma once
+// Shared state for the §3.1.8 / §3.2 refinement stages: the individual
+// modes' per-mode timing views, built once (in parallel) and reused by
+// clock refinement, data refinement and the equivalence checker.
+
+#include <memory>
+#include <vector>
+
+#include "merge/types.h"
+#include "timing/mode_graph.h"
+#include "util/thread_pool.h"
+
+namespace mm::merge {
+
+struct RefineContext {
+  const timing::TimingGraph* graph = nullptr;
+  std::vector<const Sdc*> modes;
+  std::vector<std::unique_ptr<timing::ModeGraph>> mode_graphs;
+
+  RefineContext(const timing::TimingGraph& g, std::vector<const Sdc*> m,
+                size_t num_threads = 0)
+      : graph(&g), modes(std::move(m)) {
+    mode_graphs.resize(modes.size());
+    ThreadPool pool(num_threads == 0 ? 0 : num_threads);
+    pool.parallel_for(modes.size(), [&](size_t i) {
+      mode_graphs[i] = std::make_unique<timing::ModeGraph>(g, *modes[i]);
+    });
+  }
+};
+
+}  // namespace mm::merge

@@ -1,0 +1,56 @@
+#pragma once
+// Fluent construction helper on top of Design: nets are created on first
+// mention, instances are declared with {pin, net} pairs in one call. Used by
+// the fixtures, the design generator and the tests.
+
+#include <initializer_list>
+#include <string_view>
+#include <utility>
+
+#include "netlist/design.h"
+
+namespace mm::netlist {
+
+class Builder {
+ public:
+  explicit Builder(Design* design) : design_(design) { MM_ASSERT(design); }
+
+  /// Net by name, created on first use.
+  NetId net(std::string_view name) {
+    NetId id = design_->find_net(name);
+    return id.valid() ? id : design_->add_net(name);
+  }
+
+  PortId input(std::string_view name) {
+    const PortId p = design_->add_port(name, PinDir::kInput);
+    design_->connect(p, net(name));
+    return p;
+  }
+
+  PortId output(std::string_view name) {
+    const PortId p = design_->add_port(name, PinDir::kOutput);
+    design_->connect(p, net(name));
+    return p;
+  }
+
+  /// Instantiate `cell_name` as `inst_name`, connecting each {pin, net}.
+  InstId inst(std::string_view cell_name, std::string_view inst_name,
+              std::initializer_list<std::pair<std::string_view, std::string_view>>
+                  connections) {
+    const LibCellId cell = design_->library().find_cell(cell_name);
+    if (!cell.valid())
+      throw Error("unknown cell: " + std::string(cell_name));
+    const InstId id = design_->add_instance(inst_name, cell);
+    for (const auto& [pin, net_name] : connections) {
+      design_->connect(id, pin, net(net_name));
+    }
+    return id;
+  }
+
+  Design& design() { return *design_; }
+
+ private:
+  Design* design_;
+};
+
+}  // namespace mm::netlist

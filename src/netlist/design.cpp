@@ -1,0 +1,162 @@
+#include "netlist/design.h"
+
+namespace mm::netlist {
+
+PinId Design::make_pin(Symbol full_name, PortId port, InstId inst,
+                       uint32_t lib_pin) {
+  const PinId id(pins_.size());
+  Pin p;
+  p.full_name = full_name;
+  p.port = port;
+  p.inst = inst;
+  p.lib_pin = lib_pin;
+  pins_.push_back(p);
+  MM_ASSERT_MSG(pin_by_name_.emplace(full_name, id).second,
+                "duplicate pin name");
+  return id;
+}
+
+PortId Design::add_port(std::string_view name, PinDir dir) {
+  const Symbol sym = names_.intern(name);
+  if (port_by_name_.count(sym)) throw Error("duplicate port: " + std::string(name));
+  const PortId id(ports_.size());
+  Port port;
+  port.name = sym;
+  port.dir = dir;
+  port.pin = make_pin(sym, id, InstId(), UINT32_MAX);
+  ports_.push_back(port);
+  port_by_name_.emplace(sym, id);
+  return id;
+}
+
+InstId Design::add_instance(std::string_view name, LibCellId cell) {
+  const Symbol sym = names_.intern(name);
+  if (inst_by_name_.count(sym))
+    throw Error("duplicate instance: " + std::string(name));
+  const InstId id(insts_.size());
+  Instance inst;
+  inst.name = sym;
+  inst.cell = cell;
+  const LibCell& lc = lib_->cell(cell);
+  inst.pins.reserve(lc.pins().size());
+  std::string buf;
+  for (uint32_t i = 0; i < lc.pins().size(); ++i) {
+    buf.assign(name);
+    buf += '/';
+    buf += lc.pins()[i].name;
+    inst.pins.push_back(make_pin(names_.intern(buf), PortId(), id, i));
+  }
+  insts_.push_back(std::move(inst));
+  inst_by_name_.emplace(sym, id);
+  return id;
+}
+
+NetId Design::add_net(std::string_view name) {
+  const Symbol sym = names_.intern(name);
+  if (net_by_name_.count(sym)) throw Error("duplicate net: " + std::string(name));
+  const NetId id(nets_.size());
+  Net net;
+  net.name = sym;
+  nets_.push_back(std::move(net));
+  net_by_name_.emplace(sym, id);
+  return id;
+}
+
+void Design::connect(InstId inst_id, std::string_view pin_name, NetId net_id) {
+  MM_ASSERT(inst_id.index() < insts_.size() && net_id.index() < nets_.size());
+  Instance& inst = insts_[inst_id.index()];
+  const LibCell& lc = lib_->cell(inst.cell);
+  const uint32_t lp = lc.find_pin(pin_name);
+  if (lp == UINT32_MAX) {
+    throw Error("no pin '" + std::string(pin_name) + "' on cell " + lc.name());
+  }
+  const PinId pin_id = inst.pins[lp];
+  Pin& p = pins_[pin_id.index()];
+  if (p.net.valid())
+    throw Error("pin already connected: " + std::string(pin_name));
+  p.net = net_id;
+  Net& net = nets_[net_id.index()];
+  if (lc.pins()[lp].dir == PinDir::kOutput) {
+    if (net.driver.valid())
+      throw Error("net has multiple drivers: " + std::string(names_.str(net.name)));
+    net.driver = pin_id;
+  } else {
+    net.loads.push_back(pin_id);
+  }
+}
+
+void Design::connect(PortId port_id, NetId net_id) {
+  MM_ASSERT(port_id.index() < ports_.size() && net_id.index() < nets_.size());
+  Port& port = ports_[port_id.index()];
+  Pin& p = pins_[port.pin.index()];
+  if (p.net.valid())
+    throw Error("port already connected: " + std::string(names_.str(port.name)));
+  p.net = net_id;
+  Net& net = nets_[net_id.index()];
+  if (port.dir == PinDir::kInput) {
+    // Input port drives the net from the design's point of view.
+    if (net.driver.valid())
+      throw Error("net has multiple drivers: " + std::string(names_.str(net.name)));
+    net.driver = port.pin;
+  } else {
+    net.loads.push_back(port.pin);
+  }
+}
+
+PortId Design::find_port(std::string_view name) const {
+  const Symbol sym = names_.find(name);
+  if (!sym) return PortId();
+  auto it = port_by_name_.find(sym);
+  return it == port_by_name_.end() ? PortId() : it->second;
+}
+
+InstId Design::find_instance(std::string_view name) const {
+  const Symbol sym = names_.find(name);
+  if (!sym) return InstId();
+  auto it = inst_by_name_.find(sym);
+  return it == inst_by_name_.end() ? InstId() : it->second;
+}
+
+NetId Design::find_net(std::string_view name) const {
+  const Symbol sym = names_.find(name);
+  if (!sym) return NetId();
+  auto it = net_by_name_.find(sym);
+  return it == net_by_name_.end() ? NetId() : it->second;
+}
+
+PinId Design::find_pin(std::string_view full_name) const {
+  const Symbol sym = names_.find(full_name);
+  if (!sym) return PinId();
+  auto it = pin_by_name_.find(sym);
+  return it == pin_by_name_.end() ? PinId() : it->second;
+}
+
+CheckReport check_design(const Design& design) {
+  CheckReport report;
+  for (size_t n = 0; n < design.num_nets(); ++n) {
+    const Net& net = design.net(NetId(n));
+    if (!net.driver.valid() && !net.loads.empty()) {
+      report.warnings.push_back("undriven net: " +
+                                std::string(design.net_name(NetId(n))));
+    }
+    if (net.driver.valid() && net.loads.empty()) {
+      report.warnings.push_back("dangling net (no loads): " +
+                                std::string(design.net_name(NetId(n))));
+    }
+  }
+  for (size_t i = 0; i < design.num_instances(); ++i) {
+    const Instance& inst = design.instance(InstId(i));
+    const LibCell& lc = design.library().cell(inst.cell);
+    for (uint32_t p = 0; p < lc.pins().size(); ++p) {
+      if (lc.pins()[p].dir == PinDir::kInput &&
+          !design.pin(inst.pins[p]).net.valid()) {
+        report.warnings.push_back(
+            "floating input pin: " +
+            std::string(design.pin_name(inst.pins[p])));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace mm::netlist

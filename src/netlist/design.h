@@ -1,0 +1,164 @@
+#pragma once
+// Flat gate-level netlist: ports, instances, nets and pins with id-based
+// storage. Pins unify top-level ports and instance pins so the timing graph
+// can treat them uniformly. Names follow EDA convention: instance pin
+// "rA/Q", port pin "clk1".
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/libcell.h"
+#include "util/error.h"
+#include "util/id.h"
+#include "util/intern.h"
+
+namespace mm::netlist {
+
+using PortId = Id<struct PortTag>;
+using InstId = Id<struct InstTag>;
+using NetId = Id<struct NetTag>;
+using PinId = Id<struct PinTag>;
+
+struct Port {
+  Symbol name;
+  PinDir dir = PinDir::kInput;  // direction seen from outside the design
+  PinId pin;                    // the port's pin in the unified pin space
+};
+
+struct Instance {
+  Symbol name;
+  LibCellId cell;
+  std::vector<PinId> pins;  // indexed by LibCell pin index
+};
+
+struct Net {
+  Symbol name;
+  PinId driver;              // single driver (invalid if undriven)
+  std::vector<PinId> loads;  // fanout pins
+};
+
+struct Pin {
+  Symbol full_name;  // "inst/PIN" or port name
+  // Exactly one of port / inst is valid.
+  PortId port;
+  InstId inst;
+  uint32_t lib_pin = UINT32_MAX;  // LibCell pin index when inst is valid
+  NetId net;
+
+  bool is_port() const { return port.valid(); }
+};
+
+/// A flat design over one Library. The Library must outlive the Design.
+class Design {
+ public:
+  Design(std::string name, const Library* lib) : name_(std::move(name)), lib_(lib) {
+    MM_ASSERT(lib != nullptr);
+  }
+
+  const std::string& name() const { return name_; }
+  const Library& library() const { return *lib_; }
+
+  // --- construction -------------------------------------------------------
+
+  PortId add_port(std::string_view name, PinDir dir);
+  InstId add_instance(std::string_view name, LibCellId cell);
+  NetId add_net(std::string_view name);
+
+  /// Connect instance pin (by library pin name) to a net.
+  void connect(InstId inst, std::string_view pin_name, NetId net);
+  /// Connect a top-level port to a net.
+  void connect(PortId port, NetId net);
+
+  // --- access -------------------------------------------------------------
+
+  size_t num_ports() const { return ports_.size(); }
+  size_t num_instances() const { return insts_.size(); }
+  size_t num_nets() const { return nets_.size(); }
+  size_t num_pins() const { return pins_.size(); }
+
+  const Port& port(PortId id) const { return ports_[checked(id, ports_)]; }
+  const Instance& instance(InstId id) const { return insts_[checked(id, insts_)]; }
+  const Net& net(NetId id) const { return nets_[checked(id, nets_)]; }
+  const Pin& pin(PinId id) const { return pins_[checked(id, pins_)]; }
+
+  const LibCell& cell_of(InstId id) const { return lib_->cell(instance(id).cell); }
+  const LibCell& cell_of_pin(PinId id) const {
+    const Pin& p = pin(id);
+    MM_ASSERT(!p.is_port());
+    return lib_->cell(instance(p.inst).cell);
+  }
+  const LibPin& lib_pin_of(PinId id) const {
+    const Pin& p = pin(id);
+    return cell_of_pin(id).pins()[p.lib_pin];
+  }
+
+  /// Direction of a pin as seen by the timing graph: an input *port* is a
+  /// signal source (acts as an output-like driver), an instance input pin
+  /// is a sink. `driver` == true means this pin drives its net.
+  bool pin_drives_net(PinId id) const {
+    const Pin& p = pin(id);
+    if (p.is_port()) return ports_[p.port.index()].dir == PinDir::kInput;
+    return lib_pin_of(id).dir == PinDir::kOutput;
+  }
+
+  std::string_view pin_name(PinId id) const { return names_.str(pin(id).full_name); }
+  std::string_view port_name(PortId id) const { return names_.str(port(id).name); }
+  std::string_view inst_name(InstId id) const { return names_.str(instance(id).name); }
+  std::string_view net_name(NetId id) const { return names_.str(net(id).name); }
+
+  // --- lookup -------------------------------------------------------------
+
+  PortId find_port(std::string_view name) const;
+  InstId find_instance(std::string_view name) const;
+  NetId find_net(std::string_view name) const;
+  /// Find pin by full name ("rA/Q" or port name "clk1").
+  PinId find_pin(std::string_view full_name) const;
+
+  StringPool& names() { return names_; }
+  const StringPool& names() const { return names_; }
+
+  /// All pins / ports / instances, for iteration by id.
+  const std::vector<Pin>& pins() const { return pins_; }
+  const std::vector<Port>& ports() const { return ports_; }
+  const std::vector<Instance>& instances() const { return insts_; }
+  const std::vector<Net>& nets() const { return nets_; }
+
+ private:
+  template <class IdT, class Vec>
+  static size_t checked(IdT id, const Vec& v) {
+    MM_ASSERT(id.index() < v.size());
+    return id.index();
+  }
+
+  PinId make_pin(Symbol full_name, PortId port, InstId inst, uint32_t lib_pin);
+
+  std::string name_;
+  const Library* lib_;
+  StringPool names_;
+
+  std::vector<Port> ports_;
+  std::vector<Instance> insts_;
+  std::vector<Net> nets_;
+  std::vector<Pin> pins_;
+
+  std::unordered_map<Symbol, PortId> port_by_name_;
+  std::unordered_map<Symbol, InstId> inst_by_name_;
+  std::unordered_map<Symbol, NetId> net_by_name_;
+  std::unordered_map<Symbol, PinId> pin_by_name_;
+};
+
+/// Structural sanity report (see check_design).
+struct CheckReport {
+  std::vector<std::string> errors;    // multiple drivers, direction misuse
+  std::vector<std::string> warnings;  // floating inputs, undriven nets
+  bool ok() const { return errors.empty(); }
+};
+
+/// Verify single-driver nets, no floating instance inputs, port direction
+/// consistency. Returns a report rather than throwing so tools can print
+/// everything at once.
+CheckReport check_design(const Design& design);
+
+}  // namespace mm::netlist

@@ -1,0 +1,263 @@
+#include "netlist/function.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/error.h"
+
+namespace mm::netlist {
+
+namespace {
+
+Logic tri_not(Logic v) { return logic_not(v); }
+
+Logic tri_and(Logic a, Logic b) {
+  if (a == Logic::kZero || b == Logic::kZero) return Logic::kZero;
+  if (a == Logic::kOne && b == Logic::kOne) return Logic::kOne;
+  return Logic::kUnknown;
+}
+
+Logic tri_or(Logic a, Logic b) {
+  if (a == Logic::kOne || b == Logic::kOne) return Logic::kOne;
+  if (a == Logic::kZero && b == Logic::kZero) return Logic::kZero;
+  return Logic::kUnknown;
+}
+
+Logic tri_xor(Logic a, Logic b) {
+  if (a == Logic::kUnknown || b == Logic::kUnknown) return Logic::kUnknown;
+  return (a == b) ? Logic::kZero : Logic::kOne;
+}
+
+}  // namespace
+
+// Recursive-descent parser over Liberty function syntax.
+// Grammar (precedence low to high):
+//   or   := xor (('+' | '|') xor)*
+//   xor  := and ('^' and)*
+//   and  := unary (('*' | '&')? unary)*     (juxtaposition = AND)
+//   unary:= ('!' unary) | primary ('\'')*
+//   primary := '(' or ')' | '0' | '1' | identifier
+class FuncParser {
+ public:
+  FuncParser(std::string_view text,
+             const std::function<uint32_t(std::string_view)>& pin_index)
+      : text_(text), pin_index_(pin_index) {}
+
+  FuncExpr run() {
+    FuncExpr out;
+    expr_ = &out;
+    skip();
+    out.root_ = parse_or();
+    skip();
+    if (pos_ != text_.size()) {
+      throw Error("function: trailing characters in '" + std::string(text_) + "'");
+    }
+    std::sort(out.support_.begin(), out.support_.end());
+    out.support_.erase(
+        std::unique(out.support_.begin(), out.support_.end()),
+        out.support_.end());
+    return out;
+  }
+
+ private:
+  using Node = decltype(FuncExpr::nodes_)::value_type;
+
+  int add(Node node) {
+    expr_->nodes_.push_back(node);
+    return static_cast<int>(expr_->nodes_.size() - 1);
+  }
+
+  void skip() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool at(char c) {
+    skip();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool eat(char c) {
+    if (!at(c)) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool at_primary_start() {
+    skip();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    return c == '(' || c == '!' ||
+           std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '\\' || c == '"';
+  }
+
+  int parse_or() {
+    int lhs = parse_xor();
+    while (eat('+') || eat('|')) {
+      const int rhs = parse_xor();
+      lhs = add({Node::Op::kOr, 0, lhs, rhs});
+    }
+    return lhs;
+  }
+
+  int parse_xor() {
+    int lhs = parse_and();
+    while (eat('^')) {
+      const int rhs = parse_and();
+      lhs = add({Node::Op::kXor, 0, lhs, rhs});
+    }
+    return lhs;
+  }
+
+  int parse_and() {
+    int lhs = parse_unary();
+    while (true) {
+      if (eat('*') || eat('&')) {
+        const int rhs = parse_unary();
+        lhs = add({Node::Op::kAnd, 0, lhs, rhs});
+      } else if (at_primary_start()) {
+        // Juxtaposition.
+        const int rhs = parse_unary();
+        lhs = add({Node::Op::kAnd, 0, lhs, rhs});
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  int parse_unary() {
+    if (eat('!')) {
+      const int a = parse_unary();
+      return add({Node::Op::kNot, 0, a, -1});
+    }
+    int p = parse_primary();
+    while (eat('\'')) {
+      p = add({Node::Op::kNot, 0, p, -1});
+    }
+    return p;
+  }
+
+  int parse_primary() {
+    skip();
+    if (eat('(')) {
+      const int inner = parse_or();
+      if (!eat(')')) throw Error("function: missing ')'");
+      return inner;
+    }
+    if (pos_ >= text_.size()) throw Error("function: unexpected end");
+    // Quoted sub-expression (Liberty sometimes nests quotes).
+    if (text_[pos_] == '"') {
+      ++pos_;
+      const size_t end = text_.find('"', pos_);
+      if (end == std::string_view::npos)
+        throw Error("function: unterminated quote");
+      FuncParser inner(text_.substr(pos_, end - pos_), pin_index_);
+      // Parse the quoted body with a fresh parser into the same expression.
+      inner.expr_ = expr_;
+      inner.skip();
+      const int node = inner.parse_or();
+      inner.skip();
+      if (inner.pos_ != inner.text_.size())
+        throw Error("function: trailing characters in quoted expression");
+      pos_ = end + 1;
+      return node;
+    }
+    const char c = text_[pos_];
+    if (c == '0' && !is_ident_char(peek_at(pos_ + 1))) {
+      ++pos_;
+      return add({Node::Op::kConst0, 0, -1, -1});
+    }
+    if (c == '1' && !is_ident_char(peek_at(pos_ + 1))) {
+      ++pos_;
+      return add({Node::Op::kConst1, 0, -1, -1});
+    }
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '\\')) {
+      throw Error(std::string("function: unexpected character '") + c + "'");
+    }
+    size_t start = pos_;
+    if (c == '\\') ++pos_;
+    while (pos_ < text_.size() && is_ident_char(text_[pos_])) ++pos_;
+    const std::string_view name = text_.substr(start, pos_ - start);
+    const uint32_t index = pin_index_(name);
+    if (index == UINT32_MAX) {
+      throw Error("function: unknown pin '" + std::string(name) + "'");
+    }
+    expr_->support_.push_back(index);
+    return add({Node::Op::kVar, index, -1, -1});
+  }
+
+  static bool is_ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '[' || c == ']';
+  }
+  char peek_at(size_t i) const { return i < text_.size() ? text_[i] : '\0'; }
+
+  std::string_view text_;
+  const std::function<uint32_t(std::string_view)>& pin_index_;
+  size_t pos_ = 0;
+  FuncExpr* expr_ = nullptr;
+};
+
+FuncExpr FuncExpr::parse(
+    std::string_view text,
+    const std::function<uint32_t(std::string_view)>& pin_index) {
+  return FuncParser(text, pin_index).run();
+}
+
+Logic FuncExpr::eval_node(int index, const std::vector<Logic>& values) const {
+  const Node& node = nodes_[index];
+  switch (node.op) {
+    case Node::Op::kConst0: return Logic::kZero;
+    case Node::Op::kConst1: return Logic::kOne;
+    case Node::Op::kVar:
+      MM_ASSERT(node.var < values.size());
+      return values[node.var];
+    case Node::Op::kNot: return tri_not(eval_node(node.a, values));
+    case Node::Op::kAnd:
+      return tri_and(eval_node(node.a, values), eval_node(node.b, values));
+    case Node::Op::kOr:
+      return tri_or(eval_node(node.a, values), eval_node(node.b, values));
+    case Node::Op::kXor:
+      return tri_xor(eval_node(node.a, values), eval_node(node.b, values));
+  }
+  return Logic::kUnknown;
+}
+
+Logic FuncExpr::evaluate(const std::vector<Logic>& values) const {
+  if (root_ < 0) return Logic::kUnknown;
+  return eval_node(root_, values);
+}
+
+bool FuncExpr::depends_on(uint32_t input, const std::vector<Logic>& values,
+                          uint32_t max_free_inputs) const {
+  if (root_ < 0) return false;
+  if (!std::binary_search(support_.begin(), support_.end(), input)) {
+    return false;
+  }
+  // Free (unknown) support variables other than `input`.
+  std::vector<uint32_t> free;
+  for (uint32_t v : support_) {
+    if (v == input) continue;
+    if (v < values.size() && values[v] == Logic::kUnknown) free.push_back(v);
+  }
+  if (free.size() > max_free_inputs) return true;  // conservative
+
+  std::vector<Logic> probe = values;
+  const uint64_t combos = uint64_t{1} << free.size();
+  for (uint64_t mask = 0; mask < combos; ++mask) {
+    for (size_t i = 0; i < free.size(); ++i) {
+      probe[free[i]] = (mask >> i) & 1 ? Logic::kOne : Logic::kZero;
+    }
+    probe[input] = Logic::kZero;
+    const Logic out0 = evaluate(probe);
+    probe[input] = Logic::kOne;
+    const Logic out1 = evaluate(probe);
+    if (out0 != out1) return true;
+  }
+  return false;
+}
+
+}  // namespace mm::netlist

@@ -1,0 +1,61 @@
+#pragma once
+// Boolean function expressions for library cells, in Liberty syntax:
+//   "A * B"  "(A + B') ^ C"  "!EN * CK"
+// Operators: ! or postfix ' (not), * or & (and), + or | (or), ^ (xor);
+// juxtaposition ("A B") also means AND, as Liberty allows.
+//
+// Evaluation is ternary (0 / 1 / unknown); sensitivity ("can input i still
+// toggle the output?") is exact, by enumerating the unknown side inputs
+// (capped — beyond the cap it conservatively answers "yes").
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/logic.h"
+
+namespace mm::netlist {
+
+class FuncExpr {
+ public:
+  /// Parse a Liberty function string. `pin_index` maps a pin name to its
+  /// index (return UINT32_MAX for unknown names -> mm::Error).
+  static FuncExpr parse(
+      std::string_view text,
+      const std::function<uint32_t(std::string_view)>& pin_index);
+
+  /// Ternary evaluation given per-pin values (indexed by pin index).
+  Logic evaluate(const std::vector<Logic>& values) const;
+
+  /// Exact sensitivity: with the other pins fixed at `values` (kUnknown =
+  /// free), can toggling `input` change the output? Enumerates free inputs
+  /// up to `max_free_inputs`; above that, conservatively returns true.
+  bool depends_on(uint32_t input, const std::vector<Logic>& values,
+                  uint32_t max_free_inputs = 12) const;
+
+  /// Pin indices referenced by the expression.
+  const std::vector<uint32_t>& support() const { return support_; }
+
+  bool empty() const { return nodes_.empty(); }
+
+ private:
+  struct Node {
+    enum class Op : uint8_t { kVar, kNot, kAnd, kOr, kXor, kConst0, kConst1 };
+    Op op = Op::kConst0;
+    uint32_t var = 0;  // kVar: pin index
+    int a = -1;        // child indices
+    int b = -1;
+  };
+
+  Logic eval_node(int index, const std::vector<Logic>& values) const;
+
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  std::vector<uint32_t> support_;
+
+  friend class FuncParser;
+};
+
+}  // namespace mm::netlist

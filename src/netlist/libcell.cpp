@@ -1,0 +1,282 @@
+#include "netlist/libcell.h"
+
+#include "netlist/function.h"
+
+#include <algorithm>
+
+namespace mm::netlist {
+
+uint32_t LibCell::pin_index(std::string_view name) const {
+  const uint32_t idx = find_pin(name);
+  MM_ASSERT_MSG(idx != UINT32_MAX, "library pin not found");
+  return idx;
+}
+
+uint32_t LibCell::find_pin(std::string_view name) const {
+  for (uint32_t i = 0; i < pins_.size(); ++i) {
+    if (pins_[i].name == name) return i;
+  }
+  return UINT32_MAX;
+}
+
+Logic LibCell::evaluate(const std::vector<Logic>& v) const {
+  MM_ASSERT(v.size() >= pins_.size());
+  auto in = [&](uint32_t i) { return v[i]; };
+
+  switch (func_) {
+    case CellFunc::kBuf:
+      return in(0);
+    case CellFunc::kInv:
+      return logic_not(in(0));
+    case CellFunc::kTieLo:
+      return Logic::kZero;
+    case CellFunc::kTieHi:
+      return Logic::kOne;
+
+    case CellFunc::kAnd:
+    case CellFunc::kNand: {
+      bool unknown = false;
+      for (uint32_t i = 0; i < pins_.size(); ++i) {
+        if (pins_[i].dir != PinDir::kInput) continue;
+        if (in(i) == Logic::kZero)
+          return func_ == CellFunc::kAnd ? Logic::kZero : Logic::kOne;
+        if (in(i) == Logic::kUnknown) unknown = true;
+      }
+      if (unknown) return Logic::kUnknown;
+      return func_ == CellFunc::kAnd ? Logic::kOne : Logic::kZero;
+    }
+
+    case CellFunc::kOr:
+    case CellFunc::kNor: {
+      bool unknown = false;
+      for (uint32_t i = 0; i < pins_.size(); ++i) {
+        if (pins_[i].dir != PinDir::kInput) continue;
+        if (in(i) == Logic::kOne)
+          return func_ == CellFunc::kOr ? Logic::kOne : Logic::kZero;
+        if (in(i) == Logic::kUnknown) unknown = true;
+      }
+      if (unknown) return Logic::kUnknown;
+      return func_ == CellFunc::kOr ? Logic::kZero : Logic::kOne;
+    }
+
+    case CellFunc::kXor:
+    case CellFunc::kXnor: {
+      bool acc = (func_ == CellFunc::kXnor);
+      for (uint32_t i = 0; i < pins_.size(); ++i) {
+        if (pins_[i].dir != PinDir::kInput) continue;
+        if (in(i) == Logic::kUnknown) return Logic::kUnknown;
+        acc ^= (in(i) == Logic::kOne);
+      }
+      return acc ? Logic::kOne : Logic::kZero;
+    }
+
+    case CellFunc::kMux2: {
+      // Pin order contract: A=0, B=1, S=2 (see Library::builtin).
+      const Logic s = in(2);
+      if (s == Logic::kZero) return in(0);
+      if (s == Logic::kOne) return in(1);
+      // Unknown select: output known only if both data inputs agree.
+      if (in(0) != Logic::kUnknown && in(0) == in(1)) return in(0);
+      return Logic::kUnknown;
+    }
+
+    case CellFunc::kIcgGclk: {
+      // GCLK = CK & EN-latch; for constant propagation EN=0 kills the clock.
+      // Pin order contract: CK=0, EN=1.
+      if (in(1) == Logic::kZero) return Logic::kZero;
+      return Logic::kUnknown;  // clock value itself is never a constant
+    }
+
+    case CellFunc::kDffQ:
+    case CellFunc::kSdffQ:
+      // Register outputs are sequential boundaries; constants do not
+      // propagate through them via evaluate(). (set_case_analysis placed
+      // directly on Q is handled by the constant propagator.)
+      return Logic::kUnknown;
+
+    case CellFunc::kCustom:
+      if (sequential_ || !function_) return Logic::kUnknown;
+      return function_->evaluate(v);
+  }
+  return Logic::kUnknown;
+}
+
+bool LibCell::input_affects_output(uint32_t input_pin,
+                                   const std::vector<Logic>& v) const {
+  MM_ASSERT(v.size() >= pins_.size());
+  switch (func_) {
+    case CellFunc::kBuf:
+    case CellFunc::kInv:
+      return true;
+
+    case CellFunc::kTieLo:
+    case CellFunc::kTieHi:
+      return false;
+
+    case CellFunc::kAnd:
+    case CellFunc::kNand:
+      // Blocked by a controlling 0 on any other input.
+      for (uint32_t i = 0; i < pins_.size(); ++i) {
+        if (i == input_pin || pins_[i].dir != PinDir::kInput) continue;
+        if (v[i] == Logic::kZero) return false;
+      }
+      return true;
+
+    case CellFunc::kOr:
+    case CellFunc::kNor:
+      for (uint32_t i = 0; i < pins_.size(); ++i) {
+        if (i == input_pin || pins_[i].dir != PinDir::kInput) continue;
+        if (v[i] == Logic::kOne) return false;
+      }
+      return true;
+
+    case CellFunc::kXor:
+    case CellFunc::kXnor:
+      return true;  // no controlling value
+
+    case CellFunc::kMux2: {
+      // Pin order contract: A=0, B=1, S=2.
+      const Logic s = v[2];
+      if (input_pin == 0) return s != Logic::kOne;   // A dead when S==1
+      if (input_pin == 1) return s != Logic::kZero;  // B dead when S==0
+      // Select: dead only if both data inputs are the same constant.
+      return !(v[0] != Logic::kUnknown && v[0] == v[1]);
+    }
+
+    case CellFunc::kIcgGclk:
+      // Pin order contract: CK=0, EN=1. EN==0 gates the clock off.
+      if (input_pin == 0) return v[1] != Logic::kZero;
+      return true;
+
+    case CellFunc::kDffQ:
+    case CellFunc::kSdffQ:
+      return true;  // launch arcs handled separately
+
+    case CellFunc::kCustom:
+      if (sequential_ || !function_) return true;  // conservative
+      return function_->depends_on(input_pin, v);
+  }
+  return true;
+}
+
+LibCellId Library::add_cell(LibCell cell) {
+  cells_.push_back(std::move(cell));
+  return LibCellId(cells_.size() - 1);
+}
+
+LibCellId Library::find_cell(std::string_view name) const {
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].name() == name) return LibCellId(i);
+  }
+  return LibCellId();
+}
+
+namespace {
+
+LibCell make_comb(const char* name, CellFunc func,
+                  std::initializer_list<const char*> inputs,
+                  double intrinsic, double resistance,
+                  TimingSense sense) {
+  LibCell c(name, func);
+  std::vector<uint32_t> in_idx;
+  for (const char* in : inputs) {
+    in_idx.push_back(c.add_pin({in, PinDir::kInput, false, 1.0}));
+  }
+  const uint32_t z = c.add_pin({"Z", PinDir::kOutput, false, 0.0});
+  for (uint32_t i : in_idx) {
+    c.add_arc({i, z, ArcKind::kCombinational, sense, intrinsic, resistance});
+  }
+  return c;
+}
+
+}  // namespace
+
+Library Library::builtin() {
+  Library lib;
+
+  lib.add_cell(make_comb(cells::kBuf, CellFunc::kBuf, {"A"}, 0.30, 0.04,
+                         TimingSense::kPositive));
+  lib.add_cell(make_comb(cells::kInv, CellFunc::kInv, {"A"}, 0.20, 0.03,
+                         TimingSense::kNegative));
+  lib.add_cell(make_comb(cells::kAnd2, CellFunc::kAnd, {"A", "B"}, 0.40, 0.05,
+                         TimingSense::kPositive));
+  lib.add_cell(make_comb(cells::kAnd3, CellFunc::kAnd, {"A", "B", "C"}, 0.50,
+                         0.05, TimingSense::kPositive));
+  lib.add_cell(make_comb(cells::kAnd4, CellFunc::kAnd, {"A", "B", "C", "D"},
+                         0.60, 0.05, TimingSense::kPositive));
+  lib.add_cell(make_comb(cells::kNand2, CellFunc::kNand, {"A", "B"}, 0.30,
+                         0.04, TimingSense::kNegative));
+  lib.add_cell(make_comb(cells::kOr2, CellFunc::kOr, {"A", "B"}, 0.40, 0.05,
+                         TimingSense::kPositive));
+  lib.add_cell(make_comb(cells::kOr3, CellFunc::kOr, {"A", "B", "C"}, 0.50,
+                         0.05, TimingSense::kPositive));
+  lib.add_cell(make_comb(cells::kOr4, CellFunc::kOr, {"A", "B", "C", "D"},
+                         0.60, 0.05, TimingSense::kPositive));
+  lib.add_cell(make_comb(cells::kNor2, CellFunc::kNor, {"A", "B"}, 0.30, 0.04,
+                         TimingSense::kNegative));
+  lib.add_cell(make_comb(cells::kXor2, CellFunc::kXor, {"A", "B"}, 0.55, 0.06,
+                         TimingSense::kNonUnate));
+  lib.add_cell(make_comb(cells::kXnor2, CellFunc::kXnor, {"A", "B"}, 0.55,
+                         0.06, TimingSense::kNonUnate));
+
+  {
+    LibCell mux(cells::kMux2, CellFunc::kMux2);
+    const uint32_t a = mux.add_pin({"A", PinDir::kInput, false, 1.0});
+    const uint32_t b = mux.add_pin({"B", PinDir::kInput, false, 1.0});
+    const uint32_t s = mux.add_pin({"S", PinDir::kInput, false, 1.5});
+    const uint32_t z = mux.add_pin({"Z", PinDir::kOutput, false, 0.0});
+    mux.add_arc({a, z, ArcKind::kCombinational, TimingSense::kPositive, 0.45, 0.05});
+    mux.add_arc({b, z, ArcKind::kCombinational, TimingSense::kPositive, 0.45, 0.05});
+    mux.add_arc({s, z, ArcKind::kCombinational, TimingSense::kNonUnate, 0.50, 0.05});
+    lib.add_cell(std::move(mux));
+  }
+
+  {
+    LibCell tielo(cells::kTieLo, CellFunc::kTieLo);
+    tielo.add_pin({"Z", PinDir::kOutput, false, 0.0});
+    lib.add_cell(std::move(tielo));
+    LibCell tiehi(cells::kTieHi, CellFunc::kTieHi);
+    tiehi.add_pin({"Z", PinDir::kOutput, false, 0.0});
+    lib.add_cell(std::move(tiehi));
+  }
+
+  {
+    LibCell dff(cells::kDff, CellFunc::kDffQ);
+    const uint32_t d = dff.add_pin({"D", PinDir::kInput, false, 1.2});
+    const uint32_t cp = dff.add_pin({"CP", PinDir::kInput, true, 1.0});
+    const uint32_t q = dff.add_pin({"Q", PinDir::kOutput, false, 0.0});
+    dff.add_arc({cp, q, ArcKind::kLaunch, TimingSense::kNonUnate, 0.60, 0.05});
+    dff.add_arc({d, cp, ArcKind::kSetupHold, TimingSense::kNonUnate, 0.15, 0.0});
+    lib.add_cell(std::move(dff));
+  }
+
+  {
+    // Scan flop: internal mux SE ? SI : D feeding the register.
+    LibCell sdff(cells::kSdff, CellFunc::kSdffQ);
+    const uint32_t d = sdff.add_pin({"D", PinDir::kInput, false, 1.2});
+    const uint32_t si = sdff.add_pin({"SI", PinDir::kInput, false, 1.1});
+    const uint32_t se = sdff.add_pin({"SE", PinDir::kInput, false, 1.1});
+    const uint32_t cp = sdff.add_pin({"CP", PinDir::kInput, true, 1.0});
+    const uint32_t q = sdff.add_pin({"Q", PinDir::kOutput, false, 0.0});
+    sdff.add_arc({cp, q, ArcKind::kLaunch, TimingSense::kNonUnate, 0.65, 0.05});
+    sdff.add_arc({d, cp, ArcKind::kSetupHold, TimingSense::kNonUnate, 0.18, 0.0});
+    sdff.add_arc({si, cp, ArcKind::kSetupHold, TimingSense::kNonUnate, 0.18, 0.0});
+    sdff.add_arc({se, cp, ArcKind::kSetupHold, TimingSense::kNonUnate, 0.20, 0.0});
+    lib.add_cell(std::move(sdff));
+  }
+
+  {
+    // Integrated clock gate: CK in, EN enable, GCLK out.
+    LibCell icg(cells::kIcg, CellFunc::kIcgGclk);
+    const uint32_t ck = icg.add_pin({"CK", PinDir::kInput, true, 1.0});
+    const uint32_t en = icg.add_pin({"EN", PinDir::kInput, false, 1.1});
+    const uint32_t gclk = icg.add_pin({"GCLK", PinDir::kOutput, false, 0.0});
+    icg.add_arc({ck, gclk, ArcKind::kCombinational, TimingSense::kPositive, 0.35, 0.04});
+    icg.add_arc({en, ck, ArcKind::kSetupHold, TimingSense::kNonUnate, 0.12, 0.0});
+    lib.add_cell(std::move(icg));
+  }
+
+  return lib;
+}
+
+}  // namespace mm::netlist

@@ -1,0 +1,179 @@
+#pragma once
+// Cell library model: a liberty-like description of combinational and
+// sequential cells — pin directions, logic functions (for case-analysis
+// constant propagation), timing arcs with a linear delay model
+// (intrinsic + drive_resistance * load).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netlist/logic.h"
+#include "util/error.h"
+#include "util/id.h"
+
+namespace mm::netlist {
+
+class FuncExpr;
+
+using LibCellId = Id<struct LibCellTag>;
+
+enum class PinDir : uint8_t { kInput, kOutput };
+
+/// Built-in logic function of a cell's output. Drives constant propagation
+/// (case analysis) and clock-network transparency.
+enum class CellFunc : uint8_t {
+  kBuf,      // Z = A
+  kInv,      // Z = !A
+  kAnd,      // Z = A & B & ...
+  kNand,     // Z = !(A & B & ...)
+  kOr,       // Z = A | B | ...
+  kNor,      // Z = !(A | B | ...)
+  kXor,      // Z = A ^ B ^ ...
+  kXnor,     // Z = !(A ^ B ^ ...)
+  kMux2,     // Z = S ? B : A   (pin order: A, B, S)
+  kTieLo,    // Z = 0
+  kTieHi,    // Z = 1
+  kDffQ,     // sequential: Q from D at CP edge
+  kSdffQ,    // scan flop: Q from (SE ? SI : D) at CP edge
+  kIcgGclk,  // integrated clock gate: GCLK = CK gated by EN
+  kCustom,   // arbitrary boolean function (Liberty cells; see function.h)
+};
+
+enum class TimingSense : uint8_t { kPositive, kNegative, kNonUnate };
+
+/// Kind of a library timing arc.
+enum class ArcKind : uint8_t {
+  kCombinational,  // input -> output through logic
+  kLaunch,         // CP -> Q (clock-to-output of a register)
+  kSetupHold,      // D (or SI/SE) constrained against CP: a timing check
+};
+
+struct LibPin {
+  std::string name;
+  PinDir dir = PinDir::kInput;
+  bool is_clock = false;  // clock input of a sequential cell / ICG
+  double cap = 1.0;       // input capacitance (load units)
+};
+
+struct LibArc {
+  uint32_t from_pin = 0;  // index into LibCell::pins
+  uint32_t to_pin = 0;
+  ArcKind kind = ArcKind::kCombinational;
+  TimingSense sense = TimingSense::kPositive;
+  double intrinsic = 0.0;   // intrinsic delay
+  double resistance = 0.0;  // delay slope vs load (sum of sink caps)
+};
+
+/// Immutable description of one cell type.
+class LibCell {
+ public:
+  LibCell(std::string name, CellFunc func) : name_(std::move(name)), func_(func) {}
+
+  const std::string& name() const { return name_; }
+  CellFunc func() const { return func_; }
+
+  uint32_t add_pin(LibPin pin) {
+    pins_.push_back(std::move(pin));
+    return static_cast<uint32_t>(pins_.size() - 1);
+  }
+  void add_arc(LibArc arc) {
+    MM_ASSERT(arc.from_pin < pins_.size() && arc.to_pin < pins_.size());
+    arcs_.push_back(arc);
+  }
+
+  const std::vector<LibPin>& pins() const { return pins_; }
+  LibPin& pin_mutable(uint32_t index) {
+    MM_ASSERT(index < pins_.size());
+    return pins_[index];
+  }
+  const std::vector<LibArc>& arcs() const { return arcs_; }
+
+  /// Index of the pin named `name`; asserts if absent.
+  uint32_t pin_index(std::string_view name) const;
+  /// Index of the pin named `name`; UINT32_MAX if absent.
+  uint32_t find_pin(std::string_view name) const;
+
+  bool is_sequential() const {
+    return sequential_ || func_ == CellFunc::kDffQ ||
+           func_ == CellFunc::kSdffQ;
+  }
+  bool is_clock_gate() const { return func_ == CellFunc::kIcgGclk; }
+
+  /// Mark a kCustom cell as sequential (Liberty ff/latch group) and install
+  /// its output function / clock-to-output arc semantics.
+  void set_sequential(bool value) { sequential_ = value; }
+  /// Attach the output-pin boolean function of a kCustom combinational
+  /// cell. Evaluation and arc-sensitivity use it; the output pin is the
+  /// cell's (single) output.
+  void set_function(std::shared_ptr<const FuncExpr> function) {
+    function_ = std::move(function);
+  }
+  const FuncExpr* function() const { return function_.get(); }
+
+  /// Evaluate the combinational function given input pin values (indexed by
+  /// pin index; output slots ignored). kUnknown in, kUnknown out, except
+  /// where controlling values decide (0 on an AND input forces 0, etc.).
+  Logic evaluate(const std::vector<Logic>& input_values) const;
+
+  /// Can a transition on `input_pin` still affect the output, given the
+  /// constants on the other pins? (Exact per-function analysis — ternary
+  /// re-evaluation cannot prove a mux data arc dead when the other data
+  /// input is an unknown signal.) Used to kill blocked timing arcs.
+  bool input_affects_output(uint32_t input_pin,
+                            const std::vector<Logic>& values) const;
+
+ private:
+  std::string name_;
+  CellFunc func_;
+  std::vector<LibPin> pins_;
+  std::vector<LibArc> arcs_;
+  bool sequential_ = false;
+  std::shared_ptr<const FuncExpr> function_;  // kCustom combinational only
+};
+
+/// A set of LibCells addressed by id or name.
+class Library {
+ public:
+  LibCellId add_cell(LibCell cell);
+
+  const LibCell& cell(LibCellId id) const {
+    MM_ASSERT(id.index() < cells_.size());
+    return cells_[id.index()];
+  }
+  LibCellId find_cell(std::string_view name) const;
+  size_t num_cells() const { return cells_.size(); }
+
+  /// The built-in standard library used by generators, examples and tests:
+  /// BUF, INV, AND2..4, NAND2, OR2..4, NOR2, XOR2, XNOR2, MUX2, TIELO,
+  /// TIEHI, DFF, SDFF (scan flop), ICG (clock gate).
+  static Library builtin();
+
+ private:
+  std::vector<LibCell> cells_;
+};
+
+/// Canonical cell names in Library::builtin().
+namespace cells {
+inline constexpr const char* kBuf = "BUF";
+inline constexpr const char* kInv = "INV";
+inline constexpr const char* kAnd2 = "AND2";
+inline constexpr const char* kAnd3 = "AND3";
+inline constexpr const char* kAnd4 = "AND4";
+inline constexpr const char* kNand2 = "NAND2";
+inline constexpr const char* kOr2 = "OR2";
+inline constexpr const char* kOr3 = "OR3";
+inline constexpr const char* kOr4 = "OR4";
+inline constexpr const char* kNor2 = "NOR2";
+inline constexpr const char* kXor2 = "XOR2";
+inline constexpr const char* kXnor2 = "XNOR2";
+inline constexpr const char* kMux2 = "MUX2";
+inline constexpr const char* kTieLo = "TIELO";
+inline constexpr const char* kTieHi = "TIEHI";
+inline constexpr const char* kDff = "DFF";
+inline constexpr const char* kSdff = "SDFF";
+inline constexpr const char* kIcg = "ICG";
+}  // namespace cells
+
+}  // namespace mm::netlist

@@ -1,0 +1,46 @@
+#pragma once
+// Liberty (.lib) library reader — the subset timing tools need:
+//
+//   library (name) {
+//     cell (AND2) {
+//       pin (A) { direction : input; capacitance : 1.2; }
+//       pin (Z) {
+//         direction : output;
+//         function : "A * B";
+//         timing () {
+//           related_pin : "A";
+//           timing_sense : positive_unate;
+//           cell_rise (tmpl) { values ("0.12, 0.18", "0.20, 0.31"); }
+//         }
+//       }
+//     }
+//     cell (DFF) {
+//       ff (IQ, IQN) { clocked_on : "CP"; next_state : "D"; }
+//       pin (CP) { direction : input; clock : true; }
+//       pin (D)  { direction : input;
+//         timing () { related_pin : "CP"; timing_type : setup_rising; ... } }
+//       pin (Q)  { direction : output; function : "IQ";
+//         timing () { related_pin : "CP"; timing_type : rising_edge; ... } }
+//     }
+//   }
+//
+// Interpretation notes (documented simplifications):
+//  - Delay tables collapse to a scalar: the mean of the table values becomes
+//    the arc's intrinsic delay; the load slope uses a fixed default.
+//  - ff/latch groups mark the cell sequential; next_state / clocked_on give
+//    the D/CP roles; output pins whose function references the ff state
+//    variable become launch-arc targets.
+//  - Unsupported attributes/groups are skipped structurally (balanced
+//    braces), so real .lib files parse without modification.
+
+#include <string_view>
+
+#include "netlist/libcell.h"
+
+namespace mm::netlist {
+
+/// Parse a Liberty library. Throws mm::Error with line info on malformed
+/// syntax; unknown constructs are skipped.
+Library read_liberty(std::string_view text);
+
+}  // namespace mm::netlist

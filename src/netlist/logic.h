@@ -1,0 +1,15 @@
+#pragma once
+// Ternary logic value used by case analysis and function evaluation.
+
+#include <cstdint>
+
+namespace mm::netlist {
+
+enum class Logic : uint8_t { kZero = 0, kOne = 1, kUnknown = 2 };
+
+inline Logic logic_not(Logic v) {
+  if (v == Logic::kUnknown) return Logic::kUnknown;
+  return v == Logic::kZero ? Logic::kOne : Logic::kZero;
+}
+
+}  // namespace mm::netlist

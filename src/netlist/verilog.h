@@ -1,0 +1,30 @@
+#pragma once
+// Structural (gate-level) Verilog reader and writer — the netlist exchange
+// format synthesis hands to timing tools.
+//
+// Supported subset (what flat synthesized netlists use):
+//   - one module per file, non-ANSI or ANSI port declarations,
+//   - input / output / wire declarations with comma lists,
+//   - cell instances with named connections: CELL inst (.A(n1), .Z(n2));
+//   - ordered connections: CELL inst (n1, n2);  (positional = cell pin order)
+//   - // line and /* block */ comments,
+//   - escaped identifiers (\foo[3] ) for bit-blasted names.
+// Not supported (throws mm::Error): buses/vectors (declare bit-blasted
+// escaped names instead), hierarchy (flatten first), behavioural constructs,
+// assign statements.
+
+#include <string>
+#include <string_view>
+
+#include "netlist/design.h"
+
+namespace mm::netlist {
+
+/// Parse structural Verilog into a Design over `lib`. Cell types must exist
+/// in the library. Throws mm::Error with line info on anything malformed.
+Design read_verilog(std::string_view text, const Library& lib);
+
+/// Emit a Design as structural Verilog (round-trips through read_verilog).
+std::string write_verilog(const Design& design);
+
+}  // namespace mm::netlist

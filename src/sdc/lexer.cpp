@@ -1,0 +1,188 @@
+#include "sdc/lexer.h"
+
+#include "util/error.h"
+
+namespace mm::sdc {
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  std::vector<Command> run() {
+    std::vector<Command> commands;
+    Command current;
+    current.line = line_;
+    while (!eof()) {
+      skip_blanks();
+      if (eof()) break;
+      const char c = peek();
+      if (c == '#') {
+        skip_comment();
+      } else if (c == '\n' || c == ';') {
+        advance();
+        if (c == '\n') ++line_;
+        flush(commands, current);
+      } else {
+        if (current.words.empty()) current.line = line_;
+        current.words.push_back(read_word());
+      }
+    }
+    flush(commands, current);
+    return commands;
+  }
+
+ private:
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+  char advance() { return text_[pos_++]; }
+
+  void skip_blanks() {
+    while (!eof()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\r') {
+        advance();
+      } else if (c == '\\' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '\n') {
+        pos_ += 2;  // line continuation
+        ++line_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  void skip_comment() {
+    while (!eof() && peek() != '\n') advance();
+  }
+
+  void flush(std::vector<Command>& commands, Command& current) {
+    if (!current.words.empty()) {
+      commands.push_back(std::move(current));
+      current = Command{};
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw Error("sdc:" + std::to_string(line_) + ": " + msg);
+  }
+
+  Word read_word() {
+    const char c = peek();
+    if (c == '{') return read_brace();
+    if (c == '[') return read_bracket();
+    if (c == '"') return read_quoted();
+    return read_plain();
+  }
+
+  Word read_plain() {
+    Word w;
+    w.kind = Word::Kind::kPlain;
+    w.line = line_;
+    while (!eof()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == ';' ||
+          c == ']' || c == '}') {
+        break;
+      }
+      if (c == '[') {
+        // In Tcl a bracket can be embedded in a word; the SDC subset we
+        // handle treats that as a standalone bracket word, so stop here.
+        break;
+      }
+      if (c == '\\' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '\n') break;
+      w.text.push_back(advance());
+    }
+    if (w.text.empty()) {
+      // A stray ']' or '}' outside any group; consuming nothing would loop.
+      fail(std::string("unexpected '") + peek() + "'");
+    }
+    return w;
+  }
+
+  Word read_quoted() {
+    Word w;
+    w.kind = Word::Kind::kPlain;
+    w.line = line_;
+    advance();  // opening quote
+    while (true) {
+      if (eof()) fail("unterminated quoted string");
+      const char c = advance();
+      if (c == '"') break;
+      if (c == '\n') ++line_;
+      if (c == '\\' && !eof()) {
+        w.text.push_back(advance());
+        continue;
+      }
+      w.text.push_back(c);
+    }
+    return w;
+  }
+
+  Word read_brace() {
+    Word w;
+    w.kind = Word::Kind::kBrace;
+    w.line = line_;
+    advance();  // '{'
+    while (true) {
+      skip_blanks_multiline();
+      if (eof()) fail("unterminated brace group");
+      if (peek() == '}') {
+        advance();
+        break;
+      }
+      w.children.push_back(read_word());
+    }
+    return w;
+  }
+
+  Word read_bracket() {
+    Word w;
+    w.kind = Word::Kind::kBracket;
+    w.line = line_;
+    advance();  // '['
+    while (true) {
+      skip_blanks_multiline();
+      if (eof()) fail("unterminated bracket command");
+      if (peek() == ']') {
+        advance();
+        break;
+      }
+      w.children.push_back(read_word());
+    }
+    return w;
+  }
+
+  // Inside braces/brackets newlines are just whitespace.
+  void skip_blanks_multiline() {
+    while (!eof()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\r') {
+        advance();
+      } else if (c == '\n') {
+        advance();
+        ++line_;
+      } else if (c == '\\' && pos_ + 1 < text_.size() &&
+                 text_[pos_ + 1] == '\n') {
+        pos_ += 2;
+        ++line_;
+      } else if (c == '#') {
+        skip_comment();
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+std::vector<Command> lex_sdc(std::string_view text) {
+  return Lexer(text).run();
+}
+
+}  // namespace mm::sdc

@@ -1,0 +1,37 @@
+#pragma once
+// Tcl-flavoured lexer for SDC text. Produces a list of commands; each
+// command is a list of words. A word is plain text, a braced literal list
+// ({0 5}), or a bracketed sub-command ([get_ports clk*]). Nesting is
+// preserved; evaluation happens in the parser.
+//
+// Supported surface syntax: '#' comments, ';' command separators,
+// backslash-newline continuation, double-quoted strings (no interpolation),
+// nested braces and brackets.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mm::sdc {
+
+struct Word {
+  enum class Kind : uint8_t { kPlain, kBrace, kBracket };
+
+  Kind kind = Kind::kPlain;
+  std::string text;            // kPlain: the characters of the word
+  std::vector<Word> children;  // kBrace: inner words; kBracket: sub-command
+  int line = 0;
+
+  bool is_plain() const { return kind == Kind::kPlain; }
+};
+
+struct Command {
+  std::vector<Word> words;
+  int line = 0;
+};
+
+/// Tokenize `text`; throws mm::Error (with line info) on unbalanced
+/// braces/brackets/quotes.
+std::vector<Command> lex_sdc(std::string_view text);
+
+}  // namespace mm::sdc

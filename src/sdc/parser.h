@@ -1,0 +1,26 @@
+#pragma once
+// SDC parser: text -> Sdc, resolved against a Design.
+//
+// Supported commands (the subset the DAC'15 merging algorithm touches):
+//   create_clock, create_generated_clock, set_clock_latency,
+//   set_clock_uncertainty, set_clock_transition, set_propagated_clock,
+//   set_input_delay, set_output_delay, set_case_analysis,
+//   set_disable_timing, set_false_path, set_multicycle_path, set_min_delay,
+//   set_max_delay, set_clock_groups, set_clock_sense, set_input_transition,
+//   set_drive, set_driving_cell, set_load
+// plus the object queries handled by sdc/query.h. Anything else raises
+// mm::Error with the offending line.
+
+#include <string_view>
+
+#include "sdc/sdc.h"
+
+namespace mm::sdc {
+
+/// Parse a full SDC file into a fresh Sdc.
+Sdc parse_sdc(std::string_view text, const netlist::Design& design);
+
+/// Parse and append into an existing Sdc (e.g. incremental constraints).
+void parse_sdc_into(std::string_view text, Sdc& sdc);
+
+}  // namespace mm::sdc

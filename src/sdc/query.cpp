@@ -1,0 +1,277 @@
+#include "sdc/query.h"
+
+#include <algorithm>
+
+#include "util/glob.h"
+
+namespace mm::sdc {
+
+using netlist::Design;
+using netlist::NetId;
+using netlist::PinDir;
+
+void ObjectSet::append(const ObjectSet& o) {
+  pins.insert(pins.end(), o.pins.begin(), o.pins.end());
+  clocks.insert(clocks.end(), o.clocks.begin(), o.clocks.end());
+  insts.insert(insts.end(), o.insts.begin(), o.insts.end());
+}
+
+ObjectSet QueryContext::get_ports(
+    const std::vector<std::string_view>& patterns) const {
+  ObjectSet out;
+  for (std::string_view pat : patterns) {
+    if (!is_glob(pat)) {
+      const netlist::PortId p = design_->find_port(pat);
+      if (!p.valid()) throw Error("get_ports: no port '" + std::string(pat) + "'");
+      out.pins.push_back(design_->port(p).pin);
+      continue;
+    }
+    bool matched = false;
+    for (size_t i = 0; i < design_->num_ports(); ++i) {
+      const netlist::PortId id(i);
+      if (glob_match(pat, design_->port_name(id))) {
+        out.pins.push_back(design_->port(id).pin);
+        matched = true;
+      }
+    }
+    if (!matched)
+      throw Error("get_ports: pattern '" + std::string(pat) + "' matches nothing");
+  }
+  return out;
+}
+
+ObjectSet QueryContext::get_pins(
+    const std::vector<std::string_view>& patterns) const {
+  ObjectSet out;
+  for (std::string_view pat : patterns) {
+    if (!is_glob(pat)) {
+      const PinId p = design_->find_pin(pat);
+      if (!p.valid() || design_->pin(p).is_port()) {
+        throw Error("get_pins: no pin '" + std::string(pat) + "'");
+      }
+      out.pins.push_back(p);
+      continue;
+    }
+    bool matched = false;
+    for (size_t i = 0; i < design_->num_pins(); ++i) {
+      const PinId id(i);
+      if (design_->pin(id).is_port()) continue;
+      if (glob_match(pat, design_->pin_name(id))) {
+        out.pins.push_back(id);
+        matched = true;
+      }
+    }
+    if (!matched)
+      throw Error("get_pins: pattern '" + std::string(pat) + "' matches nothing");
+  }
+  return out;
+}
+
+ObjectSet QueryContext::get_cells(
+    const std::vector<std::string_view>& patterns) const {
+  ObjectSet out;
+  for (std::string_view pat : patterns) {
+    if (!is_glob(pat)) {
+      const InstId id = design_->find_instance(pat);
+      if (!id.valid())
+        throw Error("get_cells: no cell '" + std::string(pat) + "'");
+      out.insts.push_back(id);
+      continue;
+    }
+    bool matched = false;
+    for (size_t i = 0; i < design_->num_instances(); ++i) {
+      const InstId id(i);
+      if (glob_match(pat, design_->inst_name(id))) {
+        out.insts.push_back(id);
+        matched = true;
+      }
+    }
+    if (!matched)
+      throw Error("get_cells: pattern '" + std::string(pat) + "' matches nothing");
+  }
+  return out;
+}
+
+ObjectSet QueryContext::get_clocks(
+    const std::vector<std::string_view>& patterns) const {
+  ObjectSet out;
+  for (std::string_view pat : patterns) {
+    if (!is_glob(pat)) {
+      const ClockId id = sdc_->find_clock(pat);
+      if (!id.valid())
+        throw Error("get_clocks: no clock '" + std::string(pat) + "'");
+      out.clocks.push_back(id);
+      continue;
+    }
+    bool matched = false;
+    for (size_t i = 0; i < sdc_->num_clocks(); ++i) {
+      if (glob_match(pat, sdc_->clock(ClockId(i)).name)) {
+        out.clocks.push_back(ClockId(i));
+        matched = true;
+      }
+    }
+    if (!matched)
+      throw Error("get_clocks: pattern '" + std::string(pat) + "' matches nothing");
+  }
+  return out;
+}
+
+ObjectSet QueryContext::all_inputs() const {
+  ObjectSet out;
+  for (size_t i = 0; i < design_->num_ports(); ++i) {
+    const netlist::PortId id(i);
+    if (design_->port(id).dir == PinDir::kInput)
+      out.pins.push_back(design_->port(id).pin);
+  }
+  return out;
+}
+
+ObjectSet QueryContext::all_outputs() const {
+  ObjectSet out;
+  for (size_t i = 0; i < design_->num_ports(); ++i) {
+    const netlist::PortId id(i);
+    if (design_->port(id).dir == PinDir::kOutput)
+      out.pins.push_back(design_->port(id).pin);
+  }
+  return out;
+}
+
+ObjectSet QueryContext::all_clocks() const {
+  ObjectSet out;
+  for (size_t i = 0; i < sdc_->num_clocks(); ++i) out.clocks.push_back(ClockId(i));
+  return out;
+}
+
+ObjectSet QueryContext::all_registers(bool clock_pins) const {
+  ObjectSet out;
+  for (size_t i = 0; i < design_->num_instances(); ++i) {
+    const InstId id(i);
+    const netlist::LibCell& cell = design_->cell_of(id);
+    if (!cell.is_sequential()) continue;
+    if (clock_pins) {
+      for (uint32_t p = 0; p < cell.pins().size(); ++p) {
+        if (cell.pins()[p].is_clock)
+          out.pins.push_back(design_->instance(id).pins[p]);
+      }
+    } else {
+      out.insts.push_back(id);
+    }
+  }
+  return out;
+}
+
+ObjectSet QueryContext::resolve_name(std::string_view name,
+                                     unsigned accept) const {
+  ObjectSet out;
+  if (accept & kAcceptPins) {
+    const PinId p = design_->find_pin(name);
+    if (p.valid()) {
+      out.pins.push_back(p);
+      return out;
+    }
+  }
+  if (accept & kAcceptClocks) {
+    const ClockId c = sdc_->find_clock(name);
+    if (c.valid()) {
+      out.clocks.push_back(c);
+      return out;
+    }
+  }
+  if (accept & kAcceptInsts) {
+    const InstId i = design_->find_instance(name);
+    if (i.valid()) {
+      out.insts.push_back(i);
+      return out;
+    }
+  }
+  throw Error("unknown object: '" + std::string(name) + "'");
+}
+
+ObjectSet QueryContext::evaluate(const Word& word, unsigned accept) const {
+  switch (word.kind) {
+    case Word::Kind::kPlain:
+      return resolve_name(word.text, accept);
+
+    case Word::Kind::kBrace: {
+      ObjectSet out;
+      for (const Word& child : word.children) {
+        out.append(evaluate(child, accept));
+      }
+      return out;
+    }
+
+    case Word::Kind::kBracket: {
+      if (word.children.empty())
+        throw Error("empty [] command in constraint");
+      const Word& head = word.children.front();
+      // Collect plain/braced argument patterns (option flags like -regexp
+      // are not supported; -clock_pins on all_registers is).
+      std::vector<std::string_view> patterns;
+      bool clock_pins = false;
+      std::vector<const Word*> nested;
+      for (size_t i = 1; i < word.children.size(); ++i) {
+        const Word& arg = word.children[i];
+        if (arg.is_plain()) {
+          if (arg.text == "-clock_pins") {
+            clock_pins = true;
+          } else if (!arg.text.empty() && arg.text[0] == '-') {
+            throw Error("unsupported query option: " + arg.text);
+          } else {
+            patterns.push_back(arg.text);
+          }
+        } else if (arg.kind == Word::Kind::kBrace) {
+          for (const Word& c : arg.children) {
+            if (c.is_plain()) patterns.push_back(c.text);
+            else nested.push_back(&c);
+          }
+        } else {
+          nested.push_back(&arg);
+        }
+      }
+
+      if (!head.is_plain()) throw Error("malformed [] command");
+      const std::string& cmd = head.text;
+      ObjectSet out;
+      if (cmd == "get_ports" || cmd == "get_port") {
+        out = get_ports(patterns);
+      } else if (cmd == "get_pins" || cmd == "get_pin") {
+        out = get_pins(patterns);
+      } else if (cmd == "get_cells" || cmd == "get_cell") {
+        out = get_cells(patterns);
+      } else if (cmd == "get_clocks" || cmd == "get_clock") {
+        out = get_clocks(patterns);
+      } else if (cmd == "all_inputs") {
+        out = all_inputs();
+      } else if (cmd == "all_outputs") {
+        out = all_outputs();
+      } else if (cmd == "all_clocks") {
+        out = all_clocks();
+      } else if (cmd == "all_registers") {
+        out = all_registers(clock_pins);
+      } else if (cmd == "list") {
+        for (std::string_view p : patterns)
+          out.append(resolve_name(p, accept));
+      } else {
+        // Lenient fallback matching the paper's shorthand "[and1/Z]":
+        // treat every word inside the brackets as an object name.
+        out.append(resolve_name(cmd, accept));
+        for (std::string_view p : patterns)
+          out.append(resolve_name(p, accept));
+      }
+      // Evaluate nested sub-expressions (e.g. [list [get_ports a] b]).
+      for (const Word* n : nested) out.append(evaluate(*n, accept));
+
+      // Enforce acceptance.
+      if (!(accept & kAcceptPins) && !out.pins.empty())
+        throw Error("pins not allowed in this context");
+      if (!(accept & kAcceptClocks) && !out.clocks.empty())
+        throw Error("clocks not allowed in this context");
+      if (!(accept & kAcceptInsts) && !out.insts.empty())
+        throw Error("cells not allowed in this context");
+      return out;
+    }
+  }
+  throw Error("unreachable word kind");
+}
+
+}  // namespace mm::sdc

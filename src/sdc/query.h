@@ -1,0 +1,63 @@
+#pragma once
+// SDC object queries: resolve get_ports / get_pins / get_cells / get_clocks
+// / all_inputs / all_outputs / all_clocks / all_registers and bare object
+// names against a Design (+ the Sdc under construction, for clocks).
+// Patterns support '*' and '?' globbing.
+
+#include <string_view>
+#include <vector>
+
+#include "sdc/lexer.h"
+#include "sdc/sdc.h"
+
+namespace mm::sdc {
+
+/// Result of evaluating an object expression.
+struct ObjectSet {
+  std::vector<PinId> pins;  // instance pins and port pins
+  std::vector<ClockId> clocks;
+  std::vector<InstId> insts;
+
+  bool empty() const { return pins.empty() && clocks.empty() && insts.empty(); }
+  void append(const ObjectSet& o);
+};
+
+/// Bitmask of object kinds a context accepts.
+enum ObjectKinds : unsigned {
+  kAcceptPins = 1u << 0,
+  kAcceptClocks = 1u << 1,
+  kAcceptInsts = 1u << 2,
+  kAcceptAny = kAcceptPins | kAcceptClocks | kAcceptInsts,
+};
+
+class QueryContext {
+ public:
+  QueryContext(const netlist::Design* design, const Sdc* sdc)
+      : design_(design), sdc_(sdc) {
+    MM_ASSERT(design && sdc);
+  }
+
+  /// Evaluate one word (plain name, brace list, or bracket command) into an
+  /// ObjectSet. `accept` narrows bare-name resolution; unknown names or
+  /// disallowed kinds throw mm::Error.
+  ObjectSet evaluate(const Word& word, unsigned accept) const;
+
+  // Individual query commands (patterns may be globs).
+  ObjectSet get_ports(const std::vector<std::string_view>& patterns) const;
+  ObjectSet get_pins(const std::vector<std::string_view>& patterns) const;
+  ObjectSet get_cells(const std::vector<std::string_view>& patterns) const;
+  ObjectSet get_clocks(const std::vector<std::string_view>& patterns) const;
+  ObjectSet all_inputs() const;
+  ObjectSet all_outputs() const;
+  ObjectSet all_clocks() const;
+  /// Registers' pins: with clock_pins=true only CP pins, else all pins.
+  ObjectSet all_registers(bool clock_pins) const;
+
+ private:
+  ObjectSet resolve_name(std::string_view name, unsigned accept) const;
+
+  const netlist::Design* design_;
+  const Sdc* sdc_;
+};
+
+}  // namespace mm::sdc

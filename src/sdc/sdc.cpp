@@ -1,0 +1,83 @@
+#include "sdc/sdc.h"
+
+#include <cmath>
+
+namespace mm::sdc {
+
+bool Clock::same_waveform(const Clock& o, double tol) const {
+  if (std::fabs(period - o.period) > tol) return false;
+  if (waveform.size() != o.waveform.size()) return false;
+  for (size_t i = 0; i < waveform.size(); ++i) {
+    if (std::fabs(waveform[i] - o.waveform[i]) > tol) return false;
+  }
+  return true;
+}
+
+ClockId Sdc::add_clock(Clock clock) {
+  if (find_clock(clock.name).valid()) {
+    throw Error("duplicate clock name: " + clock.name);
+  }
+  if (clock.waveform.empty()) {
+    clock.waveform = {0.0, clock.period / 2.0};
+  }
+  clocks_.push_back(std::move(clock));
+  return ClockId(clocks_.size() - 1);
+}
+
+ClockId Sdc::find_clock(std::string_view name) const {
+  for (size_t i = 0; i < clocks_.size(); ++i) {
+    if (clocks_[i].name == name) return ClockId(i);
+  }
+  return ClockId();
+}
+
+Logic Sdc::case_value(PinId pin) const {
+  for (const CaseAnalysis& ca : case_analysis_) {
+    if (ca.pin == pin) return ca.value;
+  }
+  return Logic::kUnknown;
+}
+
+namespace {
+
+bool in_different_groups(const std::vector<ClockGroups>& all, ClockId a,
+                         ClockId b, bool async_kind) {
+  for (const ClockGroups& cg : all) {
+    const bool is_async = cg.kind == ClockGroupKind::kAsynchronous;
+    if (is_async != async_kind) continue;
+    int group_a = -1, group_b = -1;
+    for (size_t g = 0; g < cg.groups.size(); ++g) {
+      for (ClockId c : cg.groups[g]) {
+        if (c == a) group_a = static_cast<int>(g);
+        if (c == b) group_b = static_cast<int>(g);
+      }
+    }
+    if (group_a >= 0 && group_b >= 0 && group_a != group_b) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Sdc::clocks_async(ClockId a, ClockId b) const {
+  if (a == b) return false;
+  return in_different_groups(clock_groups_, a, b, /*async_kind=*/true);
+}
+
+bool Sdc::clocks_exclusive(ClockId a, ClockId b) const {
+  if (a == b) return false;
+  for (const ClockGroups& cg : clock_groups_) {
+    if (cg.kind == ClockGroupKind::kAsynchronous) continue;
+    int group_a = -1, group_b = -1;
+    for (size_t g = 0; g < cg.groups.size(); ++g) {
+      for (ClockId c : cg.groups[g]) {
+        if (c == a) group_a = static_cast<int>(g);
+        if (c == b) group_b = static_cast<int>(g);
+      }
+    }
+    if (group_a >= 0 && group_b >= 0 && group_a != group_b) return true;
+  }
+  return false;
+}
+
+}  // namespace mm::sdc

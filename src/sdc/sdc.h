@@ -1,0 +1,296 @@
+#pragma once
+// SDC constraint data model. One `Sdc` instance holds the parsed, resolved
+// constraints of one timing mode against a fixed Design. Object references
+// are resolved to netlist ids at parse time; clock references are ClockIds
+// into this Sdc's clock table.
+//
+// The command subset is exactly what the DAC'15 mode-merging algorithm
+// consumes (paper §3.1.1-3.1.10): clocks and generated clocks, clock
+// latency/uncertainty/transition/propagation, external delays, case
+// analysis, disable timing, drive/load, clock groups, clock sense, and the
+// four path exceptions (false path, multicycle, min/max delay).
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/design.h"
+#include "util/id.h"
+
+namespace mm::sdc {
+
+using ClockId = Id<struct ClockTag>;
+using netlist::InstId;
+using netlist::Logic;
+using netlist::PinId;
+
+/// Which of min/max analyses a value applies to. Default: both.
+struct MinMaxFlags {
+  bool min = true;
+  bool max = true;
+
+  static MinMaxFlags both() { return {true, true}; }
+  static MinMaxFlags min_only() { return {true, false}; }
+  static MinMaxFlags max_only() { return {false, true}; }
+
+  friend bool operator==(const MinMaxFlags&, const MinMaxFlags&) = default;
+};
+
+/// Setup/hold applicability. Default: both (SDC semantics for exceptions).
+struct SetupHoldFlags {
+  bool setup = true;
+  bool hold = true;
+
+  static SetupHoldFlags both() { return {true, true}; }
+  static SetupHoldFlags setup_only() { return {true, false}; }
+  static SetupHoldFlags hold_only() { return {false, true}; }
+
+  friend bool operator==(const SetupHoldFlags&, const SetupHoldFlags&) = default;
+};
+
+struct Clock {
+  std::string name;
+  double period = 0.0;
+  std::vector<double> waveform;  // rise edge, fall edge (canonical 2 edges)
+  std::vector<PinId> sources;    // empty => virtual clock
+  bool add = false;              // -add (coexists with other clocks on source)
+  bool propagated = false;       // set_propagated_clock applied
+
+  // Generated-clock fields (is_generated == true).
+  bool is_generated = false;
+  std::string master_clock;  // master clock name (by name: master may be in
+                             // the same Sdc; resolved lazily)
+  PinId master_source;       // -source pin
+  int divide_by = 1;
+  int multiply_by = 1;
+
+  bool is_virtual() const { return sources.empty(); }
+
+  /// Same waveform (period + edges) within tolerance.
+  bool same_waveform(const Clock& o, double tol = 1e-9) const;
+};
+
+struct ClockLatency {
+  ClockId clock;
+  double value = 0.0;
+  MinMaxFlags minmax;
+  bool source = false;  // -source (outside-network latency)
+};
+
+struct ClockUncertainty {
+  ClockId clock;
+  double value = 0.0;
+  SetupHoldFlags setup_hold;
+};
+
+struct ClockTransition {
+  ClockId clock;
+  double value = 0.0;
+  MinMaxFlags minmax;
+};
+
+/// set_input_delay / set_output_delay on a port pin.
+struct PortDelay {
+  bool is_input = true;
+  PinId port_pin;
+  ClockId clock;  // invalid => unclocked external delay
+  bool clock_fall = false;
+  bool add_delay = false;
+  double value = 0.0;
+  MinMaxFlags minmax;
+
+  friend bool operator==(const PortDelay&, const PortDelay&) = default;
+};
+
+struct CaseAnalysis {
+  PinId pin;
+  Logic value = Logic::kZero;
+};
+
+/// set_disable_timing: either a whole pin (all arcs touching it), a whole
+/// instance, or one from->to arc of an instance.
+struct DisableTiming {
+  PinId pin;      // valid => pin form
+  InstId inst;    // valid (and pin invalid) => instance form
+  uint32_t from_lib_pin = UINT32_MAX;  // optional arc restriction on inst
+  uint32_t to_lib_pin = UINT32_MAX;
+};
+
+enum class ClockGroupKind : uint8_t {
+  kPhysicallyExclusive,
+  kLogicallyExclusive,
+  kAsynchronous,
+};
+
+struct ClockGroups {
+  ClockGroupKind kind = ClockGroupKind::kPhysicallyExclusive;
+  std::string name;
+  std::vector<std::vector<ClockId>> groups;
+};
+
+/// set_clock_sense -stop_propagation [-clock c] pins
+struct ClockSenseStop {
+  ClockId clock;  // invalid => applies to all clocks
+  PinId pin;
+};
+
+enum class ExceptionKind : uint8_t {
+  kFalsePath,
+  kMulticyclePath,
+  kMinDelay,
+  kMaxDelay,
+};
+
+/// One -from/-through/-to anchor set: pins and/or clocks (clocks allowed on
+/// from/to). Instance anchors are expanded to that instance's pins by the
+/// parser, so only pins and clocks remain here.
+struct ExceptionPoint {
+  std::vector<PinId> pins;
+  std::vector<ClockId> clocks;
+
+  bool empty() const { return pins.empty() && clocks.empty(); }
+};
+
+struct Exception {
+  ExceptionKind kind = ExceptionKind::kFalsePath;
+  ExceptionPoint from;
+  std::vector<ExceptionPoint> throughs;  // in path order
+  ExceptionPoint to;
+  double value = 0.0;  // MCP multiplier / min-max delay value
+  SetupHoldFlags setup_hold;
+  std::string comment;  // provenance note (merge engine annotates these)
+};
+
+/// set_input_transition / set_drive on an input port.
+struct DriveConstraint {
+  PinId port_pin;
+  bool is_transition = true;  // true: set_input_transition, false: set_drive
+  double value = 0.0;
+  MinMaxFlags minmax;
+
+  friend bool operator==(const DriveConstraint&, const DriveConstraint&) = default;
+};
+
+/// set_load on an output port.
+struct LoadConstraint {
+  PinId port_pin;
+  double value = 0.0;
+
+  friend bool operator==(const LoadConstraint&, const LoadConstraint&) = default;
+};
+
+/// Design-rule constraints: set_max_transition / set_max_capacitance,
+/// design-wide (port invalid) or per port.
+struct DesignRule {
+  enum class Kind : uint8_t { kMaxTransition, kMaxCapacitance };
+  Kind kind = Kind::kMaxTransition;
+  PinId port_pin;  // invalid => applies design-wide (current_design)
+  double value = 0.0;
+
+  friend bool operator==(const DesignRule&, const DesignRule&) = default;
+};
+
+/// All constraints of one mode, resolved against one Design.
+class Sdc {
+ public:
+  explicit Sdc(const netlist::Design* design) : design_(design) {
+    MM_ASSERT(design != nullptr);
+  }
+
+  const netlist::Design& design() const { return *design_; }
+
+  // --- clocks ------------------------------------------------------------
+
+  /// Add a clock; throws mm::Error on duplicate name.
+  ClockId add_clock(Clock clock);
+  ClockId find_clock(std::string_view name) const;
+  const Clock& clock(ClockId id) const {
+    MM_ASSERT(id.index() < clocks_.size());
+    return clocks_[id.index()];
+  }
+  Clock& clock_mutable(ClockId id) {
+    MM_ASSERT(id.index() < clocks_.size());
+    return clocks_[id.index()];
+  }
+  const std::vector<Clock>& clocks() const { return clocks_; }
+  size_t num_clocks() const { return clocks_.size(); }
+
+  // --- constraint stores (mutable access for the merge engine) -----------
+
+  std::vector<ClockLatency>& clock_latencies() { return clock_latencies_; }
+  const std::vector<ClockLatency>& clock_latencies() const { return clock_latencies_; }
+
+  std::vector<ClockUncertainty>& clock_uncertainties() { return clock_uncertainties_; }
+  const std::vector<ClockUncertainty>& clock_uncertainties() const { return clock_uncertainties_; }
+
+  std::vector<ClockTransition>& clock_transitions() { return clock_transitions_; }
+  const std::vector<ClockTransition>& clock_transitions() const { return clock_transitions_; }
+
+  std::vector<PortDelay>& port_delays() { return port_delays_; }
+  const std::vector<PortDelay>& port_delays() const { return port_delays_; }
+
+  std::vector<CaseAnalysis>& case_analysis() { return case_analysis_; }
+  const std::vector<CaseAnalysis>& case_analysis() const { return case_analysis_; }
+
+  std::vector<DisableTiming>& disables() { return disables_; }
+  const std::vector<DisableTiming>& disables() const { return disables_; }
+
+  std::vector<ClockGroups>& clock_groups() { return clock_groups_; }
+  const std::vector<ClockGroups>& clock_groups() const { return clock_groups_; }
+
+  std::vector<ClockSenseStop>& clock_sense_stops() { return clock_sense_stops_; }
+  const std::vector<ClockSenseStop>& clock_sense_stops() const { return clock_sense_stops_; }
+
+  std::vector<Exception>& exceptions() { return exceptions_; }
+  const std::vector<Exception>& exceptions() const { return exceptions_; }
+
+  std::vector<DriveConstraint>& drives() { return drives_; }
+  const std::vector<DriveConstraint>& drives() const { return drives_; }
+
+  std::vector<LoadConstraint>& loads() { return loads_; }
+  const std::vector<LoadConstraint>& loads() const { return loads_; }
+
+  std::vector<DesignRule>& design_rules() { return design_rules_; }
+  const std::vector<DesignRule>& design_rules() const { return design_rules_; }
+
+  // --- convenience --------------------------------------------------------
+
+  /// Case-analysis value on a pin (kUnknown if unconstrained).
+  Logic case_value(PinId pin) const;
+
+  /// True if the two clocks are declared mutually exclusive (in different
+  /// groups of any physically/logically-exclusive set_clock_groups).
+  bool clocks_exclusive(ClockId a, ClockId b) const;
+
+  /// True if the two clocks are in different groups of an -asynchronous
+  /// set_clock_groups (paths between them are not timed).
+  bool clocks_async(ClockId a, ClockId b) const;
+
+ private:
+  const netlist::Design* design_;
+  std::vector<Clock> clocks_;
+  std::vector<ClockLatency> clock_latencies_;
+  std::vector<ClockUncertainty> clock_uncertainties_;
+  std::vector<ClockTransition> clock_transitions_;
+  std::vector<PortDelay> port_delays_;
+  std::vector<CaseAnalysis> case_analysis_;
+  std::vector<DisableTiming> disables_;
+  std::vector<ClockGroups> clock_groups_;
+  std::vector<ClockSenseStop> clock_sense_stops_;
+  std::vector<Exception> exceptions_;
+  std::vector<DriveConstraint> drives_;
+  std::vector<LoadConstraint> loads_;
+  std::vector<DesignRule> design_rules_;
+};
+
+/// A named timing mode: name + constraints.
+struct Mode {
+  std::string name;
+  Sdc sdc;
+
+  Mode(std::string n, const netlist::Design* design)
+      : name(std::move(n)), sdc(design) {}
+};
+
+}  // namespace mm::sdc

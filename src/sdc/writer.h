@@ -1,0 +1,14 @@
+#pragma once
+// SDC writer: serialize an Sdc back to SDC text. Round-tripping a merged
+// mode through write_sdc + parse_sdc is part of the validation story — the
+// merged constraints the tool emits are real SDC a downstream tool can read.
+
+#include <string>
+
+#include "sdc/sdc.h"
+
+namespace mm::sdc {
+
+std::string write_sdc(const Sdc& sdc);
+
+}  // namespace mm::sdc

@@ -1,0 +1,84 @@
+#include "timing/delay_calc.h"
+
+#include <cmath>
+
+namespace mm::timing {
+
+namespace {
+constexpr double kDefaultInputSlew = 0.08;
+constexpr double kNetSlewDegradation = 0.01;
+}  // namespace
+
+DelayCalcResult compute_delays(const TimingGraph& graph, const sdc::Sdc& sdc,
+                               int iterations, double early_derate) {
+  MM_ASSERT(iterations >= 1);
+  MM_ASSERT(early_derate > 0.0 && early_derate <= 1.0);
+  const netlist::Design& d = graph.design();
+  DelayCalcResult result;
+  result.arc_delay.assign(graph.num_arcs(), 0.0);
+  result.pin_slew.assign(graph.num_nodes(), kDefaultInputSlew);
+
+  // Boundary conditions: input transitions / drives on ports, extra port
+  // loads on outputs.
+  std::vector<double> extra_load(graph.num_nodes(), 0.0);
+  for (const sdc::DriveConstraint& dc : sdc.drives()) {
+    if (dc.is_transition) {
+      result.pin_slew[dc.port_pin.index()] = dc.value;
+    } else {
+      // Drive resistance degrades the port's effective slew.
+      result.pin_slew[dc.port_pin.index()] =
+          kDefaultInputSlew + dc.value * 0.05;
+    }
+  }
+  for (const sdc::LoadConstraint& lc : sdc.loads()) {
+    // set_load on an output port: the load hangs on the driving net, i.e.
+    // on the net's driver pin.
+    const netlist::Pin& pin = d.pin(lc.port_pin);
+    if (pin.net.valid()) {
+      const netlist::Net& net = d.net(pin.net);
+      if (net.driver.valid()) extra_load[net.driver.index()] += lc.value;
+    }
+  }
+
+  // Forward slew propagation with a mildly nonlinear gate model, repeated
+  // `iterations` times from the boundary conditions (models the cost of an
+  // effective-capacitance-style iterative delay calculator; the feed-
+  // forward fixed point is reached in the first pass, so the result is
+  // deterministic).
+  const std::vector<double> boundary = result.pin_slew;
+  for (int it = 0; it < iterations; ++it) {
+    std::vector<double> slew = boundary;
+    for (PinId pin : graph.topo_order()) {
+      const double in_slew = slew[pin.index()];
+      for (ArcId aid : graph.fanout(pin)) {
+        const Arc& arc = graph.arc(aid);
+        double delay, out_slew;
+        if (arc.kind == ArcKind::kNet) {
+          // Wire load model: fixed per-fanout delay, slight slew decay.
+          delay = arc.intrinsic * (1.0 + 0.05 * in_slew);
+          out_slew = in_slew + kNetSlewDegradation;
+        } else {
+          // Cell arc: the load is whatever the *output* pin drives.
+          const double load =
+              graph.load_on(arc.to) + extra_load[arc.to.index()];
+          delay = arc.intrinsic +
+                  arc.resistance * load * (1.0 + 0.25 * std::log1p(in_slew));
+          out_slew = 0.55 * in_slew + 0.03 + 0.015 * load +
+                     0.01 * std::sqrt(load + 1.0);
+        }
+        result.arc_delay[aid.index()] = delay;
+        // Worst-slew propagation (max over fanin).
+        double& sink = slew[arc.to.index()];
+        sink = std::max(sink, out_slew);
+      }
+    }
+    result.pin_slew = std::move(slew);
+  }
+  result.arc_delay_min.resize(result.arc_delay.size());
+  for (size_t i = 0; i < result.arc_delay.size(); ++i) {
+    result.arc_delay_min[i] = result.arc_delay[i] * early_derate;
+  }
+  return result;
+}
+
+}  // namespace mm::timing

@@ -1,0 +1,34 @@
+#pragma once
+// Per-run delay calculation: a wire-load-model slew/delay solver in the
+// spirit of the paper's evaluation ("the delay calculations in STA were
+// performed using wire load model approach").
+//
+// Every STA run recomputes arc delays from the mode's boundary conditions
+// (set_input_transition / set_drive / set_load): slews propagate forward in
+// topological order through a nonlinear gate model, iterated to a fixed
+// point like effective-capacitance refinement. This is the dominant,
+// constraint-independent cost of an STA run — exactly the cost that mode
+// merging amortizes (Table 6).
+
+#include <vector>
+
+#include "sdc/sdc.h"
+#include "timing/graph.h"
+
+namespace mm::timing {
+
+struct DelayCalcResult {
+  std::vector<double> arc_delay;      // late (max) delays, indexed by ArcId
+  std::vector<double> arc_delay_min;  // early (min) delays, for hold analysis
+  std::vector<double> pin_slew;       // indexed by PinId
+};
+
+/// Compute per-arc delays for one mode. `iterations` controls the slew
+/// refinement loop (>= 1); higher values model a more accurate (and more
+/// expensive) delay calculator. `early_derate` scales the late delays into
+/// the early (min) set — the on-chip-variation style early/late split hold
+/// analysis needs.
+DelayCalcResult compute_delays(const TimingGraph& graph, const sdc::Sdc& sdc,
+                               int iterations = 4, double early_derate = 0.85);
+
+}  // namespace mm::timing

@@ -1,0 +1,74 @@
+#pragma once
+// PathState: the paper's "constraint state" of a bundle of paths — valid,
+// false-path, multicycle, min/max delay, or disabled. Timing relationships
+// (§2 of the paper) are keyed by (startpoint, endpoint, launch, capture) and
+// carry a set of PathStates.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace mm::timing {
+
+enum class StateKind : uint8_t {
+  kValid = 0,
+  kMcp,        // multicycle path, value = multiplier
+  kMaxDelay,   // value = max delay bound
+  kMinDelay,   // value = min delay bound
+  kFalsePath,
+  kDisabled,   // structurally not timed (no path / disabled arcs)
+};
+
+struct PathState {
+  StateKind kind = StateKind::kValid;
+  float value = 0.0f;
+
+  friend bool operator==(const PathState&, const PathState&) = default;
+  friend bool operator<(const PathState& a, const PathState& b) {
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.value < b.value;
+  }
+
+  bool is_timed() const {
+    return kind != StateKind::kFalsePath && kind != StateKind::kDisabled;
+  }
+
+  static PathState valid() { return {StateKind::kValid, 0.0f}; }
+  static PathState false_path() { return {StateKind::kFalsePath, 0.0f}; }
+  static PathState mcp(double mult) {
+    return {StateKind::kMcp, static_cast<float>(mult)};
+  }
+  static PathState max_delay(double v) {
+    return {StateKind::kMaxDelay, static_cast<float>(v)};
+  }
+  static PathState min_delay(double v) {
+    return {StateKind::kMinDelay, static_cast<float>(v)};
+  }
+
+  std::string str() const;
+};
+
+/// Exception-application precedence, high to low (the paper: "false-path
+/// overrides the multicycle-path"; SDC: set_false_path > set_max_delay /
+/// set_min_delay > set_multicycle_path > default).
+inline int precedence_rank(StateKind kind) {
+  switch (kind) {
+    case StateKind::kFalsePath: return 4;
+    case StateKind::kMaxDelay:
+    case StateKind::kMinDelay: return 3;
+    case StateKind::kMcp: return 2;
+    case StateKind::kDisabled: return 5;  // structural, above everything
+    case StateKind::kValid: return 0;
+  }
+  return 0;
+}
+
+}  // namespace mm::timing
+
+template <>
+struct std::hash<mm::timing::PathState> {
+  size_t operator()(const mm::timing::PathState& s) const noexcept {
+    return (static_cast<size_t>(s.kind) << 32) ^
+           std::hash<float>{}(s.value);
+  }
+};

@@ -1,0 +1,30 @@
+#pragma once
+// Human-readable timing reports in the style sign-off engineers expect:
+//   report_timing   — the N worst setup (or hold) paths with per-point
+//                     arrival traceback, required time and slack;
+//   report_clocks   — clocks, waveforms, sources and reach statistics;
+//   report_relations — the paper's timing-relationship table (§2) for a
+//                     mode, endpoint by endpoint.
+
+#include <string>
+
+#include "timing/relationships.h"
+
+namespace mm::timing {
+
+struct ReportTimingOptions {
+  size_t max_paths = 3;   // number of worst endpoints reported
+  bool hold = false;      // report min-path (hold) instead of setup
+};
+
+std::string report_timing(const TimingGraph& graph, const Sdc& sdc,
+                          const ReportTimingOptions& options = {});
+
+std::string report_clocks(const TimingGraph& graph, const Sdc& sdc);
+
+/// The timing-relationship table (endpoint, launch, capture, states); caps
+/// output at `max_rows` rows.
+std::string report_relations(const TimingGraph& graph, const Sdc& sdc,
+                             size_t max_rows = 50);
+
+}  // namespace mm::timing

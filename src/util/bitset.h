@@ -1,0 +1,91 @@
+#pragma once
+// Dynamic bitset sized at runtime. Used for reachability cones and
+// per-exception match masks during relationship propagation.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.h"
+
+namespace mm {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(size_t bits, bool value = false)
+      : bits_(bits),
+        words_((bits + 63) / 64, value ? ~uint64_t{0} : uint64_t{0}) {
+    trim();
+  }
+
+  size_t size() const { return bits_; }
+
+  void resize(size_t bits, bool value = false) {
+    const size_t old_words = words_.size();
+    bits_ = bits;
+    words_.resize((bits + 63) / 64, value ? ~uint64_t{0} : uint64_t{0});
+    if (value && old_words > 0 && old_words <= words_.size()) {
+      // Newly exposed bits in the previously-last word stay 0; acceptable for
+      // our uses (we only grow with value=false).
+    }
+    trim();
+  }
+
+  bool test(size_t i) const {
+    MM_ASSERT(i < bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void set(size_t i, bool value = true) {
+    MM_ASSERT(i < bits_);
+    if (value)
+      words_[i >> 6] |= uint64_t{1} << (i & 63);
+    else
+      words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  void clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  bool any() const {
+    for (auto w : words_)
+      if (w) return true;
+    return false;
+  }
+
+  size_t count() const {
+    size_t n = 0;
+    for (auto w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  DynamicBitset& operator|=(const DynamicBitset& o) {
+    MM_ASSERT(bits_ == o.bits_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+    return *this;
+  }
+
+  DynamicBitset& operator&=(const DynamicBitset& o) {
+    MM_ASSERT(bits_ == o.bits_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+    return *this;
+  }
+
+  friend bool operator==(const DynamicBitset& a, const DynamicBitset& b) {
+    return a.bits_ == b.bits_ && a.words_ == b.words_;
+  }
+
+ private:
+  void trim() {
+    // Keep unused high bits zero so operator== and count() stay exact.
+    if (bits_ % 64 != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << (bits_ % 64)) - 1;
+    }
+  }
+
+  size_t bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace mm

@@ -1,0 +1,40 @@
+#pragma once
+// Error handling primitives for modemerge.
+//
+// Internal invariant violations use MM_ASSERT (aborts in all build types —
+// a timing tool that continues past a broken invariant produces silently
+// wrong sign-off data, which is worse than a crash). User-facing errors
+// (bad SDC, bad netlist) throw mm::Error with a formatted message.
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace mm {
+
+/// Exception for user-facing errors: malformed SDC, inconsistent netlist,
+/// unsatisfiable constraints. Carries a human-readable message.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string msg) : std::runtime_error(std::move(msg)) {}
+};
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "modemerge: internal error: %s (%s) at %s:%d\n",
+               msg ? msg : "assertion failed", expr, file, line);
+  std::abort();
+}
+
+}  // namespace mm
+
+#define MM_ASSERT(expr)                                          \
+  do {                                                           \
+    if (!(expr)) ::mm::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define MM_ASSERT_MSG(expr, msg)                                 \
+  do {                                                           \
+    if (!(expr)) ::mm::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

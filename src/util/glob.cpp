@@ -1,0 +1,35 @@
+#include "util/glob.h"
+
+namespace mm {
+
+bool is_glob(std::string_view pattern) {
+  return pattern.find_first_of("*?") != std::string_view::npos;
+}
+
+// Iterative two-pointer matcher with backtracking over the last '*'.
+// O(|pattern| * |text|) worst case, linear in practice.
+bool glob_match(std::string_view pattern, std::string_view text) {
+  size_t p = 0, t = 0;
+  size_t star = std::string_view::npos;  // position of last '*' in pattern
+  size_t match = 0;                      // text position matched by that '*'
+
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      match = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++match;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+}  // namespace mm

@@ -1,0 +1,15 @@
+#pragma once
+// Glob matching with SDC semantics: '*' matches any run of characters,
+// '?' matches exactly one. Used by object queries (get_pins, get_ports, ...).
+
+#include <string_view>
+
+namespace mm {
+
+/// True iff `text` matches `pattern` (supports '*' and '?').
+bool glob_match(std::string_view pattern, std::string_view text);
+
+/// True iff `pattern` contains a glob metacharacter ('*' or '?').
+bool is_glob(std::string_view pattern);
+
+}  // namespace mm

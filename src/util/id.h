@@ -1,0 +1,41 @@
+#pragma once
+// Strongly-typed 32-bit ids. All netlist/timing objects are referenced by
+// ids into contiguous vectors; the Tag parameter prevents mixing a PinId
+// with a NetId at compile time.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace mm {
+
+template <class Tag>
+class Id {
+ public:
+  static constexpr uint32_t kInvalid = std::numeric_limits<uint32_t>::max();
+
+  constexpr Id() = default;
+  constexpr explicit Id(uint32_t v) : v_(v) {}
+  constexpr explicit Id(size_t v) : v_(static_cast<uint32_t>(v)) {}
+
+  constexpr uint32_t value() const { return v_; }
+  constexpr size_t index() const { return v_; }
+  constexpr bool valid() const { return v_ != kInvalid; }
+  constexpr explicit operator bool() const { return valid(); }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.v_ == b.v_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.v_ != b.v_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.v_ < b.v_; }
+
+ private:
+  uint32_t v_ = kInvalid;
+};
+
+}  // namespace mm
+
+template <class Tag>
+struct std::hash<mm::Id<Tag>> {
+  size_t operator()(mm::Id<Tag> id) const noexcept {
+    return std::hash<uint32_t>{}(id.value());
+  }
+};

@@ -1,0 +1,86 @@
+#pragma once
+// String interning. Every name in the netlist / SDC / timing data model is
+// interned once into a StringPool and referred to by a 32-bit Symbol.
+// Symbols from the same pool compare by value; lookup is O(1) amortized.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.h"
+
+namespace mm {
+
+/// Handle to an interned string. 0 is reserved for the empty/invalid symbol.
+class Symbol {
+ public:
+  constexpr Symbol() = default;
+  constexpr explicit Symbol(uint32_t id) : id_(id) {}
+
+  constexpr uint32_t id() const { return id_; }
+  constexpr bool valid() const { return id_ != 0; }
+  constexpr explicit operator bool() const { return valid(); }
+
+  friend constexpr bool operator==(Symbol a, Symbol b) { return a.id_ == b.id_; }
+  friend constexpr bool operator!=(Symbol a, Symbol b) { return a.id_ != b.id_; }
+  friend constexpr bool operator<(Symbol a, Symbol b) { return a.id_ < b.id_; }
+
+ private:
+  uint32_t id_ = 0;
+};
+
+/// Owning pool of interned strings. Not thread-safe for interning; concurrent
+/// read-only access (str()) is safe once interning is done.
+class StringPool {
+ public:
+  StringPool() { storage_.emplace_back(); /* id 0 = empty */ }
+
+  StringPool(const StringPool&) = delete;
+  StringPool& operator=(const StringPool&) = delete;
+  // Moving is safe: deque move steals storage, so the string_view keys in
+  // map_ keep pointing at valid strings.
+  StringPool(StringPool&&) = default;
+  StringPool& operator=(StringPool&&) = default;
+
+  /// Intern `s`, returning the same Symbol for equal strings.
+  Symbol intern(std::string_view s) {
+    if (s.empty()) return Symbol();
+    auto it = map_.find(s);
+    if (it != map_.end()) return Symbol(it->second);
+    const uint32_t id = static_cast<uint32_t>(storage_.size());
+    storage_.emplace_back(s);
+    map_.emplace(storage_.back(), id);
+    return Symbol(id);
+  }
+
+  /// Find an existing symbol without interning; invalid Symbol if absent.
+  Symbol find(std::string_view s) const {
+    if (s.empty()) return Symbol();
+    auto it = map_.find(s);
+    return it == map_.end() ? Symbol() : Symbol(it->second);
+  }
+
+  std::string_view str(Symbol sym) const {
+    MM_ASSERT(sym.id() < storage_.size());
+    return storage_[sym.id()];
+  }
+
+  size_t size() const { return storage_.size() - 1; }
+
+ private:
+  // deque: stable addresses so string_view keys into map_ stay valid.
+  std::deque<std::string> storage_;
+  std::unordered_map<std::string_view, uint32_t> map_;
+};
+
+}  // namespace mm
+
+template <>
+struct std::hash<mm::Symbol> {
+  size_t operator()(mm::Symbol s) const noexcept {
+    return std::hash<uint32_t>{}(s.id());
+  }
+};

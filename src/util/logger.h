@@ -1,0 +1,27 @@
+#pragma once
+// Minimal leveled logger. Global level, printf-style formatting, thread-safe
+// line emission. Tools print to stderr so benchmark table output on stdout
+// stays machine-readable.
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace mm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kSilent = 4 };
+
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel lvl);
+
+  static void log(LogLevel lvl, const char* fmt, ...)
+      __attribute__((format(printf, 2, 3)));
+};
+
+}  // namespace mm
+
+#define MM_DEBUG(...) ::mm::Logger::log(::mm::LogLevel::kDebug, __VA_ARGS__)
+#define MM_INFO(...) ::mm::Logger::log(::mm::LogLevel::kInfo, __VA_ARGS__)
+#define MM_WARN(...) ::mm::Logger::log(::mm::LogLevel::kWarn, __VA_ARGS__)
+#define MM_ERROR(...) ::mm::Logger::log(::mm::LogLevel::kError, __VA_ARGS__)

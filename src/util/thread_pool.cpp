@@ -1,0 +1,95 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+namespace mm {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(size_t count,
+                              const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (count == 1 || num_threads() == 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  // Dynamic chunking: enough chunks per worker for load balance without
+  // drowning in queue overhead.
+  const size_t chunks = std::min(count, num_threads() * 4);
+  const size_t chunk_size = (count + chunks - 1) / chunks;
+
+  std::atomic<size_t> remaining{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  size_t issued = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t begin = 0; begin < count; begin += chunk_size) {
+      const size_t end = std::min(begin + chunk_size, count);
+      ++issued;
+      tasks_.push([&, begin, end] {
+        try {
+          for (size_t i = begin; i < end; ++i) fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> elock(error_mutex);
+          if (!error) error = std::current_exception();
+        }
+        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> dlock(done_mutex);
+          done_cv.notify_all();
+        }
+      });
+    }
+    remaining.store(issued, std::memory_order_release);
+  }
+  cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+
+  if (error) std::rethrow_exception(error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace mm

@@ -1,0 +1,5 @@
+
+create_clock -p 10 -name clkA [get_ports clk1]
+set_false_path -to rX/D
+set_false_path -to rY/D
+set_false_path -through inv3/Z

@@ -1,0 +1,4 @@
+
+create_clock -p 10 -name clkA [get_ports clk1]
+set_false_path -from rA/CP
+set_false_path -to rZ/D

@@ -1,0 +1,8 @@
+module tiny_top (ck, d, q);
+  input ck, d;
+  output q;
+  wire q0, n0;
+  DFFQ r0 (.D(d), .CK(ck), .Q(q0));
+  NAND2 g0 (.A(q0), .B(q0), .Y(n0));
+  DFFQ r1 (.D(n0), .CK(ck), .Q(q));
+endmodule

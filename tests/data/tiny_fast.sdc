@@ -1,0 +1,2 @@
+create_clock -name F -period 2 [get_ports ck]
+set_false_path -to [get_pins r1/D]

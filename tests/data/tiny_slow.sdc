@@ -1,0 +1,2 @@
+create_clock -name S -period 9 [get_ports ck]
+set_multicycle_path 2 -setup -to [get_pins r1/D]

@@ -1,0 +1,189 @@
+// Dedicated unit tests for §3.1.8 clock refinement and disable inference
+// (beyond the paper's Constraint Set 3 walkthrough in test_paper_examples).
+
+#include <gtest/gtest.h>
+
+#include "gen/design_gen.h"
+#include "gen/paper_circuit.h"
+#include "merge/clock_refine.h"
+#include "merge/preliminary.h"
+#include "sdc/parser.h"
+
+namespace mm::merge {
+namespace {
+
+class ClockRefineTest : public ::testing::Test {
+ protected:
+  netlist::Library lib = netlist::Library::builtin();
+  netlist::Design design = gen::paper_circuit(lib);
+  timing::TimingGraph graph{design};
+
+  sdc::Sdc parse(const std::string& text) {
+    return sdc::parse_sdc(text, design);
+  }
+
+  /// Preliminary merge + clock refinement only (no data refinement).
+  MergeResult refine(const std::vector<const Sdc*>& modes) {
+    MergeOptions options;
+    MergeResult result = preliminary_merge(modes, options);
+    RefineContext ctx(graph, modes);
+    refine_clock_network(ctx, result, options);
+    return result;
+  }
+};
+
+TEST_F(ClockRefineTest, NoStopsWhenPropagationMatches) {
+  // Identical modes: merged clock propagation already matches.
+  const std::string text = "create_clock -name c -period 10 [get_ports clk1]\n";
+  sdc::Sdc a = parse(text), b = parse(text);
+  MergeResult r = refine({&a, &b});
+  EXPECT_EQ(r.stats.clock_stops_added, 0u);
+  EXPECT_EQ(r.stats.inferred_disables, 0u);
+}
+
+TEST_F(ClockRefineTest, AgreeingCaseBlocksWithoutStop) {
+  // sel1 conflicts (dropped) but sel2 agrees at 1; the kept sel2=1 already
+  // forces the OR output to 1 in the merged mode, so clkA stays blocked at
+  // the mux with NO stop constraint — the refinement must recognize that.
+  sdc::Sdc a = parse(
+      "create_clock -name clkA -period 10 [get_ports clk1]\n"
+      "create_clock -name clkB -period 20 [get_ports clk2]\n"
+      "set_case_analysis 0 sel1\nset_case_analysis 1 sel2\n");
+  sdc::Sdc b = parse(
+      "create_clock -name clkA -period 10 [get_ports clk1]\n"
+      "create_clock -name clkB -period 20 [get_ports clk2]\n"
+      "set_case_analysis 1 sel1\nset_case_analysis 1 sel2\n");
+  MergeResult r = refine({&a, &b});
+  EXPECT_EQ(r.stats.clock_stops_added, 0u);
+  EXPECT_EQ(r.merged->case_analysis().size(), 1u);  // sel2 kept
+  const timing::ModeGraph merged_view(graph, *r.merged);
+  EXPECT_FALSE(merged_view.clock_on(design.find_pin("rX/CP"),
+                                    r.merged->find_clock("clkA")));
+}
+
+TEST_F(ClockRefineTest, StopAtMuxWhenSelectConstantEverywhere) {
+  // Only clkA exists; both modes pin the mux select to 1 through
+  // conflicting sel values, so clkA never passes the mux in any mode —
+  // but would in the merged mode once both cases are dropped.
+  sdc::Sdc a = parse(
+      "create_clock -name clkA -period 10 [get_ports clk1]\n"
+      "set_case_analysis 0 sel1\nset_case_analysis 1 sel2\n");
+  sdc::Sdc b = parse(
+      "create_clock -name clkA -period 10 [get_ports clk1]\n"
+      "set_case_analysis 1 sel1\nset_case_analysis 0 sel2\n");
+  MergeResult r = refine({&a, &b});
+  ASSERT_EQ(r.stats.clock_stops_added, 1u);
+  const sdc::ClockSenseStop& stop = r.merged->clock_sense_stops()[0];
+  EXPECT_EQ(design.pin_name(stop.pin), "mux1/Z");
+  EXPECT_EQ(r.merged->clock(stop.clock).name, "clkA");
+  EXPECT_EQ(r.stats.inferred_disables, 2u);
+  EXPECT_TRUE(r.merged->case_analysis().empty());
+}
+
+TEST_F(ClockRefineTest, NoStopWhenSomeModePropagates) {
+  // Mode A selects input A (clkA passes), mode B selects input B (clkB
+  // passes): the merged mode may propagate both — no stops at the mux.
+  sdc::Sdc a = parse(
+      "create_clock -name clkA -period 10 [get_ports clk1]\n"
+      "create_clock -name clkB -period 20 [get_ports clk2]\n"
+      "set_case_analysis 0 sel1\nset_case_analysis 0 sel2\n");
+  sdc::Sdc b = parse(
+      "create_clock -name clkA -period 10 [get_ports clk1]\n"
+      "create_clock -name clkB -period 20 [get_ports clk2]\n"
+      "set_case_analysis 1 sel1\nset_case_analysis 1 sel2\n");
+  MergeResult r = refine({&a, &b});
+  EXPECT_EQ(r.stats.clock_stops_added, 0u);
+  // The merged mode must keep both clocks reaching the gated registers.
+  const timing::ModeGraph merged_view(graph, *r.merged);
+  EXPECT_TRUE(merged_view.clock_on(design.find_pin("rX/CP"),
+                                   r.merged->find_clock("clkA")));
+  EXPECT_TRUE(merged_view.clock_on(design.find_pin("rX/CP"),
+                                   r.merged->find_clock("clkB")));
+}
+
+TEST_F(ClockRefineTest, DisableNotInferredWhenMergedConstant) {
+  // Both modes agree on the case value: it survives intersection, the pin
+  // stays constant in the merged mode, no disable needed.
+  const std::string text =
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_case_analysis 1 sel1\n";
+  sdc::Sdc a = parse(text), b = parse(text);
+  MergeResult r = refine({&a, &b});
+  EXPECT_EQ(r.stats.inferred_disables, 0u);
+}
+
+TEST_F(ClockRefineTest, DisableNotInferredWhenSomeModeToggles) {
+  // sel1 constant in A but unconstrained in B: it can toggle in B, so the
+  // merged mode must keep timing through it.
+  sdc::Sdc a = parse(
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_case_analysis 0 sel1\n");
+  sdc::Sdc b = parse("create_clock -name c -period 10 [get_ports clk1]\n");
+  MergeResult r = refine({&a, &b});
+  EXPECT_EQ(r.stats.inferred_disables, 0u);
+}
+
+TEST_F(ClockRefineTest, IcgEnableGatingOnGeneratedDesign) {
+  // All functional modes gate domain 0 off (en0=0); the scan mode opens the
+  // gate but drives TCLK instead. CLK0 therefore never passes icg0 in any
+  // mode and must be stopped there in the merged mode.
+  gen::DesignParams dp;
+  dp.num_regs = 60;
+  dp.num_domains = 2;
+  netlist::Design d = gen::generate_design(lib, dp);
+  timing::TimingGraph g(d);
+  auto mode = [&](const std::string& text) {
+    return sdc::parse_sdc(text, d);
+  };
+  sdc::Sdc func = mode(
+      "create_clock -name CLK0 -period 10 [get_ports clk0]\n"
+      "create_clock -name CLK1 -period 12 [get_ports clk1]\n"
+      "set_case_analysis 0 test_mode\nset_case_analysis 0 scan_en\n"
+      "set_case_analysis 0 en0\nset_case_analysis 1 en1\n");
+  sdc::Sdc scan = mode(
+      "create_clock -name TCLK -period 40 [get_ports tclk]\n"
+      "set_case_analysis 1 test_mode\nset_case_analysis 1 scan_en\n"
+      "set_case_analysis 1 en0\nset_case_analysis 1 en1\n");
+
+  MergeOptions options;
+  MergeResult result = preliminary_merge({&func, &scan}, options);
+  RefineContext ctx(g, {&func, &scan});
+  refine_clock_network(ctx, result, options);
+
+  bool clk0_stopped_at_icg0 = false;
+  for (const sdc::ClockSenseStop& stop : result.merged->clock_sense_stops()) {
+    if (d.pin_name(stop.pin) == "icg0/GCLK" &&
+        result.merged->clock(stop.clock).name == "CLK0") {
+      clk0_stopped_at_icg0 = true;
+    }
+  }
+  EXPECT_TRUE(clk0_stopped_at_icg0);
+  // TCLK passes icg0 in the scan mode: must NOT be stopped there.
+  for (const sdc::ClockSenseStop& stop : result.merged->clock_sense_stops()) {
+    if (d.pin_name(stop.pin) == "icg0/GCLK") {
+      EXPECT_NE(result.merged->clock(stop.clock).name, "TCLK");
+    }
+  }
+}
+
+TEST_F(ClockRefineTest, ExistingStopsRespected) {
+  // A stop already present in every mode survives into the merged mode and
+  // is not duplicated by refinement.
+  const std::string text =
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_clock_sense -stop_propagation -clock [get_clocks c] "
+      "[get_pins mux1/Z]\n";
+  sdc::Sdc a = parse(text), b = parse(text);
+  // Preliminary merging does not copy clock_sense stops (they are per-mode
+  // effects); refinement re-derives the stop because no mode propagates c
+  // past mux1/Z.
+  MergeResult r = refine({&a, &b});
+  size_t stops_at_mux = 0;
+  for (const sdc::ClockSenseStop& stop : r.merged->clock_sense_stops()) {
+    if (design.pin_name(stop.pin) == "mux1/Z") ++stops_at_mux;
+  }
+  EXPECT_EQ(stops_at_mux, 1u);
+}
+
+}  // namespace
+}  // namespace mm::merge

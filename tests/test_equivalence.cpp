@@ -1,0 +1,133 @@
+// Equivalence checker tests: the §2 two-sided definition, detection of
+// optimism and pessimism, independence from constraint *form*.
+
+#include <gtest/gtest.h>
+
+#include "gen/paper_circuit.h"
+#include "merge/equivalence.h"
+#include "merge/preliminary.h"
+#include "sdc/parser.h"
+
+namespace mm::merge {
+namespace {
+
+class EquivTest : public ::testing::Test {
+ protected:
+  netlist::Library lib = netlist::Library::builtin();
+  netlist::Design design = gen::paper_circuit(lib);
+  timing::TimingGraph graph{design};
+
+  sdc::Sdc parse(const std::string& text) {
+    return sdc::parse_sdc(text, design);
+  }
+
+  /// Check a "merged" candidate against a single original mode; the clock
+  /// map is built by a trivial 1-mode preliminary merge of the original.
+  EquivalenceReport check(const sdc::Sdc& original,
+                          const sdc::Sdc& candidate) {
+    MergeResult base = preliminary_merge({&original}, {});
+    RefineContext ctx(graph, {&original});
+    return check_equivalence(ctx, candidate, base.clock_map);
+  }
+};
+
+TEST_F(EquivTest, IdenticalModesAreEquivalent) {
+  const std::string text =
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_false_path -to [get_pins rX/D]\n";
+  sdc::Sdc a = parse(text), b = parse(text);
+  const EquivalenceReport r = check(a, b);
+  EXPECT_TRUE(r.equivalent());
+  EXPECT_GT(r.keys_compared, 0u);
+  EXPECT_EQ(r.matches, r.keys_compared);
+}
+
+TEST_F(EquivTest, FormIndependence) {
+  // The paper's §2 point: rewriting a constraint in a different form that
+  // affects the same paths must compare equal.
+  sdc::Sdc a = parse(
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_false_path -to [get_pins rX/D]\n");
+  // Same effect, written as -from + -through: the only paths into rX/D come
+  // from rA through inv1/Z.
+  sdc::Sdc b = parse(
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_false_path -from [get_pins rA/CP] -through [get_pins inv1/Z] "
+      "-to [get_pins rX/D]\n");
+  EXPECT_TRUE(check(a, b).equivalent());
+}
+
+TEST_F(EquivTest, DetectsOptimism) {
+  sdc::Sdc a = parse("create_clock -name c -period 10 [get_ports clk1]\n");
+  sdc::Sdc b = parse(
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_false_path -to [get_pins rX/D]\n");  // loses a timed endpoint
+  const EquivalenceReport r = check(a, b);
+  EXPECT_GT(r.optimism_violations, 0u);
+  EXPECT_FALSE(r.signoff_safe());
+  EXPECT_FALSE(r.examples.empty());
+}
+
+TEST_F(EquivTest, DetectsPessimism) {
+  sdc::Sdc a = parse(
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_false_path -to [get_pins rX/D]\n");
+  sdc::Sdc b = parse("create_clock -name c -period 10 [get_ports clk1]\n");
+  const EquivalenceReport r = check(a, b);
+  EXPECT_EQ(r.optimism_violations, 0u);
+  EXPECT_GT(r.pessimism_keys, 0u);
+  EXPECT_TRUE(r.signoff_safe());
+  EXPECT_FALSE(r.equivalent());
+}
+
+TEST_F(EquivTest, DetectsLostMcpAsStateMismatch) {
+  sdc::Sdc a = parse(
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_multicycle_path 2 -to [get_pins rX/D]\n");
+  sdc::Sdc b = parse("create_clock -name c -period 10 [get_ports clk1]\n");
+  const EquivalenceReport r = check(a, b);
+  EXPECT_GT(r.state_mismatches, 0u);
+  EXPECT_FALSE(r.equivalent());
+  EXPECT_TRUE(r.signoff_safe());  // still times everything
+}
+
+TEST_F(EquivTest, StartpointLevelCatchesPathSwaps) {
+  // Endpoint-level sets can hide a swap: A false-paths rA->rY, candidate
+  // false-paths rB->rY. Both give {FP, V} at rY/D; startpoint level must
+  // flag it.
+  sdc::Sdc a = parse(
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_false_path -from [get_pins rA/CP] -to [get_pins rY/D]\n");
+  sdc::Sdc b = parse(
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_false_path -from [get_pins rB/CP] -to [get_pins rY/D]\n");
+  MergeResult base = preliminary_merge({&a}, {});
+  RefineContext ctx(graph, {&a});
+
+  const EquivalenceReport shallow =
+      check_equivalence(ctx, b, base.clock_map, /*startpoint_level=*/false);
+  EXPECT_EQ(shallow.optimism_violations, 0u);  // hidden at this granularity
+
+  const EquivalenceReport deep =
+      check_equivalence(ctx, b, base.clock_map, /*startpoint_level=*/true);
+  EXPECT_GT(deep.optimism_violations + deep.pessimism_keys, 0u);
+}
+
+TEST_F(EquivTest, MultiModeUnion) {
+  // Candidate must match the union of two modes.
+  sdc::Sdc a = parse(
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_false_path -to [get_pins rX/D]\n");
+  sdc::Sdc b = parse("create_clock -name c -period 10 [get_ports clk1]\n");
+  // Mode b times rX/D, so a union-equivalent candidate times everything.
+  sdc::Sdc candidate = parse("create_clock -name c -period 10 [get_ports clk1]\n");
+
+  MergeResult base = preliminary_merge({&a, &b}, {});
+  RefineContext ctx(graph, {&a, &b});
+  const EquivalenceReport r =
+      check_equivalence(ctx, candidate, base.clock_map);
+  EXPECT_TRUE(r.equivalent());
+}
+
+}  // namespace
+}  // namespace mm::merge

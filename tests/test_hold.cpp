@@ -1,0 +1,167 @@
+// Hold-side (min-path) analysis tests: hold relations and slacks in STA,
+// hold-state resolution, side-qualified refinement fixes, and hold-aware
+// equivalence.
+
+#include <gtest/gtest.h>
+
+#include "gen/paper_circuit.h"
+#include "merge/merger.h"
+#include "merge/preliminary.h"
+#include "sdc/parser.h"
+#include "sdc/writer.h"
+#include "timing/sta.h"
+
+namespace mm {
+namespace {
+
+class HoldTest : public ::testing::Test {
+ protected:
+  netlist::Library lib = netlist::Library::builtin();
+  netlist::Design design = gen::paper_circuit(lib);
+  timing::TimingGraph graph{design};
+
+  sdc::Sdc parse(const std::string& text) {
+    return sdc::parse_sdc(text, design);
+  }
+};
+
+TEST_F(HoldTest, HoldSlackComputed) {
+  const sdc::Sdc sdc = parse("create_clock -name c -period 10 [get_ports clk1]\n");
+  const timing::StaResult r = timing::run_sta(graph, sdc, /*analyze_hold=*/true);
+  EXPECT_FALSE(r.endpoint_hold_slack.empty());
+  // Data paths go through at least one gate, so min arrival exceeds the
+  // (tiny) hold time: hold is met.
+  EXPECT_DOUBLE_EQ(r.whs, 0.0);
+  for (const auto& [ep, slack] : r.endpoint_hold_slack) {
+    EXPECT_GT(slack, 0.0) << design.pin_name(timing::PinId(ep));
+  }
+}
+
+TEST_F(HoldTest, HoldDisabledByDefault) {
+  const sdc::Sdc sdc = parse("create_clock -name c -period 10 [get_ports clk1]\n");
+  const timing::StaResult r = timing::run_sta(graph, sdc);
+  EXPECT_TRUE(r.endpoint_hold_slack.empty());
+}
+
+TEST_F(HoldTest, HoldUncertaintyTightens) {
+  const sdc::Sdc base = parse("create_clock -name c -period 10 [get_ports clk1]\n");
+  const sdc::Sdc unc =
+      parse("create_clock -name c -period 10 [get_ports clk1]\n"
+            "set_clock_uncertainty -hold 0.3 [get_clocks c]\n");
+  const timing::StaResult r0 = timing::run_sta(graph, base, true);
+  const timing::StaResult r1 = timing::run_sta(graph, unc, true);
+  const uint32_t ep = design.find_pin("rY/D").value();
+  EXPECT_NEAR(r0.endpoint_hold_slack.at(ep) - r1.endpoint_hold_slack.at(ep),
+              0.3, 1e-4);
+  // Setup side unaffected by -hold uncertainty.
+  EXPECT_NEAR(r0.endpoint_slack.at(ep), r1.endpoint_slack.at(ep), 1e-4);
+}
+
+TEST_F(HoldTest, MinDelayCreatesHoldViolation) {
+  const sdc::Sdc sdc =
+      parse("create_clock -name c -period 10 [get_ports clk1]\n"
+            "set_min_delay 50 -to [get_pins rY/D]\n");
+  const timing::StaResult r = timing::run_sta(graph, sdc, true);
+  const uint32_t ep = design.find_pin("rY/D").value();
+  ASSERT_TRUE(r.endpoint_hold_slack.count(ep));
+  EXPECT_LT(r.endpoint_hold_slack.at(ep), 0.0);  // amin << 50
+  EXPECT_LT(r.whs, 0.0);
+}
+
+TEST_F(HoldTest, HoldOnlyFalsePathRemovesHoldNotSetup) {
+  const sdc::Sdc sdc =
+      parse("create_clock -name c -period 10 [get_ports clk1]\n"
+            "set_false_path -hold -to [get_pins rY/D]\n");
+  const timing::StaResult r = timing::run_sta(graph, sdc, true);
+  const uint32_t ep = design.find_pin("rY/D").value();
+  EXPECT_TRUE(r.endpoint_slack.count(ep));        // setup still timed
+  EXPECT_FALSE(r.endpoint_hold_slack.count(ep));  // hold excluded
+}
+
+TEST_F(HoldTest, SetupOnlyFalsePathsRefineWithQualifier) {
+  // Both modes false-path rX/D on the setup side only; the hold side stays
+  // timed. The merged mode must re-derive a *setup-qualified* false path —
+  // an unqualified one would be hold-side optimism.
+  const std::string text_a =
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_false_path -setup -to [get_pins rX/D]\n";
+  const std::string text_b =
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_false_path -setup -from [get_pins rA/CP] -to [get_pins rX/D]\n";
+  const sdc::Sdc a = parse(text_a), b = parse(text_b);
+  const merge::ValidatedMergeResult out = merge::merge_modes(graph, {&a, &b});
+
+  EXPECT_EQ(out.equivalence.optimism_violations, 0u)
+      << merge::report_merge(out.merge, out.equivalence);
+  EXPECT_EQ(out.equivalence.pessimism_keys, 0u)
+      << merge::report_merge(out.merge, out.equivalence);
+
+  // The merged mode still times rX/D on the hold side.
+  const timing::StaResult r =
+      timing::run_sta(graph, *out.merge.merged, /*analyze_hold=*/true);
+  const uint32_t ep = design.find_pin("rX/D").value();
+  EXPECT_FALSE(r.endpoint_slack.count(ep));      // setup false-pathed
+  EXPECT_TRUE(r.endpoint_hold_slack.count(ep));  // hold alive
+}
+
+TEST_F(HoldTest, HoldOnlyFalsePathsRefine) {
+  const std::string text_a =
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_false_path -hold -to [get_pins rX/D]\n";
+  const std::string text_b =
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_false_path -hold -from [get_pins rA/CP] -to [get_pins rX/D]\n";
+  const sdc::Sdc a = parse(text_a), b = parse(text_b);
+  const merge::ValidatedMergeResult out = merge::merge_modes(graph, {&a, &b});
+  EXPECT_TRUE(out.equivalence.equivalent())
+      << merge::report_merge(out.merge, out.equivalence)
+      << sdc::write_sdc(*out.merge.merged);
+
+  const timing::StaResult r =
+      timing::run_sta(graph, *out.merge.merged, /*analyze_hold=*/true);
+  const uint32_t ep = design.find_pin("rX/D").value();
+  EXPECT_TRUE(r.endpoint_slack.count(ep));
+  EXPECT_FALSE(r.endpoint_hold_slack.count(ep));
+}
+
+TEST_F(HoldTest, EquivalenceDetectsHoldOptimism) {
+  // Candidate adds an unqualified FP where the reference only had -setup:
+  // the hold side loses timed paths.
+  const sdc::Sdc reference =
+      parse("create_clock -name c -period 10 [get_ports clk1]\n"
+            "set_false_path -setup -to [get_pins rX/D]\n");
+  const sdc::Sdc candidate =
+      parse("create_clock -name c -period 10 [get_ports clk1]\n"
+            "set_false_path -to [get_pins rX/D]\n");
+  merge::MergeResult base = merge::preliminary_merge({&reference}, {});
+  merge::RefineContext ctx(graph, {&reference});
+  const merge::EquivalenceReport r =
+      merge::check_equivalence(ctx, candidate, base.clock_map);
+  EXPECT_GT(r.optimism_violations, 0u);
+}
+
+TEST_F(HoldTest, HoldMcpRelaxesHoldCheck) {
+  // set_multicycle_path -hold 1 moves the hold check one capture period
+  // earlier, relaxing hold slack by one period.
+  const sdc::Sdc base = parse("create_clock -name c -period 4 [get_ports clk1]\n");
+  const sdc::Sdc mcp =
+      parse("create_clock -name c -period 4 [get_ports clk1]\n"
+            "set_multicycle_path 1 -hold -to [get_pins rY/D]\n");
+  const timing::StaResult r0 = timing::run_sta(graph, base, true);
+  const timing::StaResult r1 = timing::run_sta(graph, mcp, true);
+  const uint32_t ep = design.find_pin("rY/D").value();
+  EXPECT_NEAR(r1.endpoint_hold_slack.at(ep) - r0.endpoint_hold_slack.at(ep),
+              4.0, 1e-4);
+}
+
+TEST_F(HoldTest, GeneratedWorkloadHoldSafe) {
+  // The paper-example constraint set 6 merge stays hold-clean end to end.
+  const sdc::Sdc a = parse(gen::constraint_sets::kSet6ModeA);
+  const sdc::Sdc b = parse(gen::constraint_sets::kSet6ModeB);
+  const merge::ValidatedMergeResult out = merge::merge_modes(graph, {&a, &b});
+  EXPECT_EQ(out.equivalence.optimism_violations, 0u);
+  EXPECT_EQ(out.equivalence.pessimism_keys, 0u);
+}
+
+}  // namespace
+}  // namespace mm

@@ -1,0 +1,130 @@
+// Full-pipeline merge tests for the trickier clock flavours: generated
+// clocks (dedup, master remapping, propagation equivalence) and virtual
+// clocks (I/O delay references).
+
+#include <gtest/gtest.h>
+
+#include "gen/paper_circuit.h"
+#include "merge/merger.h"
+#include "sdc/parser.h"
+#include "sdc/writer.h"
+#include "timing/sta.h"
+
+namespace mm::merge {
+namespace {
+
+class MergeClocksTest : public ::testing::Test {
+ protected:
+  netlist::Library lib = netlist::Library::builtin();
+  netlist::Design design = gen::paper_circuit(lib);
+  timing::TimingGraph graph{design};
+
+  sdc::Sdc parse(const std::string& text) {
+    return sdc::parse_sdc(text, design);
+  }
+};
+
+TEST_F(MergeClocksTest, IdenticalGeneratedClocksDedup) {
+  const std::string text =
+      "create_clock -name m -period 8 [get_ports clk1]\n"
+      "create_generated_clock -name g -source [get_ports clk1] -divide_by 2 "
+      "[get_pins mux1/Z]\n";
+  sdc::Sdc a = parse(text), b = parse(text);
+  const ValidatedMergeResult out = merge_modes(graph, {&a, &b});
+  EXPECT_TRUE(out.equivalence.equivalent())
+      << report_merge(out.merge, out.equivalence);
+  EXPECT_EQ(out.merge.merged->num_clocks(), 2u);
+  const sdc::Clock& g =
+      out.merge.merged->clock(out.merge.merged->find_clock("g"));
+  EXPECT_TRUE(g.is_generated);
+  EXPECT_EQ(g.master_clock, "m");
+  EXPECT_DOUBLE_EQ(g.period, 16.0);
+}
+
+TEST_F(MergeClocksTest, DifferentDivisionsCoexist) {
+  // Mode A divides by 2, mode B by 4 at the same source: two distinct
+  // generated clocks in the merged mode, made exclusive (they never
+  // coexist in one individual mode).
+  sdc::Sdc a = parse(
+      "create_clock -name m -period 8 [get_ports clk1]\n"
+      "create_generated_clock -name g -source [get_ports clk1] -divide_by 2 "
+      "[get_pins mux1/Z]\n");
+  sdc::Sdc b = parse(
+      "create_clock -name m -period 8 [get_ports clk1]\n"
+      "create_generated_clock -name g -source [get_ports clk1] -divide_by 4 "
+      "[get_pins mux1/Z]\n");
+  const ValidatedMergeResult out = merge_modes(graph, {&a, &b});
+  EXPECT_EQ(out.equivalence.optimism_violations, 0u)
+      << report_merge(out.merge, out.equivalence);
+  const Sdc& merged = *out.merge.merged;
+  EXPECT_EQ(merged.num_clocks(), 3u);  // m + g(div2) + g_1(div4)
+  const sdc::ClockId g = merged.find_clock("g");
+  const sdc::ClockId g1 = merged.find_clock("g_1");
+  ASSERT_TRUE(g.valid());
+  ASSERT_TRUE(g1.valid());
+  EXPECT_TRUE(merged.clocks_exclusive(g, g1));
+}
+
+TEST_F(MergeClocksTest, VirtualClockDelaysMerge) {
+  // I/O delays referenced to a virtual clock; identical waveforms dedup
+  // across modes even with different names.
+  sdc::Sdc a = parse(
+      "create_clock -name core -period 10 [get_ports clk1]\n"
+      "create_clock -name vclk -period 10\n"
+      "set_input_delay 2 -clock vclk [get_ports in1]\n"
+      "set_output_delay 2 -clock vclk [get_ports out1]\n");
+  sdc::Sdc b = parse(
+      "create_clock -name core -period 10 [get_ports clk1]\n"
+      "create_clock -name vio -period 10\n"
+      "set_input_delay 2 -clock vio [get_ports in1]\n"
+      "set_output_delay 2 -clock vio [get_ports out1]\n");
+  const ValidatedMergeResult out = merge_modes(graph, {&a, &b});
+  EXPECT_EQ(out.equivalence.optimism_violations, 0u)
+      << report_merge(out.merge, out.equivalence);
+  const Sdc& merged = *out.merge.merged;
+  // vclk and vio have the same (virtual) identity: deduplicated.
+  EXPECT_EQ(merged.num_clocks(), 2u);
+  // Port delays deduplicate too (identical after clock mapping).
+  size_t in_delays = 0;
+  for (const sdc::PortDelay& pd : merged.port_delays()) {
+    if (pd.is_input) ++in_delays;
+  }
+  EXPECT_EQ(in_delays, 1u);
+}
+
+TEST_F(MergeClocksTest, GeneratedClockStaMatchesAfterMerge) {
+  sdc::Sdc a = parse(
+      "create_clock -name m -period 4 [get_ports clk1]\n"
+      "create_generated_clock -name g -source [get_ports clk1] -divide_by 2 "
+      "[get_pins mux1/Z]\n"
+      "set_clock_sense -stop_propagation -clock [get_clocks m] "
+      "[get_pins mux1/Z]\n");
+  sdc::Sdc b = parse(
+      "create_clock -name m -period 4 [get_ports clk1]\n"
+      "create_generated_clock -name g -source [get_ports clk1] -divide_by 2 "
+      "[get_pins mux1/Z]\n"
+      "set_clock_sense -stop_propagation -clock [get_clocks m] "
+      "[get_pins mux1/Z]\n"
+      "set_false_path -to [get_pins rX/D]\n");
+  const ValidatedMergeResult out = merge_modes(graph, {&a, &b});
+  EXPECT_EQ(out.equivalence.optimism_violations, 0u)
+      << report_merge(out.merge, out.equivalence);
+
+  const timing::StaResult indiv = timing::run_sta_multi(graph, {&a, &b});
+  const timing::StaResult merged = timing::run_sta(graph, *out.merge.merged);
+  EXPECT_GE(timing::conformity(indiv, merged, graph, *out.merge.merged), 99.0);
+}
+
+TEST_F(MergeClocksTest, WaveformOffsetClocksStayDistinct) {
+  // Same period, shifted waveform: different clocks, both kept.
+  sdc::Sdc a = parse("create_clock -name c -period 10 [get_ports clk1]\n");
+  sdc::Sdc b = parse(
+      "create_clock -name c -period 10 -waveform {2 7} [get_ports clk1]\n");
+  const ValidatedMergeResult out = merge_modes(graph, {&a, &b});
+  EXPECT_EQ(out.merge.merged->num_clocks(), 2u);
+  EXPECT_EQ(out.merge.stats.clocks_renamed, 1u);
+  EXPECT_EQ(out.equivalence.optimism_violations, 0u);
+}
+
+}  // namespace
+}  // namespace mm::merge

@@ -1,0 +1,206 @@
+// End-to-end integration: generated designs + generated mode families
+// through the full merge_mode_set flow, validating mode reduction,
+// equivalence and STA conformity — the miniature of the Table 5/6
+// experiments that runs in the test suite.
+
+#include <gtest/gtest.h>
+
+#include "gen/design_gen.h"
+#include "gen/mode_gen.h"
+#include "merge/merger.h"
+#include "merge/preliminary.h"
+#include "sdc/parser.h"
+#include "sdc/writer.h"
+#include "timing/sta.h"
+
+namespace mm::merge {
+namespace {
+
+struct Workload {
+  std::unique_ptr<netlist::Design> design;
+  std::unique_ptr<timing::TimingGraph> graph;
+  std::vector<std::unique_ptr<sdc::Sdc>> modes;
+  std::vector<const Sdc*> mode_ptrs;
+};
+
+Workload make_workload(const netlist::Library& lib, size_t regs, size_t domains,
+                       size_t num_modes, size_t groups, uint64_t seed = 1) {
+  Workload w;
+  gen::DesignParams dp;
+  dp.num_regs = regs;
+  dp.num_domains = domains;
+  dp.seed = seed;
+  w.design = std::make_unique<netlist::Design>(gen::generate_design(lib, dp));
+  w.graph = std::make_unique<timing::TimingGraph>(*w.design);
+
+  gen::ModeFamilyParams mp;
+  mp.num_modes = num_modes;
+  mp.target_groups = groups;
+  mp.seed = seed;
+  for (const auto& gm : gen::generate_mode_family(dp, mp)) {
+    w.modes.push_back(
+        std::make_unique<sdc::Sdc>(sdc::parse_sdc(gm.sdc_text, *w.design)));
+  }
+  for (const auto& m : w.modes) w.mode_ptrs.push_back(m.get());
+  return w;
+}
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  netlist::Library lib = netlist::Library::builtin();
+};
+
+TEST_F(IntegrationTest, SingleGroupFullFlow) {
+  Workload w = make_workload(lib, 120, 3, 4, 1);
+  const MergedModeSet out = merge_mode_set(*w.graph, w.mode_ptrs);
+
+  ASSERT_EQ(out.num_merged_modes(), 1u);
+  EXPECT_NEAR(out.reduction_percent(), 75.0, 0.1);
+
+  const ValidatedMergeResult& m = out.merged[0];
+  EXPECT_EQ(m.equivalence.optimism_violations, 0u)
+      << report_merge(m.merge, m.equivalence);
+  EXPECT_EQ(m.equivalence.pessimism_keys, 0u)
+      << report_merge(m.merge, m.equivalence);
+}
+
+TEST_F(IntegrationTest, MultiGroupReduction) {
+  Workload w = make_workload(lib, 100, 3, 6, 2);
+  const MergedModeSet out = merge_mode_set(*w.graph, w.mode_ptrs);
+  ASSERT_EQ(out.num_merged_modes(), 2u);
+  ASSERT_EQ(out.cliques.size(), 2u);
+  EXPECT_EQ(out.cliques[0].size() + out.cliques[1].size(), 6u);
+  for (const ValidatedMergeResult& m : out.merged) {
+    EXPECT_EQ(m.equivalence.optimism_violations, 0u);
+  }
+}
+
+TEST_F(IntegrationTest, StaConformity) {
+  Workload w = make_workload(lib, 150, 4, 5, 1);
+  const MergedModeSet out = merge_mode_set(*w.graph, w.mode_ptrs);
+  ASSERT_EQ(out.num_merged_modes(), 1u);
+
+  const timing::StaResult indiv = timing::run_sta_multi(*w.graph, w.mode_ptrs);
+  const timing::StaResult merged =
+      timing::run_sta(*w.graph, *out.merged[0].merge.merged);
+  const double conf = timing::conformity(indiv, merged, *w.graph,
+                                         *out.merged[0].merge.merged);
+  EXPECT_GE(conf, 99.0) << report_merge(out.merged[0].merge,
+                                        out.merged[0].equivalence);
+}
+
+TEST_F(IntegrationTest, MergedModeSurvivesSdcRoundTrip) {
+  Workload w = make_workload(lib, 80, 3, 3, 1);
+  const MergedModeSet out = merge_mode_set(*w.graph, w.mode_ptrs);
+  ASSERT_EQ(out.num_merged_modes(), 1u);
+
+  const std::string text = sdc::write_sdc(*out.merged[0].merge.merged);
+  const sdc::Sdc reparsed = sdc::parse_sdc(text, *w.design);
+
+  RefineContext ctx(*w.graph, w.mode_ptrs);
+  const EquivalenceReport report =
+      check_equivalence(ctx, reparsed, out.merged[0].merge.clock_map);
+  EXPECT_EQ(report.optimism_violations, 0u);
+  EXPECT_EQ(report.pessimism_keys, 0u);
+}
+
+TEST_F(IntegrationTest, IncrementalMergeMatchesBatch) {
+  // merge(merge(A,B), C) must be equivalent to merge(A,B,C) — supporting
+  // the "new mode arrives late in the schedule" flow.
+  Workload w = make_workload(lib, 70, 2, 3, 1, 12);
+  const sdc::Sdc* A = w.mode_ptrs[0];
+  const sdc::Sdc* B = w.mode_ptrs[1];
+  const sdc::Sdc* C = w.mode_ptrs[2];
+
+  const ValidatedMergeResult batch = merge_modes(*w.graph, {A, B, C});
+  const ValidatedMergeResult ab = merge_modes(*w.graph, {A, B});
+  const ValidatedMergeResult incr =
+      merge_modes(*w.graph, {ab.merge.merged.get(), C});
+
+  ASSERT_TRUE(batch.equivalence.signoff_safe());
+  ASSERT_TRUE(incr.equivalence.signoff_safe());
+
+  // Both merged modes must be equivalent to the union {A, B, C}. Build the
+  // clock map for the incremental result against the original modes via a
+  // fresh preliminary merge (clock identity is by source+waveform, so the
+  // map is reconstructible).
+  RefineContext ctx(*w.graph, {A, B, C});
+  MergeResult remap = preliminary_merge({A, B, C}, {});
+  const EquivalenceReport batch_eq =
+      check_equivalence(ctx, *batch.merge.merged, remap.clock_map);
+  const EquivalenceReport incr_eq =
+      check_equivalence(ctx, *incr.merge.merged, remap.clock_map);
+  EXPECT_EQ(batch_eq.optimism_violations, 0u);
+  EXPECT_EQ(incr_eq.optimism_violations, 0u);
+  EXPECT_EQ(incr_eq.pessimism_keys, 0u);
+}
+
+TEST_F(IntegrationTest, RefinementIsIdempotent) {
+  // Merging the merged mode with itself must change nothing and stay
+  // equivalent.
+  Workload w = make_workload(lib, 60, 2, 3, 1);
+  const MergedModeSet first = merge_mode_set(*w.graph, w.mode_ptrs);
+  ASSERT_EQ(first.num_merged_modes(), 1u);
+  const Sdc& merged1 = *first.merged[0].merge.merged;
+
+  const ValidatedMergeResult second = merge_modes(*w.graph, {&merged1});
+  EXPECT_TRUE(second.equivalence.equivalent())
+      << report_merge(second.merge, second.equivalence);
+}
+
+// Parameterized sweep: the full flow stays sign-off-safe across workload
+// shapes (the paper's core guarantee).
+struct SweepParam {
+  size_t regs;
+  size_t domains;
+  size_t modes;
+  size_t groups;
+  uint64_t seed;
+
+  friend void PrintTo(const SweepParam& p, std::ostream* os) {
+    *os << "r" << p.regs << "_d" << p.domains << "_m" << p.modes << "_g"
+        << p.groups << "_s" << p.seed;
+  }
+};
+
+class SweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(SweepTest, SignoffSafeAndConforming) {
+  netlist::Library lib = netlist::Library::builtin();
+  const SweepParam p = GetParam();
+  Workload w = make_workload(lib, p.regs, p.domains, p.modes, p.groups, p.seed);
+  const MergedModeSet out = merge_mode_set(*w.graph, w.mode_ptrs);
+  EXPECT_EQ(out.num_merged_modes(), p.groups);
+
+  std::vector<const Sdc*> merged_ptrs;
+  for (const ValidatedMergeResult& m : out.merged) {
+    EXPECT_EQ(m.equivalence.optimism_violations, 0u)
+        << report_merge(m.merge, m.equivalence);
+    merged_ptrs.push_back(m.merge.merged.get());
+  }
+
+  const timing::StaResult indiv = timing::run_sta_multi(*w.graph, w.mode_ptrs);
+  const timing::StaResult merged = timing::run_sta_multi(*w.graph, merged_ptrs);
+  // Conformity against the worst merged-mode slacks (per Table 6).
+  size_t conforming = 0, total = 0;
+  for (const auto& [ep, s] : indiv.endpoint_slack) {
+    ++total;
+    auto it = merged.endpoint_slack.find(ep);
+    if (it != merged.endpoint_slack.end() && std::abs(it->second - s) < 0.5)
+      ++conforming;
+  }
+  EXPECT_GE(total, 1u);
+  EXPECT_GE(100.0 * conforming / total, 99.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SweepTest,
+    ::testing::Values(SweepParam{60, 2, 2, 1, 3}, SweepParam{60, 2, 3, 1, 4},
+                      SweepParam{90, 3, 5, 1, 5}, SweepParam{90, 3, 6, 3, 6},
+                      SweepParam{120, 4, 8, 2, 7},
+                      SweepParam{120, 4, 10, 5, 8},
+                      SweepParam{150, 2, 4, 2, 9},
+                      SweepParam{200, 5, 6, 1, 10}));
+
+}  // namespace
+}  // namespace mm::merge

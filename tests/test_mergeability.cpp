@@ -1,0 +1,177 @@
+// Mergeability analysis tests: pairwise verdicts, the mergeability graph
+// and the greedy clique cover (paper Figure 2).
+
+#include <gtest/gtest.h>
+
+#include "gen/paper_circuit.h"
+#include "merge/mergeability.h"
+#include "sdc/parser.h"
+
+namespace mm::merge {
+namespace {
+
+class MergeabilityTest : public ::testing::Test {
+ protected:
+  netlist::Library lib = netlist::Library::builtin();
+  netlist::Design design = gen::paper_circuit(lib);
+
+  sdc::Sdc parse(const std::string& text) {
+    return sdc::parse_sdc(text, design);
+  }
+
+  MergeOptions options;
+};
+
+TEST_F(MergeabilityTest, IdenticalModesMerge) {
+  const std::string text =
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_clock_uncertainty -setup 0.3 [get_clocks c]\n";
+  sdc::Sdc a = parse(text), b = parse(text);
+  EXPECT_TRUE(check_mergeable(a, b, options).mergeable);
+}
+
+TEST_F(MergeabilityTest, DisjointClockModesMerge) {
+  sdc::Sdc a = parse("create_clock -name c1 -period 10 [get_ports clk1]\n");
+  sdc::Sdc b = parse("create_clock -name c2 -period 20 [get_ports clk2]\n");
+  EXPECT_TRUE(check_mergeable(a, b, options).mergeable);
+}
+
+TEST_F(MergeabilityTest, UncertaintyConflictBlocksMerge) {
+  sdc::Sdc a = parse(
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_clock_uncertainty -setup 0.3 [get_clocks c]\n");
+  sdc::Sdc b = parse(
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_clock_uncertainty -setup 0.9 [get_clocks c]\n");
+  const PairVerdict v = check_mergeable(a, b, options);
+  EXPECT_FALSE(v.mergeable);
+  EXPECT_NE(v.reason.find("uncertainty"), std::string::npos);
+
+  MergeOptions loose;
+  loose.value_tolerance = 3.0;
+  EXPECT_TRUE(check_mergeable(a, b, loose).mergeable);
+}
+
+TEST_F(MergeabilityTest, LatencyConflictBlocksMerge) {
+  sdc::Sdc a = parse(
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_clock_latency -max 0.5 [get_clocks c]\n");
+  sdc::Sdc b = parse(
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_clock_latency -max 2.5 [get_clocks c]\n");
+  EXPECT_FALSE(check_mergeable(a, b, options).mergeable);
+}
+
+TEST_F(MergeabilityTest, DifferentWaveformClocksDoNotConflict) {
+  // Clocks with different periods on the same port are different clocks;
+  // their constraints are unrelated.
+  sdc::Sdc a = parse(
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_clock_latency -max 0.5 [get_clocks c]\n");
+  sdc::Sdc b = parse(
+      "create_clock -name c -period 20 [get_ports clk1]\n"
+      "set_clock_latency -max 2.5 [get_clocks c]\n");
+  EXPECT_TRUE(check_mergeable(a, b, options).mergeable);
+}
+
+TEST_F(MergeabilityTest, DriveConflictBlocksMerge) {
+  sdc::Sdc a = parse("set_input_transition 0.1 [get_ports in1]\n");
+  sdc::Sdc b = parse("set_input_transition 0.9 [get_ports in1]\n");
+  EXPECT_FALSE(check_mergeable(a, b, options).mergeable);
+}
+
+TEST_F(MergeabilityTest, LoadConflictBlocksMerge) {
+  sdc::Sdc a = parse("set_load 1.0 [get_ports out1]\n");
+  sdc::Sdc b = parse("set_load 5.0 [get_ports out1]\n");
+  EXPECT_FALSE(check_mergeable(a, b, options).mergeable);
+}
+
+TEST_F(MergeabilityTest, ConflictingMcpValuesBlockMerge) {
+  sdc::Sdc a = parse(
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_multicycle_path 2 -through [get_pins inv1/Z]\n");
+  sdc::Sdc b = parse(
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_multicycle_path 3 -through [get_pins inv1/Z]\n");
+  EXPECT_FALSE(check_mergeable(a, b, options).mergeable);
+}
+
+TEST_F(MergeabilityTest, UniqueMcpWithSharedClockBlocksMerge) {
+  // The MCP applies to clkA paths; clkA also exists in mode B, so clock
+  // restriction cannot isolate it.
+  sdc::Sdc a = parse(
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_multicycle_path 2 -through [get_pins inv1/Z]\n");
+  sdc::Sdc b = parse("create_clock -name c -period 10 [get_ports clk1]\n");
+  EXPECT_FALSE(check_mergeable(a, b, options).mergeable);
+}
+
+TEST_F(MergeabilityTest, UniqueMcpWithDisjointClocksMerges) {
+  // Paper Constraint Set 4: the MCP is uniquifiable because mode B has no
+  // clkA at all.
+  sdc::Sdc a = parse(gen::constraint_sets::kSet4ModeA);
+  sdc::Sdc b = parse(gen::constraint_sets::kSet4ModeB);
+  EXPECT_TRUE(check_mergeable(a, b, options).mergeable);
+}
+
+TEST_F(MergeabilityTest, UniqueFalsePathNeverBlocks) {
+  sdc::Sdc a = parse(
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_false_path -to [get_pins rX/D]\n");
+  sdc::Sdc b = parse("create_clock -name c -period 10 [get_ports clk1]\n");
+  EXPECT_TRUE(check_mergeable(a, b, options).mergeable);
+}
+
+TEST_F(MergeabilityTest, CliqueCoverBlockDiagonal) {
+  // Three groups of sizes 3/2/1 planted via incompatible uncertainty.
+  std::vector<sdc::Sdc> modes;
+  std::vector<const Sdc*> ptrs;
+  const size_t group_of[6] = {0, 0, 0, 1, 1, 2};
+  for (size_t i = 0; i < 6; ++i) {
+    modes.push_back(parse(
+        "create_clock -name c -period 10 [get_ports clk1]\n"
+        "set_clock_uncertainty -setup " +
+        std::to_string(0.1 + 1.0 * static_cast<double>(group_of[i])) +
+        " [get_clocks c]\n"));
+  }
+  for (const auto& m : modes) ptrs.push_back(&m);
+
+  MergeabilityGraph graph(ptrs, options);
+  EXPECT_TRUE(graph.edge(0, 1));
+  EXPECT_TRUE(graph.edge(3, 4));
+  EXPECT_FALSE(graph.edge(0, 3));
+  EXPECT_FALSE(graph.edge(4, 5));
+  EXPECT_EQ(graph.degree(0), 2u);
+  EXPECT_EQ(graph.degree(5), 0u);
+  EXPECT_FALSE(graph.reason(0, 3).empty());
+
+  const auto cliques = graph.clique_cover();
+  ASSERT_EQ(cliques.size(), 3u);
+  EXPECT_EQ(cliques[0], (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(cliques[1], (std::vector<size_t>{3, 4}));
+  EXPECT_EQ(cliques[2], (std::vector<size_t>{5}));
+}
+
+TEST_F(MergeabilityTest, CliqueCoverFullyConnected) {
+  std::vector<sdc::Sdc> modes;
+  std::vector<const Sdc*> ptrs;
+  for (size_t i = 0; i < 5; ++i) {
+    modes.push_back(parse("create_clock -name c -period 10 [get_ports clk1]\n"));
+  }
+  for (const auto& m : modes) ptrs.push_back(&m);
+  MergeabilityGraph graph(ptrs, options);
+  const auto cliques = graph.clique_cover();
+  ASSERT_EQ(cliques.size(), 1u);
+  EXPECT_EQ(cliques[0].size(), 5u);
+}
+
+TEST_F(MergeabilityTest, SingleMode) {
+  sdc::Sdc a = parse("create_clock -name c -period 10 [get_ports clk1]\n");
+  MergeabilityGraph graph({&a}, options);
+  const auto cliques = graph.clique_cover();
+  ASSERT_EQ(cliques.size(), 1u);
+  EXPECT_EQ(cliques[0].size(), 1u);
+}
+
+}  // namespace
+}  // namespace mm::merge

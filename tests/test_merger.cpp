@@ -1,0 +1,140 @@
+// Merge orchestrator edge cases: single-mode cliques, empty constraint
+// sets, option plumbing, and the textual report.
+
+#include <gtest/gtest.h>
+
+#include "gen/paper_circuit.h"
+#include "merge/merger.h"
+#include "merge/mergeability.h"
+#include "sdc/parser.h"
+#include "timing/sta.h"
+
+namespace mm::merge {
+namespace {
+
+class MergerTest : public ::testing::Test {
+ protected:
+  netlist::Library lib = netlist::Library::builtin();
+  netlist::Design design = gen::paper_circuit(lib);
+  timing::TimingGraph graph{design};
+
+  sdc::Sdc parse(const std::string& text) {
+    return sdc::parse_sdc(text, design);
+  }
+};
+
+TEST_F(MergerTest, SingleModeMergeIsIdentity) {
+  sdc::Sdc a = parse(
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_false_path -to [get_pins rX/D]\n");
+  const ValidatedMergeResult out = merge_modes(graph, {&a});
+  EXPECT_TRUE(out.equivalence.equivalent());
+  EXPECT_EQ(out.merge.merged->num_clocks(), 1u);
+  EXPECT_EQ(out.merge.merged->exceptions().size(), 1u);
+  EXPECT_EQ(out.merge.stats.pass1_mismatch_fixed, 0u);
+  EXPECT_EQ(out.merge.stats.clock_stops_added, 0u);
+}
+
+TEST_F(MergerTest, EmptyConstraintModes) {
+  sdc::Sdc a = parse(""), b = parse("");
+  const ValidatedMergeResult out = merge_modes(graph, {&a, &b});
+  EXPECT_TRUE(out.equivalence.equivalent());
+  EXPECT_EQ(out.merge.merged->num_clocks(), 0u);
+  EXPECT_EQ(out.equivalence.keys_compared, 0u);
+}
+
+TEST_F(MergerTest, RefinementCanBeDisabled) {
+  sdc::Sdc a = parse(gen::constraint_sets::kSet6ModeA);
+  sdc::Sdc b = parse(gen::constraint_sets::kSet6ModeB);
+  MergeOptions options;
+  options.run_refinement = false;
+  const ValidatedMergeResult out = merge_modes(graph, {&a, &b}, options);
+  // No refinement, no validation run: exceptions stay empty.
+  EXPECT_TRUE(out.merge.merged->exceptions().empty());
+  EXPECT_EQ(out.equivalence.keys_compared, 0u);
+}
+
+TEST_F(MergerTest, ValidationCanBeDisabled) {
+  sdc::Sdc a = parse(gen::constraint_sets::kSet6ModeA);
+  sdc::Sdc b = parse(gen::constraint_sets::kSet6ModeB);
+  MergeOptions options;
+  options.validate = false;
+  const ValidatedMergeResult out = merge_modes(graph, {&a, &b}, options);
+  EXPECT_EQ(out.equivalence.keys_compared, 0u);
+  // Refinement still ran.
+  EXPECT_GE(out.merge.stats.pass1_mismatch_fixed, 1u);
+}
+
+TEST_F(MergerTest, ModeSetWithSingletons) {
+  // One mergeable pair + one incompatible singleton.
+  sdc::Sdc a = parse(
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_clock_uncertainty -setup 0.1 [get_clocks c]\n");
+  sdc::Sdc b = parse(
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_clock_uncertainty -setup 0.1 [get_clocks c]\n"
+      "set_false_path -to [get_pins rX/D]\n");
+  sdc::Sdc c = parse(
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_clock_uncertainty -setup 5.0 [get_clocks c]\n");
+  const MergedModeSet out = merge_mode_set(graph, {&a, &b, &c});
+  ASSERT_EQ(out.num_merged_modes(), 2u);
+  EXPECT_NEAR(out.reduction_percent(), 33.3, 0.1);
+  // The singleton clique's "merged" mode is just mode c, still validated.
+  for (const ValidatedMergeResult& m : out.merged) {
+    EXPECT_TRUE(m.equivalence.signoff_safe());
+  }
+}
+
+TEST_F(MergerTest, ReportMentionsKeySections) {
+  sdc::Sdc a = parse(gen::constraint_sets::kSet6ModeA);
+  sdc::Sdc b = parse(gen::constraint_sets::kSet6ModeB);
+  const ValidatedMergeResult out = merge_modes(graph, {&a, &b});
+  const std::string report = report_merge(out.merge, out.equivalence);
+  for (const char* needle :
+       {"preliminary merge", "refinement", "pass 1", "pass 2", "pass 3",
+        "validation", "EQUIVALENT"}) {
+    EXPECT_NE(report.find(needle), std::string::npos) << needle << "\n" << report;
+  }
+}
+
+TEST_F(MergerTest, StatsTimersPopulated) {
+  sdc::Sdc a = parse(gen::constraint_sets::kSet6ModeA);
+  sdc::Sdc b = parse(gen::constraint_sets::kSet6ModeB);
+  const ValidatedMergeResult out = merge_modes(graph, {&a, &b});
+  EXPECT_GE(out.merge.stats.preliminary_seconds, 0.0);
+  EXPECT_GT(out.merge.stats.refinement_seconds, 0.0);
+  EXPECT_GT(out.merge.stats.validate_seconds, 0.0);
+}
+
+TEST_F(MergerTest, ConflictingValuesAreReportedNotSilent) {
+  // Force-merging modes that mergeability would keep apart (MCP 2 vs 3 on
+  // the same paths): the result must never lose timed-ness, and the value
+  // conflict must surface as a state mismatch in the report (the corner
+  // documented in docs/ALGORITHM.md §5).
+  sdc::Sdc a = parse(
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_multicycle_path 2 -setup -to [get_pins rX/D]\n");
+  sdc::Sdc b = parse(
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_multicycle_path 3 -setup -to [get_pins rX/D]\n");
+  // Mergeability correctly refuses the pair...
+  EXPECT_FALSE(check_mergeable(a, b, {}).mergeable);
+  // ...but a forced direct merge still keeps every path timed.
+  const ValidatedMergeResult out = merge_modes(graph, {&a, &b});
+  EXPECT_EQ(out.equivalence.optimism_violations, 0u)
+      << report_merge(out.merge, out.equivalence);
+  const timing::StaResult sta = timing::run_sta(graph, *out.merge.merged);
+  EXPECT_EQ(sta.endpoint_slack.count(design.find_pin("rX/D").value()), 1u);
+}
+
+TEST_F(MergerTest, DifferentDesignsAssert) {
+  sdc::Sdc a = parse("create_clock -name c -period 10 [get_ports clk1]\n");
+  netlist::Design other = gen::paper_circuit(lib);
+  sdc::Sdc b = sdc::parse_sdc("create_clock -name c -period 10 [get_ports clk1]\n",
+                              other);
+  EXPECT_DEATH((void)merge_modes(graph, {&a, &b}), "different designs");
+}
+
+}  // namespace
+}  // namespace mm::merge

@@ -1,0 +1,197 @@
+// Unit tests for the per-mode view: case-analysis constant propagation,
+// disables, blocked-arc sensitivity, clock-network propagation.
+
+#include <gtest/gtest.h>
+
+#include "gen/paper_circuit.h"
+#include "sdc/parser.h"
+#include "timing/mode_graph.h"
+
+namespace mm::timing {
+namespace {
+
+using netlist::Logic;
+
+class ModeGraphTest : public ::testing::Test {
+ protected:
+  netlist::Library lib = netlist::Library::builtin();
+  netlist::Design design = gen::paper_circuit(lib);
+  TimingGraph graph{design};
+
+  ModeGraph make(const std::string& sdc_text) {
+    sdc_ = std::make_unique<sdc::Sdc>(sdc::parse_sdc(sdc_text, design));
+    return ModeGraph(graph, *sdc_);
+  }
+
+  PinId pin(const char* name) { return design.find_pin(name); }
+
+  std::unique_ptr<sdc::Sdc> sdc_;
+};
+
+TEST_F(ModeGraphTest, ConstantPropagationThroughOr) {
+  ModeGraph mg = make(
+      "set_case_analysis 0 sel1\n"
+      "set_case_analysis 1 sel2\n");
+  EXPECT_EQ(mg.constant(pin("sel1")), Logic::kZero);
+  EXPECT_EQ(mg.constant(pin("or1/Z")), Logic::kOne);   // 0 | 1
+  EXPECT_EQ(mg.constant(pin("mux1/S")), Logic::kOne);  // via net
+  EXPECT_FALSE(mg.is_constant(pin("mux1/Z")));  // clock value unknown
+}
+
+TEST_F(ModeGraphTest, ConstantsDoNotCrossRegisters) {
+  ModeGraph mg = make("set_case_analysis 0 in1\n");
+  EXPECT_EQ(mg.constant(pin("rA/D")), Logic::kZero);
+  EXPECT_FALSE(mg.is_constant(pin("rA/Q")));
+}
+
+TEST_F(ModeGraphTest, CaseOnOutputPinOverridesEvaluation) {
+  ModeGraph mg = make("set_case_analysis 0 rB/Q\n");
+  EXPECT_EQ(mg.constant(pin("rB/Q")), Logic::kZero);
+  // AND with one input 0 -> 0 downstream.
+  EXPECT_EQ(mg.constant(pin("and1/Z")), Logic::kZero);
+  EXPECT_EQ(mg.constant(pin("inv2/Z")), Logic::kOne);
+  EXPECT_EQ(mg.constant(pin("rY/D")), Logic::kOne);
+}
+
+TEST_F(ModeGraphTest, MuxSelectBlocksUnselectedArc) {
+  ModeGraph mg = make(
+      "create_clock -name a -period 10 [get_ports clk1]\n"
+      "create_clock -name b -period 20 [get_ports clk2]\n"
+      "set_case_analysis 0 sel1\n"
+      "set_case_analysis 1 sel2\n");  // select = 1: B input selected
+  // Arc mux1/A -> mux1/Z must be blocked, B -> Z alive.
+  bool a_blocked = true, b_alive = false;
+  for (ArcId aid : graph.fanout(pin("mux1/A"))) {
+    if (graph.arc(aid).to == pin("mux1/Z") && mg.arc_enabled(aid))
+      a_blocked = false;
+  }
+  for (ArcId aid : graph.fanout(pin("mux1/B"))) {
+    if (graph.arc(aid).to == pin("mux1/Z") && mg.arc_enabled(aid))
+      b_alive = true;
+  }
+  EXPECT_TRUE(a_blocked);
+  EXPECT_TRUE(b_alive);
+  // Hence only clkB reaches the gated registers.
+  EXPECT_FALSE(mg.clock_on(pin("rX/CP"), sdc_->find_clock("a")));
+  EXPECT_TRUE(mg.clock_on(pin("rX/CP"), sdc_->find_clock("b")));
+}
+
+TEST_F(ModeGraphTest, ClockPropagationUnconstrained) {
+  ModeGraph mg = make("create_clock -name a -period 10 [get_ports clk1]\n");
+  // Without case analysis the mux select is unknown: clkA reaches both the
+  // direct registers and (through mux A input) the gated ones.
+  EXPECT_TRUE(mg.clock_on(pin("rA/CP"), sdc_->find_clock("a")));
+  EXPECT_TRUE(mg.clock_on(pin("rX/CP"), sdc_->find_clock("a")));
+  EXPECT_TRUE(mg.in_clock_network(pin("mux1/Z")));
+  // The clock does not leak through launch arcs into the data network.
+  EXPECT_FALSE(mg.in_clock_network(pin("rA/Q")));
+}
+
+TEST_F(ModeGraphTest, ClockSenseStopRemovesClock) {
+  ModeGraph mg = make(
+      "create_clock -name a -period 10 [get_ports clk1]\n"
+      "set_clock_sense -stop_propagation -clock [get_clocks a] "
+      "[get_pins mux1/Z]\n");
+  EXPECT_FALSE(mg.clock_on(pin("mux1/Z"), sdc_->find_clock("a")));
+  EXPECT_FALSE(mg.clock_on(pin("rX/CP"), sdc_->find_clock("a")));
+  EXPECT_TRUE(mg.clock_on(pin("rA/CP"), sdc_->find_clock("a")));
+}
+
+TEST_F(ModeGraphTest, DisableTimingPinKillsArcs) {
+  ModeGraph mg = make(
+      "create_clock -name a -period 10 [get_ports clk1]\n"
+      "set_disable_timing [get_pins and1/A]\n");
+  for (ArcId aid : graph.fanin(pin("and1/A"))) {
+    EXPECT_FALSE(mg.arc_enabled(aid));
+  }
+  for (ArcId aid : graph.fanout(pin("and1/A"))) {
+    EXPECT_FALSE(mg.arc_enabled(aid));
+  }
+}
+
+TEST_F(ModeGraphTest, DisableTimingCellArcForm) {
+  ModeGraph mg = make("set_disable_timing [get_cells mux1] -from A -to Z\n");
+  bool a_z_disabled = false, b_z_enabled = false;
+  for (ArcId aid : graph.fanout(pin("mux1/A"))) {
+    if (graph.arc(aid).to == pin("mux1/Z"))
+      a_z_disabled = !mg.arc_enabled(aid);
+  }
+  for (ArcId aid : graph.fanout(pin("mux1/B"))) {
+    if (graph.arc(aid).to == pin("mux1/Z")) b_z_enabled = mg.arc_enabled(aid);
+  }
+  EXPECT_TRUE(a_z_disabled);
+  EXPECT_TRUE(b_z_enabled);
+}
+
+TEST_F(ModeGraphTest, ActivePoints) {
+  ModeGraph mg = make(
+      "create_clock -name a -period 10 [get_ports clk1]\n"
+      "set_input_delay 1 -clock a [get_ports in1]\n"
+      "set_output_delay 1 -clock a [get_ports out1]\n");
+  // Startpoints: 6 CP pins (all clocked) + in1.
+  EXPECT_EQ(mg.active_startpoints().size(), 7u);
+  // Endpoints: 6 D pins + out1.
+  EXPECT_EQ(mg.active_endpoints().size(), 7u);
+}
+
+TEST_F(ModeGraphTest, UnclockedRegistersAreInactive) {
+  ModeGraph mg = make(
+      "create_clock -name b -period 10 [get_ports clk2]\n"
+      "set_case_analysis 0 sel1\n"
+      "set_case_analysis 0 sel2\n");  // select=0: A input (clk1, no clock)
+  // clkB enters mux B input but select=0 blocks it; nothing is clocked.
+  EXPECT_TRUE(mg.active_startpoints().empty());
+  EXPECT_TRUE(mg.active_endpoints().empty());
+}
+
+TEST_F(ModeGraphTest, CaptureClocks) {
+  ModeGraph mg = make(
+      "create_clock -name a -period 10 [get_ports clk1]\n"
+      "create_clock -name b -period 20 [get_ports clk2]\n");
+  const auto caps = mg.capture_clocks_at(pin("rX/D"));
+  // Unknown mux select: both clocks capture at rX.
+  EXPECT_EQ(caps.size(), 2u);
+  const auto direct = mg.capture_clocks_at(pin("rA/D"));
+  ASSERT_EQ(direct.size(), 1u);
+  EXPECT_EQ(direct[0].clock, sdc_->find_clock("a"));
+}
+
+TEST_F(ModeGraphTest, GeneratedClockSeedsFromMaster) {
+  ModeGraph mg = make(
+      "create_clock -name a -period 10 [get_ports clk1]\n"
+      "create_generated_clock -name g -source [get_pins mux1/Z] -divide_by 2 "
+      "[get_pins mux1/Z]\n");
+  EXPECT_TRUE(mg.clock_on(pin("rX/CP"), sdc_->find_clock("g")));
+  EXPECT_TRUE(mg.clock_on(pin("rX/CP"), sdc_->find_clock("a")));
+}
+
+TEST_F(ModeGraphTest, ChainedGeneratedClocks) {
+  // g2 is generated from g1 which is generated from the root clock; the
+  // chain needs multi-round seeding. g2 is also declared BEFORE g1 resolves
+  // its waveform, exercising the parser's deferred derivation.
+  ModeGraph mg = make(
+      "create_clock -name root -period 8 [get_ports clk1]\n"
+      "create_generated_clock -name g1 -source [get_ports clk1] "
+      "-master_clock root -divide_by 2 [get_pins mux1/A]\n"
+      "create_generated_clock -name g2 -source [get_pins mux1/A] "
+      "-master_clock g1 -divide_by 2 [get_pins mux1/Z]\n");
+  const sdc::Clock& g2 = sdc_->clock(sdc_->find_clock("g2"));
+  EXPECT_DOUBLE_EQ(g2.period, 32.0);  // 8 * 2 * 2
+  EXPECT_TRUE(mg.clock_on(pin("rX/CP"), sdc_->find_clock("g2")));
+  EXPECT_TRUE(mg.clock_on(pin("rX/CP"), sdc_->find_clock("g1")));
+}
+
+TEST_F(ModeGraphTest, LatencyAndUncertaintyAccessors) {
+  ModeGraph mg = make(
+      "create_clock -name a -period 10 [get_ports clk1]\n"
+      "set_clock_latency -source 0.5 [get_clocks a]\n"
+      "set_clock_latency 0.3 [get_clocks a]\n"
+      "set_clock_uncertainty -setup 0.15 [get_clocks a]\n");
+  const sdc::ClockId a = sdc_->find_clock("a");
+  EXPECT_DOUBLE_EQ(mg.source_latency(a), 0.5);
+  EXPECT_DOUBLE_EQ(mg.ideal_network_latency(a), 0.3);
+  EXPECT_DOUBLE_EQ(mg.uncertainty(a), 0.15);
+}
+
+}  // namespace
+}  // namespace mm::timing

@@ -1,0 +1,182 @@
+// Unit tests for src/netlist: library cells, logic evaluation, design
+// construction, connectivity and the structural checker.
+
+#include <gtest/gtest.h>
+
+#include "gen/paper_circuit.h"
+#include "netlist/builder.h"
+#include "netlist/design.h"
+
+namespace mm::netlist {
+namespace {
+
+class LibraryTest : public ::testing::Test {
+ protected:
+  Library lib = Library::builtin();
+};
+
+TEST_F(LibraryTest, BuiltinHasAllCells) {
+  for (const char* name :
+       {cells::kBuf, cells::kInv, cells::kAnd2, cells::kNand2, cells::kOr2,
+        cells::kNor2, cells::kXor2, cells::kXnor2, cells::kMux2, cells::kTieLo,
+        cells::kTieHi, cells::kDff, cells::kSdff, cells::kIcg}) {
+    EXPECT_TRUE(lib.find_cell(name).valid()) << name;
+  }
+}
+
+TEST_F(LibraryTest, DffStructure) {
+  const LibCell& dff = lib.cell(lib.find_cell(cells::kDff));
+  EXPECT_TRUE(dff.is_sequential());
+  EXPECT_TRUE(dff.pins()[dff.pin_index("CP")].is_clock);
+  EXPECT_FALSE(dff.pins()[dff.pin_index("D")].is_clock);
+  // One launch arc + one setup check.
+  size_t launch = 0, checks = 0;
+  for (const LibArc& arc : dff.arcs()) {
+    if (arc.kind == ArcKind::kLaunch) ++launch;
+    if (arc.kind == ArcKind::kSetupHold) ++checks;
+  }
+  EXPECT_EQ(launch, 1u);
+  EXPECT_EQ(checks, 1u);
+}
+
+TEST_F(LibraryTest, EvaluateAnd) {
+  const LibCell& cell = lib.cell(lib.find_cell(cells::kAnd2));
+  using L = Logic;
+  auto eval = [&](L a, L b) {
+    std::vector<L> v{a, b, L::kUnknown};
+    return cell.evaluate(v);
+  };
+  EXPECT_EQ(eval(L::kZero, L::kUnknown), L::kZero);   // controlling value
+  EXPECT_EQ(eval(L::kOne, L::kOne), L::kOne);
+  EXPECT_EQ(eval(L::kOne, L::kUnknown), L::kUnknown);
+}
+
+TEST_F(LibraryTest, EvaluateNorXor) {
+  using L = Logic;
+  const LibCell& nor2 = lib.cell(lib.find_cell(cells::kNor2));
+  std::vector<L> v{L::kOne, L::kUnknown, L::kUnknown};
+  EXPECT_EQ(nor2.evaluate(v), L::kZero);  // 1 controls NOR
+  const LibCell& xor2 = lib.cell(lib.find_cell(cells::kXor2));
+  v = {L::kOne, L::kUnknown, L::kUnknown};
+  EXPECT_EQ(xor2.evaluate(v), L::kUnknown);  // XOR has no controlling value
+  v = {L::kOne, L::kOne, L::kUnknown};
+  EXPECT_EQ(xor2.evaluate(v), L::kZero);
+}
+
+TEST_F(LibraryTest, EvaluateMux) {
+  using L = Logic;
+  const LibCell& mux = lib.cell(lib.find_cell(cells::kMux2));
+  // Pin order A, B, S, Z.
+  std::vector<L> v{L::kOne, L::kZero, L::kZero, L::kUnknown};
+  EXPECT_EQ(mux.evaluate(v), L::kOne);  // S=0 -> A
+  v[2] = L::kOne;
+  EXPECT_EQ(mux.evaluate(v), L::kZero);  // S=1 -> B
+  v[2] = L::kUnknown;
+  EXPECT_EQ(mux.evaluate(v), L::kUnknown);  // unknown select, A != B
+  v[1] = L::kOne;
+  EXPECT_EQ(mux.evaluate(v), L::kOne);  // unknown select but A == B
+}
+
+TEST_F(LibraryTest, EvaluateIcg) {
+  using L = Logic;
+  const LibCell& icg = lib.cell(lib.find_cell(cells::kIcg));
+  std::vector<L> v{L::kUnknown, L::kZero, L::kUnknown};  // CK, EN, GCLK
+  EXPECT_EQ(icg.evaluate(v), L::kZero);  // EN=0 kills the clock
+  v[1] = L::kOne;
+  EXPECT_EQ(icg.evaluate(v), L::kUnknown);
+}
+
+TEST_F(LibraryTest, TieCells) {
+  using L = Logic;
+  std::vector<L> v{L::kUnknown};
+  EXPECT_EQ(lib.cell(lib.find_cell(cells::kTieLo)).evaluate(v), L::kZero);
+  EXPECT_EQ(lib.cell(lib.find_cell(cells::kTieHi)).evaluate(v), L::kOne);
+}
+
+// --- design ------------------------------------------------------------------
+
+class DesignTest : public ::testing::Test {
+ protected:
+  Library lib = Library::builtin();
+};
+
+TEST_F(DesignTest, BuildAndLookup) {
+  Design d("t", &lib);
+  Builder b(&d);
+  b.input("a");
+  b.input("b");
+  b.output("z");
+  b.inst("AND2", "u1", {{"A", "a"}, {"B", "b"}, {"Z", "z"}});
+
+  EXPECT_EQ(d.num_ports(), 3u);
+  EXPECT_EQ(d.num_instances(), 1u);
+  EXPECT_TRUE(d.find_pin("u1/A").valid());
+  EXPECT_TRUE(d.find_pin("a").valid());
+  EXPECT_FALSE(d.find_pin("u1/X").valid());
+  EXPECT_EQ(d.pin_name(d.find_pin("u1/Z")), "u1/Z");
+
+  // Net connectivity: 'a' driven by the input port, loading u1/A.
+  const Net& net = d.net(d.find_net("a"));
+  EXPECT_EQ(net.driver, d.port(d.find_port("a")).pin);
+  ASSERT_EQ(net.loads.size(), 1u);
+  EXPECT_EQ(net.loads[0], d.find_pin("u1/A"));
+}
+
+TEST_F(DesignTest, DirectionSemantics) {
+  Design d("t", &lib);
+  Builder b(&d);
+  b.input("a");
+  b.output("z");
+  b.inst("BUF", "u1", {{"A", "a"}, {"Z", "z"}});
+  EXPECT_TRUE(d.pin_drives_net(d.port(d.find_port("a")).pin));
+  EXPECT_FALSE(d.pin_drives_net(d.port(d.find_port("z")).pin));
+  EXPECT_TRUE(d.pin_drives_net(d.find_pin("u1/Z")));
+  EXPECT_FALSE(d.pin_drives_net(d.find_pin("u1/A")));
+}
+
+TEST_F(DesignTest, DuplicateNamesThrow) {
+  Design d("t", &lib);
+  Builder b(&d);
+  b.input("a");
+  EXPECT_THROW(d.add_port("a", PinDir::kInput), Error);
+  b.inst("BUF", "u1", {{"A", "a"}, {"Z", "x"}});
+  EXPECT_THROW(d.add_instance("u1", lib.find_cell("BUF")), Error);
+}
+
+TEST_F(DesignTest, MultipleDriversThrow) {
+  Design d("t", &lib);
+  Builder b(&d);
+  b.input("a");
+  b.inst("BUF", "u1", {{"A", "a"}, {"Z", "n"}});
+  EXPECT_THROW(b.inst("BUF", "u2", {{"A", "a"}, {"Z", "n"}}), Error);
+}
+
+TEST_F(DesignTest, CheckerFlagsFloatingInput) {
+  Design d("t", &lib);
+  Builder b(&d);
+  b.input("a");
+  d.add_instance("u1", lib.find_cell("AND2"));
+  d.connect(d.find_instance("u1"), "A", d.find_net("a"));
+  // B left floating.
+  const CheckReport report = check_design(d);
+  EXPECT_TRUE(report.ok());  // floating input is a warning, not an error
+  bool found = false;
+  for (const std::string& w : report.warnings) {
+    if (w.find("u1/B") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(DesignTest, PaperCircuitIsClean) {
+  Design d = gen::paper_circuit(lib);
+  EXPECT_EQ(d.num_instances(), 13u);  // 6 regs, or1, mux1, 3 inv, 2 and
+  const CheckReport report = check_design(d);
+  EXPECT_TRUE(report.ok());
+  for (const char* pin :
+       {"rA/Q", "rB/CP", "rX/D", "inv1/Z", "and1/Z", "mux1/S", "inv3/A"}) {
+    EXPECT_TRUE(d.find_pin(pin).valid()) << pin;
+  }
+}
+
+}  // namespace
+}  // namespace mm::netlist

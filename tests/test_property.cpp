@@ -1,0 +1,230 @@
+// Property-based tests: randomized workloads hammering the core invariants.
+//
+//  - Whatever modes are thrown at merge_mode_set, every merged mode must be
+//    sign-off safe (zero optimism) and pessimism-free after refinement.
+//  - Merged modes survive an SDC text round-trip with the same guarantees.
+//  - The glob matcher and SDC lexer never crash on adversarial input.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/design_gen.h"
+#include "merge/merger.h"
+#include "sdc/lexer.h"
+#include "sdc/parser.h"
+#include "sdc/writer.h"
+#include "util/glob.h"
+
+namespace mm {
+namespace {
+
+struct Rng {
+  uint64_t state;
+  explicit Rng(uint64_t seed) : state(seed + 0x9e3779b97f4a7c15ull) {}
+  uint64_t next() {
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  size_t below(size_t n) { return n == 0 ? 0 : next() % n; }
+  bool chance(int percent) { return below(100) < static_cast<size_t>(percent); }
+};
+
+/// A deliberately chaotic mode: random clock subsets with periods drawn
+/// from a small pool (so some clocks match across modes and some collide),
+/// random case values, random latencies/uncertainties from a small value
+/// pool (some compatible, some not), random exceptions of every kind with
+/// random anchors. No planted structure whatsoever.
+std::string random_mode(const gen::DesignParams& dp, Rng& rng) {
+  std::ostringstream os;
+  const double periods[] = {4.0, 5.0, 8.0, 10.0};
+  const double values[] = {0.1, 0.2, 0.5};
+  bool any_clock = false;
+  for (size_t d = 0; d < dp.num_domains; ++d) {
+    if (rng.chance(70)) {
+      os << "create_clock -name K" << d << " -period "
+         << periods[rng.below(std::size(periods))] << " [get_ports clk" << d
+         << "]\n";
+      any_clock = true;
+      if (rng.chance(40)) {
+        os << "set_clock_uncertainty -setup "
+           << values[rng.below(std::size(values))] << " [get_clocks K" << d
+           << "]\n";
+      }
+      if (rng.chance(30)) {
+        os << "set_clock_latency -max " << values[rng.below(std::size(values))]
+           << " [get_clocks K" << d << "]\n";
+      }
+    }
+  }
+  if (!any_clock || rng.chance(30)) {
+    os << "create_clock -name TK -period 16 [get_ports tclk]\n";
+  }
+  os << "set_case_analysis " << rng.below(2) << " test_mode\n";
+  if (dp.scan && rng.chance(80)) {
+    os << "set_case_analysis " << rng.below(2) << " scan_en\n";
+  }
+  for (size_t d = 0; d < dp.num_domains; ++d) {
+    if (rng.chance(70)) {
+      os << "set_case_analysis " << rng.below(2) << " en" << d << "\n";
+    }
+  }
+  const size_t num_gates = dp.num_regs * dp.comb_per_reg;
+  const size_t num_exceptions = 1 + rng.below(6);
+  for (size_t i = 0; i < num_exceptions; ++i) {
+    switch (rng.below(5)) {
+      case 0:
+        os << "set_false_path -through [get_pins g" << rng.below(num_gates)
+           << "/Z]\n";
+        break;
+      case 1:
+        os << "set_false_path -from [get_pins r" << rng.below(dp.num_regs)
+           << "/CP] -to [get_pins r" << rng.below(dp.num_regs) << "/D]\n";
+        break;
+      case 2:
+        os << "set_multicycle_path " << 2 + rng.below(2)
+           << " -setup -through [get_pins r" << rng.below(dp.num_regs)
+           << "/Q]\n";
+        break;
+      case 3:
+        os << "set_max_delay " << 2.0 + 0.5 * rng.below(8)
+           << " -to [get_pins r" << rng.below(dp.num_regs) << "/D]\n";
+        break;
+      default:
+        os << "set_false_path -setup -to [get_pins r" << rng.below(dp.num_regs)
+           << "/D]\n";
+        break;
+    }
+  }
+  if (rng.chance(50)) {
+    os << "set_disable_timing [get_pins g" << rng.below(num_gates) << "/Z]\n";
+  }
+  return os.str();
+}
+
+class RandomMergeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomMergeTest, MergeIsNeverOptimistic) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  netlist::Library lib = netlist::Library::builtin();
+  gen::DesignParams dp;
+  dp.num_regs = 60 + rng.below(80);
+  dp.num_domains = 2 + rng.below(3);
+  dp.scan = rng.chance(70);
+  dp.clock_gates = rng.chance(70);
+  dp.seed = seed;
+  const netlist::Design design = gen::generate_design(lib, dp);
+  const timing::TimingGraph graph(design);
+
+  const size_t num_modes = 2 + rng.below(4);
+  std::vector<sdc::Sdc> modes;
+  std::vector<const sdc::Sdc*> ptrs;
+  for (size_t m = 0; m < num_modes; ++m) {
+    modes.push_back(sdc::parse_sdc(random_mode(dp, rng), design));
+  }
+  for (const auto& m : modes) ptrs.push_back(&m);
+
+  const merge::MergedModeSet out = merge::merge_mode_set(graph, ptrs);
+
+  // Clique cover sanity: a partition of all modes.
+  size_t covered = 0;
+  for (const auto& clique : out.cliques) covered += clique.size();
+  EXPECT_EQ(covered, num_modes);
+
+  for (size_t c = 0; c < out.merged.size(); ++c) {
+    const merge::ValidatedMergeResult& m = out.merged[c];
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " clique=" + std::to_string(c));
+    EXPECT_EQ(m.equivalence.optimism_violations, 0u)
+        << merge::report_merge(m.merge, m.equivalence);
+    // Residual pessimism is acceptable ONLY when the refinement explicitly
+    // accounted for it (SDC-inexpressible capture-specific cases, path
+    // enumeration caps); silent pessimism is a bug.
+    if (m.merge.stats.unresolved_pessimism == 0) {
+      EXPECT_EQ(m.equivalence.pessimism_keys, 0u)
+          << merge::report_merge(m.merge, m.equivalence);
+    }
+
+    // Round-trip through SDC text preserves sign-off safety.
+    std::vector<const sdc::Sdc*> members;
+    for (size_t idx : out.cliques[c]) members.push_back(ptrs[idx]);
+    const sdc::Sdc reparsed =
+        sdc::parse_sdc(sdc::write_sdc(*m.merge.merged), design);
+    merge::RefineContext ctx(graph, members);
+    const merge::EquivalenceReport rt =
+        merge::check_equivalence(ctx, reparsed, m.merge.clock_map);
+    EXPECT_EQ(rt.optimism_violations, 0u);
+    EXPECT_EQ(rt.pessimism_keys, m.equivalence.pessimism_keys);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMergeTest,
+                         ::testing::Range<uint64_t>(1, 41));
+
+// --- glob properties ----------------------------------------------------------
+
+class GlobPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GlobPropertyTest, Invariants) {
+  Rng rng(GetParam());
+  const char alphabet[] = "ab*?/_1";
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string text, pattern;
+    const size_t tn = rng.below(12);
+    for (size_t i = 0; i < tn; ++i) {
+      // Text never contains metacharacters.
+      text.push_back("ab_/1"[rng.below(5)]);
+    }
+    const size_t pn = rng.below(12);
+    for (size_t i = 0; i < pn; ++i) {
+      pattern.push_back(alphabet[rng.below(std::size(alphabet) - 1)]);
+    }
+    // Reflexivity on literal strings.
+    EXPECT_TRUE(glob_match(text, text));
+    // "*" matches everything.
+    EXPECT_TRUE(glob_match("*", text));
+    // pattern + "*" matches pattern-prefix texts.
+    EXPECT_TRUE(glob_match(text + "*", text));
+    EXPECT_TRUE(glob_match("*" + text, text));
+    // A '?' consumes exactly one character.
+    if (!text.empty()) {
+      EXPECT_TRUE(glob_match(text.substr(0, text.size() - 1) + "?", text));
+    }
+    // No crash on arbitrary pattern/text combinations.
+    (void)glob_match(pattern, text);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GlobPropertyTest,
+                         ::testing::Range<uint64_t>(1, 5));
+
+// --- lexer fuzz -----------------------------------------------------------------
+
+class LexerFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LexerFuzzTest, NeverCrashesOnlyThrows) {
+  Rng rng(GetParam());
+  const char alphabet[] = "abc {}[]\"#;\\\n\t-_0.5/*";
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string text;
+    const size_t n = rng.below(64);
+    for (size_t i = 0; i < n; ++i) {
+      text.push_back(alphabet[rng.below(std::size(alphabet) - 1)]);
+    }
+    try {
+      const auto cmds = sdc::lex_sdc(text);
+      (void)cmds;
+    } catch (const Error&) {
+      // Throwing mm::Error is the only acceptable failure.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LexerFuzzTest,
+                         ::testing::Range<uint64_t>(1, 5));
+
+}  // namespace
+}  // namespace mm

@@ -1,0 +1,136 @@
+// Report module tests: path traceback correctness, clock reports,
+// relationship tables.
+
+#include <gtest/gtest.h>
+
+#include "gen/paper_circuit.h"
+#include "sdc/parser.h"
+#include "timing/report.h"
+
+namespace mm::timing {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  netlist::Library lib = netlist::Library::builtin();
+  netlist::Design design = gen::paper_circuit(lib);
+  TimingGraph graph{design};
+
+  sdc::Sdc parse(const std::string& text) {
+    return sdc::parse_sdc(text, design);
+  }
+};
+
+TEST_F(ReportTest, SetupReportTracesWorstPath) {
+  const sdc::Sdc sdc = parse("create_clock -name c -period 1 [get_ports clk1]\n");
+  const std::string report = report_timing(graph, sdc, {.max_paths = 1});
+  // The worst path is the 3-level rY cone: rB or rA through and1/inv2.
+  EXPECT_NE(report.find("Endpoint: rY/D"), std::string::npos) << report;
+  EXPECT_NE(report.find("inv2/Z"), std::string::npos) << report;
+  EXPECT_NE(report.find("and1/"), std::string::npos) << report;
+  EXPECT_NE(report.find("VIOLATED"), std::string::npos) << report;
+  EXPECT_NE(report.find("Launch clock: c"), std::string::npos) << report;
+}
+
+TEST_F(ReportTest, PathArrivalsAreMonotone) {
+  const sdc::Sdc sdc = parse("create_clock -name c -period 10 [get_ports clk1]\n");
+  const std::string report = report_timing(graph, sdc, {.max_paths = 3});
+  // Every traceback line's "path" column must be non-decreasing; verify by
+  // scanning the numeric last column per block.
+  std::istringstream is(report);
+  std::string line;
+  double prev = -1e9;
+  while (std::getline(is, line)) {
+    if (line.find("Endpoint:") != std::string::npos) prev = -1e9;
+    std::istringstream ls(line);
+    std::string point;
+    double incr, path;
+    if (ls >> point >> incr >> path) {
+      if (point.find('/') == std::string::npos && point != "clk1") continue;
+      EXPECT_GE(path + 1e-9, prev) << line;
+      prev = path;
+    }
+  }
+}
+
+TEST_F(ReportTest, FalsePathedTagsAreNotTraced) {
+  // rA->rY is false-pathed; the rY/D report must trace the (timed) rB
+  // path even though the rA tag has the later arrival.
+  const sdc::Sdc sdc =
+      parse("create_clock -name c -period 10 [get_ports clk1]\n"
+            "set_false_path -from [get_pins rA/CP] -to [get_pins rY/D]\n");
+  const std::string report = report_timing(graph, sdc, {.max_paths = 3});
+  // Locate the rY/D block and check its startpoint.
+  const size_t block = report.find("Endpoint: rY/D");
+  ASSERT_NE(block, std::string::npos) << report;
+  const size_t next = report.find("Endpoint:", block + 1);
+  const std::string ry = report.substr(block, next - block);
+  EXPECT_NE(ry.find("rB/CP"), std::string::npos) << ry;
+  EXPECT_EQ(ry.find("rA/CP"), std::string::npos) << ry;
+}
+
+TEST_F(ReportTest, HoldReportUsesMinPaths) {
+  const sdc::Sdc sdc =
+      parse("create_clock -name c -period 10 [get_ports clk1]\n"
+            "set_min_delay 100 -to [get_pins rX/D]\n");
+  const std::string report =
+      report_timing(graph, sdc, {.max_paths = 1, .hold = true});
+  EXPECT_NE(report.find("Hold timing report"), std::string::npos);
+  EXPECT_NE(report.find("Endpoint: rX/D"), std::string::npos) << report;
+  EXPECT_NE(report.find("VIOLATED"), std::string::npos) << report;
+}
+
+TEST_F(ReportTest, MaxPathsRespected) {
+  const sdc::Sdc sdc = parse("create_clock -name c -period 10 [get_ports clk1]\n");
+  const std::string one = report_timing(graph, sdc, {.max_paths = 1});
+  const std::string three = report_timing(graph, sdc, {.max_paths = 3});
+  auto count = [](const std::string& s, const char* needle) {
+    size_t n = 0, pos = 0;
+    while ((pos = s.find(needle, pos)) != std::string::npos) {
+      ++n;
+      ++pos;
+    }
+    return n;
+  };
+  EXPECT_EQ(count(one, "Endpoint:"), 1u);
+  EXPECT_EQ(count(three, "Endpoint:"), 3u);
+}
+
+TEST_F(ReportTest, ClockReport) {
+  const sdc::Sdc sdc = parse(
+      "create_clock -name fast -period 2 [get_ports clk1]\n"
+      "create_clock -name slow -period 8 [get_ports clk2]\n"
+      "set_propagated_clock [get_clocks fast]\n"
+      "set_clock_groups -asynchronous -group [get_clocks fast] "
+      "-group [get_clocks slow]\n");
+  const std::string report = report_clocks(graph, sdc);
+  EXPECT_NE(report.find("fast: period 2"), std::string::npos) << report;
+  EXPECT_NE(report.find("propagated"), std::string::npos);
+  EXPECT_NE(report.find("group(async)"), std::string::npos);
+  // fast reaches rA/rB/rC directly + rX/rY/rZ through the mux: 6 pins.
+  EXPECT_NE(report.find("6 register clock pin(s)"), std::string::npos)
+      << report;
+}
+
+TEST_F(ReportTest, VirtualClockReport) {
+  const sdc::Sdc sdc = parse("create_clock -name v -period 5\n");
+  const std::string report = report_clocks(graph, sdc);
+  EXPECT_NE(report.find("virtual"), std::string::npos);
+}
+
+TEST_F(ReportTest, RelationsTable) {
+  const sdc::Sdc sdc = parse(gen::constraint_sets::kSet1);
+  const std::string report = report_relations(graph, sdc);
+  EXPECT_NE(report.find("rX/D"), std::string::npos) << report;
+  EXPECT_NE(report.find("MCP(2)"), std::string::npos) << report;
+  EXPECT_NE(report.find("{FP}"), std::string::npos) << report;
+}
+
+TEST_F(ReportTest, RelationsTableRowCap) {
+  const sdc::Sdc sdc = parse("create_clock -name c -period 10 [get_ports clk1]\n");
+  const std::string report = report_relations(graph, sdc, 1);
+  EXPECT_NE(report.find("more)"), std::string::npos) << report;
+}
+
+}  // namespace
+}  // namespace mm::timing

@@ -1,0 +1,101 @@
+// Unit tests for the SDC lexer: word splitting, braces, brackets, quotes,
+// comments, continuations, error reporting.
+
+#include <gtest/gtest.h>
+
+#include "sdc/lexer.h"
+#include "util/error.h"
+
+namespace mm::sdc {
+namespace {
+
+TEST(Lexer, SimpleCommand) {
+  const auto cmds = lex_sdc("create_clock -name clkA -period 10 clk1\n");
+  ASSERT_EQ(cmds.size(), 1u);
+  ASSERT_EQ(cmds[0].words.size(), 6u);
+  EXPECT_EQ(cmds[0].words[0].text, "create_clock");
+  EXPECT_EQ(cmds[0].words[5].text, "clk1");
+}
+
+TEST(Lexer, MultipleCommandsAndSemicolons) {
+  const auto cmds = lex_sdc("a 1\nb 2; c 3\n");
+  ASSERT_EQ(cmds.size(), 3u);
+  EXPECT_EQ(cmds[1].words[0].text, "b");
+  EXPECT_EQ(cmds[2].words[0].text, "c");
+}
+
+TEST(Lexer, Comments) {
+  const auto cmds = lex_sdc("# full line comment\na 1 # trailing\nb 2\n");
+  ASSERT_EQ(cmds.size(), 2u);
+  EXPECT_EQ(cmds[0].words.size(), 2u);
+  EXPECT_EQ(cmds[0].words[0].text, "a");
+}
+
+TEST(Lexer, BraceGroup) {
+  const auto cmds = lex_sdc("create_clock -waveform {0 5} x\n");
+  ASSERT_EQ(cmds.size(), 1u);
+  const Word& wf = cmds[0].words[2];
+  EXPECT_EQ(wf.kind, Word::Kind::kBrace);
+  ASSERT_EQ(wf.children.size(), 2u);
+  EXPECT_EQ(wf.children[0].text, "0");
+  EXPECT_EQ(wf.children[1].text, "5");
+}
+
+TEST(Lexer, BracketCommand) {
+  const auto cmds = lex_sdc("set_false_path -to [get_pins rX/D]\n");
+  const Word& br = cmds[0].words[2];
+  EXPECT_EQ(br.kind, Word::Kind::kBracket);
+  ASSERT_EQ(br.children.size(), 2u);
+  EXPECT_EQ(br.children[0].text, "get_pins");
+  EXPECT_EQ(br.children[1].text, "rX/D");
+}
+
+TEST(Lexer, NestedBracketsAndBraces) {
+  const auto cmds = lex_sdc("cmd [get_pins {a b [get_c d]}]\n");
+  const Word& br = cmds[0].words[1];
+  ASSERT_EQ(br.children.size(), 2u);
+  const Word& brace = br.children[1];
+  EXPECT_EQ(brace.kind, Word::Kind::kBrace);
+  ASSERT_EQ(brace.children.size(), 3u);
+  EXPECT_EQ(brace.children[2].kind, Word::Kind::kBracket);
+}
+
+TEST(Lexer, QuotedStrings) {
+  const auto cmds = lex_sdc("cmd -comment \"hello world\" x\n");
+  ASSERT_EQ(cmds[0].words.size(), 4u);
+  EXPECT_EQ(cmds[0].words[2].text, "hello world");
+}
+
+TEST(Lexer, LineContinuation) {
+  const auto cmds = lex_sdc("create_clock \\\n  -period 10 clk\n");
+  ASSERT_EQ(cmds.size(), 1u);
+  EXPECT_EQ(cmds[0].words.size(), 4u);
+}
+
+TEST(Lexer, NewlinesInsideBrackets) {
+  const auto cmds = lex_sdc("cmd [get_pins \n  a/Z \n] end\n");
+  ASSERT_EQ(cmds.size(), 1u);
+  EXPECT_EQ(cmds[0].words.size(), 3u);
+  EXPECT_EQ(cmds[0].words[2].text, "end");
+}
+
+TEST(Lexer, UnterminatedBraceThrows) {
+  EXPECT_THROW(lex_sdc("cmd {a b\n"), Error);
+  EXPECT_THROW(lex_sdc("cmd [get_pins x\n"), Error);
+  EXPECT_THROW(lex_sdc("cmd \"abc\n"), Error);
+}
+
+TEST(Lexer, LineNumbersInWords) {
+  const auto cmds = lex_sdc("a 1\n\nb 2\n");
+  ASSERT_EQ(cmds.size(), 2u);
+  EXPECT_EQ(cmds[0].line, 1);
+  EXPECT_EQ(cmds[1].line, 3);
+}
+
+TEST(Lexer, EmptyInput) {
+  EXPECT_TRUE(lex_sdc("").empty());
+  EXPECT_TRUE(lex_sdc("\n\n# only comments\n").empty());
+}
+
+}  // namespace
+}  // namespace mm::sdc

@@ -1,0 +1,109 @@
+// Direct tests of the SDC object-query layer: query commands, bare-name
+// fallback, nesting, acceptance masks, error reporting.
+
+#include <gtest/gtest.h>
+
+#include "gen/paper_circuit.h"
+#include "sdc/lexer.h"
+#include "sdc/parser.h"
+#include "sdc/query.h"
+
+namespace mm::sdc {
+namespace {
+
+class QueryTest : public ::testing::Test {
+ protected:
+  netlist::Library lib = netlist::Library::builtin();
+  netlist::Design design = gen::paper_circuit(lib);
+  Sdc sdc{parse_sdc("create_clock -name clkA -period 10 [get_ports clk1]\n"
+                    "create_clock -name clkB -period 20 [get_ports clk2]\n",
+                    design)};
+  QueryContext ctx{&design, &sdc};
+
+  /// Evaluate the first word of a one-command snippet.
+  ObjectSet eval(const std::string& snippet, unsigned accept = kAcceptAny) {
+    const auto cmds = lex_sdc("cmd " + snippet + "\n");
+    return ctx.evaluate(cmds.at(0).words.at(1), accept);
+  }
+};
+
+TEST_F(QueryTest, GetPortsExactAndGlob) {
+  EXPECT_EQ(eval("[get_ports clk1]").pins.size(), 1u);
+  EXPECT_EQ(eval("[get_ports clk*]").pins.size(), 2u);
+  EXPECT_EQ(eval("[get_ports {clk1 clk2 sel1}]").pins.size(), 3u);
+  EXPECT_THROW(eval("[get_ports nope]"), Error);
+  EXPECT_THROW(eval("[get_ports nope*]"), Error);
+}
+
+TEST_F(QueryTest, GetPinsSkipsPorts) {
+  // Glob over pins never matches port pins.
+  const ObjectSet all = eval("[get_pins */*]");
+  for (sdc::PinId p : all.pins) {
+    EXPECT_FALSE(design.pin(p).is_port());
+  }
+  EXPECT_THROW(eval("[get_pins clk1]"), Error);  // port, not a pin
+}
+
+TEST_F(QueryTest, GetCells) {
+  EXPECT_EQ(eval("[get_cells r*]").insts.size(), 6u);
+  EXPECT_EQ(eval("[get_cells mux1]").insts.size(), 1u);
+}
+
+TEST_F(QueryTest, GetClocks) {
+  EXPECT_EQ(eval("[get_clocks clk*]").clocks.size(), 2u);
+  const ObjectSet one = eval("[get_clocks clkB]");
+  ASSERT_EQ(one.clocks.size(), 1u);
+  EXPECT_EQ(sdc.clock(one.clocks[0]).name, "clkB");
+}
+
+TEST_F(QueryTest, AllQueries) {
+  EXPECT_EQ(eval("[all_inputs]").pins.size(), 5u);
+  EXPECT_EQ(eval("[all_outputs]").pins.size(), 1u);
+  EXPECT_EQ(eval("[all_clocks]").clocks.size(), 2u);
+  EXPECT_EQ(eval("[all_registers]").insts.size(), 6u);
+  EXPECT_EQ(eval("[all_registers -clock_pins]").pins.size(), 6u);
+}
+
+TEST_F(QueryTest, BareNameResolutionOrder) {
+  // Pin first, then clock, then instance.
+  const ObjectSet pin = eval("rA/Q");
+  EXPECT_EQ(pin.pins.size(), 1u);
+  const ObjectSet clock = eval("clkA", kAcceptClocks);
+  EXPECT_EQ(clock.clocks.size(), 1u);
+  const ObjectSet inst = eval("mux1");
+  EXPECT_EQ(inst.insts.size(), 1u);
+}
+
+TEST_F(QueryTest, UnknownBracketHeadFallsBackToNames) {
+  // The paper's "[and1/Z]" shorthand.
+  const ObjectSet set = eval("[and1/Z]");
+  ASSERT_EQ(set.pins.size(), 1u);
+  EXPECT_EQ(design.pin_name(set.pins[0]), "and1/Z");
+}
+
+TEST_F(QueryTest, ListCommandAndNesting) {
+  const ObjectSet set = eval("[list rA/Q rB/Q]");
+  EXPECT_EQ(set.pins.size(), 2u);
+  const ObjectSet nested = eval("[get_pins {rA/Q rB/Q}]");
+  EXPECT_EQ(nested.pins.size(), 2u);
+}
+
+TEST_F(QueryTest, AcceptanceMasks) {
+  EXPECT_THROW(eval("[get_clocks clkA]", kAcceptPins), Error);
+  EXPECT_THROW(eval("[get_cells mux1]", kAcceptPins | kAcceptClocks), Error);
+  EXPECT_THROW(eval("nosuchthing"), Error);
+}
+
+TEST_F(QueryTest, UnsupportedQueryOptionThrows) {
+  EXPECT_THROW(eval("[get_ports -regexp clk.*]"), Error);
+}
+
+TEST_F(QueryTest, BraceOfNames) {
+  const auto cmds = lex_sdc("cmd {rA/Q clkA}\n");
+  const ObjectSet set = ctx.evaluate(cmds.at(0).words.at(1), kAcceptAny);
+  EXPECT_EQ(set.pins.size(), 1u);
+  EXPECT_EQ(set.clocks.size(), 1u);
+}
+
+}  // namespace
+}  // namespace mm::sdc

@@ -1,0 +1,121 @@
+// Unit tests for the mode-independent timing graph: arcs, checks,
+// levelization, loop breaking, startpoint/endpoint classification.
+
+#include <gtest/gtest.h>
+
+#include "gen/paper_circuit.h"
+#include "netlist/builder.h"
+#include "timing/graph.h"
+
+namespace mm::timing {
+namespace {
+
+class GraphTest : public ::testing::Test {
+ protected:
+  netlist::Library lib = netlist::Library::builtin();
+};
+
+TEST_F(GraphTest, PaperCircuitStructure) {
+  netlist::Design d = gen::paper_circuit(lib);
+  TimingGraph g(d);
+
+  EXPECT_EQ(g.num_nodes(), d.num_pins());
+  EXPECT_EQ(g.num_loop_breaks(), 0u);
+
+  // Endpoints: 6 register D pins + out1.
+  EXPECT_EQ(g.endpoints().size(), 7u);
+  // Startpoints: 6 register CP pins + 5 input ports.
+  EXPECT_EQ(g.startpoints().size(), 11u);
+  EXPECT_TRUE(g.is_endpoint(d.find_pin("rX/D")));
+  EXPECT_TRUE(g.is_startpoint(d.find_pin("rA/CP")));
+  EXPECT_FALSE(g.is_startpoint(d.find_pin("rA/Q")));
+
+  // Topological order: driver precedes load.
+  EXPECT_LT(g.topo_position(d.find_pin("rA/Q")),
+            g.topo_position(d.find_pin("inv1/A")));
+  EXPECT_LT(g.topo_position(d.find_pin("inv1/A")),
+            g.topo_position(d.find_pin("inv1/Z")));
+  EXPECT_LT(g.topo_position(d.find_pin("inv1/Z")),
+            g.topo_position(d.find_pin("rX/D")));
+}
+
+TEST_F(GraphTest, ChecksConnectDataToClock) {
+  netlist::Design d = gen::paper_circuit(lib);
+  TimingGraph g(d);
+  const auto& checks = g.checks_at(d.find_pin("rX/D"));
+  ASSERT_EQ(checks.size(), 1u);
+  EXPECT_EQ(g.checks()[checks[0]].clock, d.find_pin("rX/CP"));
+  EXPECT_GT(g.checks()[checks[0]].setup, 0.0);
+}
+
+TEST_F(GraphTest, LaunchArcFromCpToQ) {
+  netlist::Design d = gen::paper_circuit(lib);
+  TimingGraph g(d);
+  const PinId cp = d.find_pin("rA/CP");
+  bool found = false;
+  for (ArcId aid : g.fanout(cp)) {
+    const Arc& arc = g.arc(aid);
+    if (arc.kind == ArcKind::kLaunch && arc.to == d.find_pin("rA/Q")) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(GraphTest, NetArcsFollowConnectivity) {
+  netlist::Design d = gen::paper_circuit(lib);
+  TimingGraph g(d);
+  // inv1/Z drives two loads: rX/D and and1/A.
+  size_t net_arcs = 0;
+  for (ArcId aid : g.fanout(d.find_pin("inv1/Z"))) {
+    if (g.arc(aid).kind == ArcKind::kNet) ++net_arcs;
+  }
+  EXPECT_EQ(net_arcs, 2u);
+  EXPECT_GT(g.load_on(d.find_pin("inv1/Z")), 0.0);
+}
+
+TEST_F(GraphTest, CombinationalLoopIsBroken) {
+  netlist::Design d("loop", &lib);
+  netlist::Builder b(&d);
+  b.input("a");
+  // u1 and u2 form a loop: u1.Z -> u2.A, u2.Z -> u1.B.
+  b.inst("AND2", "u1", {{"A", "a"}, {"B", "fb"}, {"Z", "n1"}});
+  b.inst("AND2", "u2", {{"A", "n1"}, {"B", "a"}, {"Z", "fb"}});
+  TimingGraph g(d);
+  EXPECT_GE(g.num_loop_breaks(), 1u);
+  // Levelization must still cover every pin exactly once.
+  EXPECT_EQ(g.topo_order().size(), d.num_pins());
+}
+
+TEST_F(GraphTest, IcgClockPinIsNotAStartpoint) {
+  netlist::Design d("icg", &lib);
+  netlist::Builder b(&d);
+  b.input("ck");
+  b.input("en");
+  b.inst("ICG", "g0", {{"CK", "ck"}, {"EN", "en"}, {"GCLK", "gck"}});
+  b.inst("DFF", "r0", {{"D", "en"}, {"CP", "gck"}, {"Q", "q0"}});
+  TimingGraph g(d);
+  // ICG CK captures the EN check but launches nothing.
+  EXPECT_FALSE(g.is_startpoint(d.find_pin("g0/CK")));
+  EXPECT_TRUE(g.is_startpoint(d.find_pin("r0/CP")));
+  EXPECT_TRUE(g.is_endpoint(d.find_pin("g0/EN")));
+}
+
+TEST_F(GraphTest, ScanFlopHasThreeChecks) {
+  netlist::Design d("scan", &lib);
+  netlist::Builder b(&d);
+  b.input("ck");
+  b.input("di");
+  b.input("si");
+  b.input("se");
+  b.inst("SDFF", "r0",
+         {{"D", "di"}, {"SI", "si"}, {"SE", "se"}, {"CP", "ck"}, {"Q", "q"}});
+  TimingGraph g(d);
+  EXPECT_TRUE(g.is_endpoint(d.find_pin("r0/D")));
+  EXPECT_TRUE(g.is_endpoint(d.find_pin("r0/SI")));
+  EXPECT_TRUE(g.is_endpoint(d.find_pin("r0/SE")));
+  EXPECT_EQ(g.checks().size(), 3u);
+}
+
+}  // namespace
+}  // namespace mm::timing

@@ -1,0 +1,192 @@
+// Unit tests for src/util: glob matching, string interning, dynamic bitset,
+// thread pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "util/bitset.h"
+#include "util/glob.h"
+#include "util/intern.h"
+#include "util/thread_pool.h"
+
+namespace mm {
+namespace {
+
+// --- glob --------------------------------------------------------------------
+
+TEST(Glob, ExactMatch) {
+  EXPECT_TRUE(glob_match("clk1", "clk1"));
+  EXPECT_FALSE(glob_match("clk1", "clk2"));
+  EXPECT_FALSE(glob_match("clk", "clk1"));
+  EXPECT_FALSE(glob_match("clk1", "clk"));
+}
+
+TEST(Glob, Star) {
+  EXPECT_TRUE(glob_match("clk*", "clk1"));
+  EXPECT_TRUE(glob_match("clk*", "clk"));
+  EXPECT_TRUE(glob_match("*", "anything"));
+  EXPECT_TRUE(glob_match("*", ""));
+  EXPECT_TRUE(glob_match("r*/Q", "r123/Q"));
+  EXPECT_FALSE(glob_match("r*/Q", "r123/D"));
+  EXPECT_TRUE(glob_match("*mid*", "has_mid_inside"));
+  EXPECT_FALSE(glob_match("*mid*", "nothing"));
+}
+
+TEST(Glob, Question) {
+  EXPECT_TRUE(glob_match("clk?", "clk1"));
+  EXPECT_FALSE(glob_match("clk?", "clk"));
+  EXPECT_FALSE(glob_match("clk?", "clk12"));
+  EXPECT_TRUE(glob_match("?", "x"));
+}
+
+TEST(Glob, StarBacktracking) {
+  EXPECT_TRUE(glob_match("a*b*c", "a_x_b_y_c"));
+  EXPECT_TRUE(glob_match("a*b*c", "abbc"));
+  EXPECT_FALSE(glob_match("a*b*c", "acb"));
+  EXPECT_TRUE(glob_match("**", "x"));
+  EXPECT_TRUE(glob_match("a*", "a"));
+}
+
+TEST(Glob, IsGlob) {
+  EXPECT_TRUE(is_glob("clk*"));
+  EXPECT_TRUE(is_glob("clk?"));
+  EXPECT_FALSE(is_glob("clk1"));
+  EXPECT_FALSE(is_glob(""));
+}
+
+// --- intern ------------------------------------------------------------------
+
+TEST(StringPool, InternReturnsSameSymbol) {
+  StringPool pool;
+  const Symbol a = pool.intern("hello");
+  const Symbol b = pool.intern("hello");
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(pool.str(a), "hello");
+}
+
+TEST(StringPool, DistinctStringsDistinctSymbols) {
+  StringPool pool;
+  const Symbol a = pool.intern("a");
+  const Symbol b = pool.intern("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(StringPool, EmptyStringIsInvalid) {
+  StringPool pool;
+  EXPECT_FALSE(pool.intern("").valid());
+  EXPECT_FALSE(pool.find("").valid());
+}
+
+TEST(StringPool, FindDoesNotIntern) {
+  StringPool pool;
+  EXPECT_FALSE(pool.find("missing").valid());
+  EXPECT_EQ(pool.size(), 0u);
+  pool.intern("present");
+  EXPECT_TRUE(pool.find("present").valid());
+}
+
+TEST(StringPool, StableAcrossGrowth) {
+  StringPool pool;
+  std::vector<Symbol> syms;
+  for (int i = 0; i < 1000; ++i) {
+    syms.push_back(pool.intern("name" + std::to_string(i)));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(pool.str(syms[i]), "name" + std::to_string(i));
+    EXPECT_EQ(pool.find("name" + std::to_string(i)), syms[i]);
+  }
+}
+
+// --- bitset ------------------------------------------------------------------
+
+TEST(DynamicBitset, SetTestClear) {
+  DynamicBitset bits(130);
+  EXPECT_EQ(bits.size(), 130u);
+  EXPECT_FALSE(bits.any());
+  bits.set(0);
+  bits.set(64);
+  bits.set(129);
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_TRUE(bits.test(64));
+  EXPECT_TRUE(bits.test(129));
+  EXPECT_FALSE(bits.test(1));
+  EXPECT_EQ(bits.count(), 3u);
+  bits.set(64, false);
+  EXPECT_FALSE(bits.test(64));
+  bits.clear();
+  EXPECT_FALSE(bits.any());
+}
+
+TEST(DynamicBitset, OrAndEquality) {
+  DynamicBitset a(100), b(100);
+  a.set(3);
+  a.set(99);
+  b.set(99);
+  DynamicBitset c = a;
+  c &= b;
+  EXPECT_EQ(c.count(), 1u);
+  EXPECT_TRUE(c.test(99));
+  a |= b;
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(c == b);
+}
+
+TEST(DynamicBitset, AllOnesConstructionTrimsTail) {
+  DynamicBitset bits(70, true);
+  EXPECT_EQ(bits.count(), 70u);
+}
+
+// --- thread pool --------------------------------------------------------------
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::vector<int> hits(10000, 0);
+  pool.parallel_for(hits.size(), [&](size_t i) { hits[i]++; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 10000);
+}
+
+TEST(ThreadPool, ParallelForZeroAndOne) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, [&](size_t) { count++; });
+  EXPECT_EQ(count.load(), 0);
+  pool.parallel_for(1, [&](size_t) { count++; });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](size_t i) {
+                          if (i == 57) throw Error("boom");
+                        }),
+      Error);
+}
+
+TEST(ThreadPool, ReusableAfterException) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(10, [&](size_t) { throw Error("x"); });
+  } catch (const Error&) {
+  }
+  std::atomic<int> count{0};
+  pool.parallel_for(50, [&](size_t) { count++; });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, SingleThreadFallback) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  pool.parallel_for(5, [&](size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace mm

@@ -1,0 +1,197 @@
+// modemerge — command-line mode merging.
+//
+//   modemerge --netlist design.v --mode func.sdc --mode scan.sdc ...
+//             [--out DIR] [--tolerance X] [--threads N] [--sta]
+//             [--no-refine] [--no-validate] [--no-hold]
+//
+// Reads a structural Verilog netlist (built-in cell library) and N SDC mode
+// decks, runs mergeability analysis + clique cover + per-clique merging,
+// writes one merged SDC per clique into DIR (default .), and prints the
+// merge reports. With --sta it also runs STA on individual vs merged modes
+// and reports the runtime reduction and slack conformity. Exit status is
+// non-zero if any merged mode fails sign-off validation.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "merge/merger.h"
+#include "netlist/liberty.h"
+#include "netlist/verilog.h"
+#include "sdc/parser.h"
+#include "sdc/writer.h"
+#include "timing/report.h"
+#include "timing/sta.h"
+#include "util/logger.h"
+#include "util/timer.h"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw mm::Error("cannot open: " + path);
+  std::ostringstream os;
+  os << file.rdbuf();
+  return os.str();
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: modemerge --netlist FILE.v [--liberty FILE.lib] --mode FILE.sdc "
+               "[--mode FILE.sdc ...]\n"
+               "  [--out DIR] [--tolerance X] [--threads N] [--sta]\n"
+               "  [--no-refine] [--no-validate] [--no-hold] [--verbose]\n"
+               "  [--report-timing N] [--report-clocks]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mm;
+
+  std::string netlist_path;
+  std::string liberty_path;
+  std::vector<std::string> mode_paths;
+  std::string out_dir = ".";
+  merge::MergeOptions options;
+  bool run_sta_flag = false;
+  size_t report_paths = 0;
+  bool report_clocks_flag = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--netlist") netlist_path = value();
+    else if (arg == "--liberty") liberty_path = value();
+    else if (arg == "--mode") mode_paths.push_back(value());
+    else if (arg == "--out") out_dir = value();
+    else if (arg == "--tolerance") options.value_tolerance = std::atof(value());
+    else if (arg == "--threads") options.num_threads = std::atoi(value());
+    else if (arg == "--sta") run_sta_flag = true;
+    else if (arg == "--report-timing") report_paths = std::atoi(value());
+    else if (arg == "--report-clocks") report_clocks_flag = true;
+    else if (arg == "--no-refine") options.run_refinement = false;
+    else if (arg == "--no-validate") options.validate = false;
+    else if (arg == "--no-hold") options.analyze_hold = false;
+    else if (arg == "--verbose") Logger::set_level(LogLevel::kInfo);
+    else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (netlist_path.empty() || mode_paths.empty()) {
+    usage();
+    return 2;
+  }
+
+  try {
+    const netlist::Library lib =
+        liberty_path.empty() ? netlist::Library::builtin()
+                             : netlist::read_liberty(read_file(liberty_path));
+    if (!liberty_path.empty()) {
+      std::printf("library %s: %zu cells\n", liberty_path.c_str(),
+                  lib.num_cells());
+    }
+    const netlist::Design design =
+        netlist::read_verilog(read_file(netlist_path), lib);
+    const netlist::CheckReport check = netlist::check_design(design);
+    for (const std::string& w : check.warnings) {
+      MM_WARN("netlist: %s", w.c_str());
+    }
+    std::printf("netlist %s: %zu cells, %zu nets, %zu ports\n",
+                design.name().c_str(), design.num_instances(),
+                design.num_nets(), design.num_ports());
+
+    const timing::TimingGraph graph(design);
+
+    std::vector<sdc::Sdc> modes;
+    std::vector<const sdc::Sdc*> ptrs;
+    modes.reserve(mode_paths.size());
+    for (const std::string& path : mode_paths) {
+      modes.push_back(sdc::parse_sdc(read_file(path), design));
+      std::printf("mode %-30s: %zu clocks, %zu exceptions, %zu case pins\n",
+                  path.c_str(), modes.back().num_clocks(),
+                  modes.back().exceptions().size(),
+                  modes.back().case_analysis().size());
+    }
+    for (const sdc::Sdc& m : modes) ptrs.push_back(&m);
+
+    const merge::MergedModeSet out =
+        merge::merge_mode_set(graph, ptrs, options);
+    std::printf("\n%zu modes -> %zu merged (%.1f%% reduction) in %.2fs\n",
+                ptrs.size(), out.num_merged_modes(), out.reduction_percent(),
+                out.total_seconds);
+
+    bool safe = true;
+    for (size_t c = 0; c < out.merged.size(); ++c) {
+      const merge::ValidatedMergeResult& m = out.merged[c];
+      std::printf("\n--- merged mode %zu <- {", c);
+      for (size_t k = 0; k < out.cliques[c].size(); ++k) {
+        std::printf("%s%s", k ? ", " : "",
+                    mode_paths[out.cliques[c][k]].c_str());
+      }
+      std::printf("} ---\n%s", report_merge(m.merge, m.equivalence).c_str());
+      safe &= !options.validate || m.equivalence.signoff_safe();
+
+      const std::string path =
+          out_dir + "/merged_" + std::to_string(c) + ".sdc";
+      std::ofstream file(path);
+      file << sdc::write_sdc(*m.merge.merged);
+      std::printf("wrote %s\n", path.c_str());
+    }
+
+    for (size_t c = 0; c < out.merged.size(); ++c) {
+      const sdc::Sdc& merged = *out.merged[c].merge.merged;
+      if (report_clocks_flag) {
+        std::printf("\n=== merged mode %zu clocks ===\n%s", c,
+                    timing::report_clocks(graph, merged).c_str());
+      }
+      if (report_paths > 0) {
+        timing::ReportTimingOptions ro;
+        ro.max_paths = report_paths;
+        std::printf("\n=== merged mode %zu worst paths ===\n%s", c,
+                    timing::report_timing(graph, merged, ro).c_str());
+      }
+    }
+
+    if (run_sta_flag) {
+      Stopwatch t1;
+      const timing::StaResult indiv = timing::run_sta_multi(graph, ptrs);
+      const double t_indiv = t1.elapsed_seconds();
+      std::vector<const sdc::Sdc*> merged_ptrs;
+      for (const auto& m : out.merged)
+        merged_ptrs.push_back(m.merge.merged.get());
+      Stopwatch t2;
+      const timing::StaResult merged_sta =
+          timing::run_sta_multi(graph, merged_ptrs);
+      const double t_merged = t2.elapsed_seconds();
+      std::printf(
+          "\nSTA: individual %.3fs (%zu runs), merged %.3fs (%zu runs), "
+          "%.1f%% reduction\n",
+          t_indiv, ptrs.size(), t_merged, merged_ptrs.size(),
+          t_indiv > 0 ? 100.0 * (1.0 - t_merged / t_indiv) : 0.0);
+      std::printf("WNS individual %.4f, merged %.4f\n", indiv.wns,
+                  merged_sta.wns);
+    }
+
+    if (!safe) {
+      std::fprintf(stderr, "\nFAIL: at least one merged mode is not sign-off safe\n");
+      return 1;
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
