@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_merge_factor.dir/bench_merge_factor.cpp.o"
+  "CMakeFiles/bench_merge_factor.dir/bench_merge_factor.cpp.o.d"
+  "bench_merge_factor"
+  "bench_merge_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_merge_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

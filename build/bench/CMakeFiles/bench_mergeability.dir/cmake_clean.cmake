@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mergeability.dir/bench_mergeability.cpp.o"
+  "CMakeFiles/bench_mergeability.dir/bench_mergeability.cpp.o.d"
+  "bench_mergeability"
+  "bench_mergeability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mergeability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

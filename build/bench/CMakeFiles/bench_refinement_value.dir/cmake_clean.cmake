@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_refinement_value.dir/bench_refinement_value.cpp.o"
+  "CMakeFiles/bench_refinement_value.dir/bench_refinement_value.cpp.o.d"
+  "bench_refinement_value"
+  "bench_refinement_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_refinement_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

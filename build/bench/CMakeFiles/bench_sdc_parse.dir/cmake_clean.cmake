@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sdc_parse.dir/bench_sdc_parse.cpp.o"
+  "CMakeFiles/bench_sdc_parse.dir/bench_sdc_parse.cpp.o.d"
+  "bench_sdc_parse"
+  "bench_sdc_parse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sdc_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

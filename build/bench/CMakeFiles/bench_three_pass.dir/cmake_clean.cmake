@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_three_pass.dir/bench_three_pass.cpp.o"
+  "CMakeFiles/bench_three_pass.dir/bench_three_pass.cpp.o.d"
+  "bench_three_pass"
+  "bench_three_pass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_three_pass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

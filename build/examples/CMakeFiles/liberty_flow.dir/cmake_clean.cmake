@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liberty_flow.dir/liberty_flow.cpp.o"
+  "CMakeFiles/liberty_flow.dir/liberty_flow.cpp.o.d"
+  "liberty_flow"
+  "liberty_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liberty_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

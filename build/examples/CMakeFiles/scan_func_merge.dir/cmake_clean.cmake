@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_func_merge.dir/scan_func_merge.cpp.o"
+  "CMakeFiles/scan_func_merge.dir/scan_func_merge.cpp.o.d"
+  "scan_func_merge"
+  "scan_func_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_func_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_mode_reduction.dir/soc_mode_reduction.cpp.o"
+  "CMakeFiles/soc_mode_reduction.dir/soc_mode_reduction.cpp.o.d"
+  "soc_mode_reduction"
+  "soc_mode_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_mode_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

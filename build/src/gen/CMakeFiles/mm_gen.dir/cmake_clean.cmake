@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_gen.dir/design_gen.cpp.o"
+  "CMakeFiles/mm_gen.dir/design_gen.cpp.o.d"
+  "CMakeFiles/mm_gen.dir/mode_gen.cpp.o"
+  "CMakeFiles/mm_gen.dir/mode_gen.cpp.o.d"
+  "CMakeFiles/mm_gen.dir/paper_circuit.cpp.o"
+  "CMakeFiles/mm_gen.dir/paper_circuit.cpp.o.d"
+  "libmm_gen.a"
+  "libmm_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/merge/clock_refine.cpp" "src/merge/CMakeFiles/mm_merge.dir/clock_refine.cpp.o" "gcc" "src/merge/CMakeFiles/mm_merge.dir/clock_refine.cpp.o.d"
+  "/root/repo/src/merge/data_refine.cpp" "src/merge/CMakeFiles/mm_merge.dir/data_refine.cpp.o" "gcc" "src/merge/CMakeFiles/mm_merge.dir/data_refine.cpp.o.d"
+  "/root/repo/src/merge/equivalence.cpp" "src/merge/CMakeFiles/mm_merge.dir/equivalence.cpp.o" "gcc" "src/merge/CMakeFiles/mm_merge.dir/equivalence.cpp.o.d"
+  "/root/repo/src/merge/keys.cpp" "src/merge/CMakeFiles/mm_merge.dir/keys.cpp.o" "gcc" "src/merge/CMakeFiles/mm_merge.dir/keys.cpp.o.d"
+  "/root/repo/src/merge/mergeability.cpp" "src/merge/CMakeFiles/mm_merge.dir/mergeability.cpp.o" "gcc" "src/merge/CMakeFiles/mm_merge.dir/mergeability.cpp.o.d"
+  "/root/repo/src/merge/merger.cpp" "src/merge/CMakeFiles/mm_merge.dir/merger.cpp.o" "gcc" "src/merge/CMakeFiles/mm_merge.dir/merger.cpp.o.d"
+  "/root/repo/src/merge/preliminary.cpp" "src/merge/CMakeFiles/mm_merge.dir/preliminary.cpp.o" "gcc" "src/merge/CMakeFiles/mm_merge.dir/preliminary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timing/CMakeFiles/mm_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdc/CMakeFiles/mm_sdc.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/mm_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

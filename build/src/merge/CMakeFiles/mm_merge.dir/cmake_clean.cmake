@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_merge.dir/clock_refine.cpp.o"
+  "CMakeFiles/mm_merge.dir/clock_refine.cpp.o.d"
+  "CMakeFiles/mm_merge.dir/data_refine.cpp.o"
+  "CMakeFiles/mm_merge.dir/data_refine.cpp.o.d"
+  "CMakeFiles/mm_merge.dir/equivalence.cpp.o"
+  "CMakeFiles/mm_merge.dir/equivalence.cpp.o.d"
+  "CMakeFiles/mm_merge.dir/keys.cpp.o"
+  "CMakeFiles/mm_merge.dir/keys.cpp.o.d"
+  "CMakeFiles/mm_merge.dir/mergeability.cpp.o"
+  "CMakeFiles/mm_merge.dir/mergeability.cpp.o.d"
+  "CMakeFiles/mm_merge.dir/merger.cpp.o"
+  "CMakeFiles/mm_merge.dir/merger.cpp.o.d"
+  "CMakeFiles/mm_merge.dir/preliminary.cpp.o"
+  "CMakeFiles/mm_merge.dir/preliminary.cpp.o.d"
+  "libmm_merge.a"
+  "libmm_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/design.cpp" "src/netlist/CMakeFiles/mm_netlist.dir/design.cpp.o" "gcc" "src/netlist/CMakeFiles/mm_netlist.dir/design.cpp.o.d"
+  "/root/repo/src/netlist/function.cpp" "src/netlist/CMakeFiles/mm_netlist.dir/function.cpp.o" "gcc" "src/netlist/CMakeFiles/mm_netlist.dir/function.cpp.o.d"
+  "/root/repo/src/netlist/libcell.cpp" "src/netlist/CMakeFiles/mm_netlist.dir/libcell.cpp.o" "gcc" "src/netlist/CMakeFiles/mm_netlist.dir/libcell.cpp.o.d"
+  "/root/repo/src/netlist/liberty.cpp" "src/netlist/CMakeFiles/mm_netlist.dir/liberty.cpp.o" "gcc" "src/netlist/CMakeFiles/mm_netlist.dir/liberty.cpp.o.d"
+  "/root/repo/src/netlist/verilog.cpp" "src/netlist/CMakeFiles/mm_netlist.dir/verilog.cpp.o" "gcc" "src/netlist/CMakeFiles/mm_netlist.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_netlist.dir/design.cpp.o"
+  "CMakeFiles/mm_netlist.dir/design.cpp.o.d"
+  "CMakeFiles/mm_netlist.dir/function.cpp.o"
+  "CMakeFiles/mm_netlist.dir/function.cpp.o.d"
+  "CMakeFiles/mm_netlist.dir/libcell.cpp.o"
+  "CMakeFiles/mm_netlist.dir/libcell.cpp.o.d"
+  "CMakeFiles/mm_netlist.dir/liberty.cpp.o"
+  "CMakeFiles/mm_netlist.dir/liberty.cpp.o.d"
+  "CMakeFiles/mm_netlist.dir/verilog.cpp.o"
+  "CMakeFiles/mm_netlist.dir/verilog.cpp.o.d"
+  "libmm_netlist.a"
+  "libmm_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

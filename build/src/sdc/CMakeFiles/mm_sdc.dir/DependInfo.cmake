@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdc/lexer.cpp" "src/sdc/CMakeFiles/mm_sdc.dir/lexer.cpp.o" "gcc" "src/sdc/CMakeFiles/mm_sdc.dir/lexer.cpp.o.d"
+  "/root/repo/src/sdc/parser.cpp" "src/sdc/CMakeFiles/mm_sdc.dir/parser.cpp.o" "gcc" "src/sdc/CMakeFiles/mm_sdc.dir/parser.cpp.o.d"
+  "/root/repo/src/sdc/query.cpp" "src/sdc/CMakeFiles/mm_sdc.dir/query.cpp.o" "gcc" "src/sdc/CMakeFiles/mm_sdc.dir/query.cpp.o.d"
+  "/root/repo/src/sdc/sdc.cpp" "src/sdc/CMakeFiles/mm_sdc.dir/sdc.cpp.o" "gcc" "src/sdc/CMakeFiles/mm_sdc.dir/sdc.cpp.o.d"
+  "/root/repo/src/sdc/writer.cpp" "src/sdc/CMakeFiles/mm_sdc.dir/writer.cpp.o" "gcc" "src/sdc/CMakeFiles/mm_sdc.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/mm_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_sdc.dir/lexer.cpp.o"
+  "CMakeFiles/mm_sdc.dir/lexer.cpp.o.d"
+  "CMakeFiles/mm_sdc.dir/parser.cpp.o"
+  "CMakeFiles/mm_sdc.dir/parser.cpp.o.d"
+  "CMakeFiles/mm_sdc.dir/query.cpp.o"
+  "CMakeFiles/mm_sdc.dir/query.cpp.o.d"
+  "CMakeFiles/mm_sdc.dir/sdc.cpp.o"
+  "CMakeFiles/mm_sdc.dir/sdc.cpp.o.d"
+  "CMakeFiles/mm_sdc.dir/writer.cpp.o"
+  "CMakeFiles/mm_sdc.dir/writer.cpp.o.d"
+  "libmm_sdc.a"
+  "libmm_sdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_sdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/delay_calc.cpp" "src/timing/CMakeFiles/mm_timing.dir/delay_calc.cpp.o" "gcc" "src/timing/CMakeFiles/mm_timing.dir/delay_calc.cpp.o.d"
+  "/root/repo/src/timing/exceptions.cpp" "src/timing/CMakeFiles/mm_timing.dir/exceptions.cpp.o" "gcc" "src/timing/CMakeFiles/mm_timing.dir/exceptions.cpp.o.d"
+  "/root/repo/src/timing/graph.cpp" "src/timing/CMakeFiles/mm_timing.dir/graph.cpp.o" "gcc" "src/timing/CMakeFiles/mm_timing.dir/graph.cpp.o.d"
+  "/root/repo/src/timing/mode_graph.cpp" "src/timing/CMakeFiles/mm_timing.dir/mode_graph.cpp.o" "gcc" "src/timing/CMakeFiles/mm_timing.dir/mode_graph.cpp.o.d"
+  "/root/repo/src/timing/relationships.cpp" "src/timing/CMakeFiles/mm_timing.dir/relationships.cpp.o" "gcc" "src/timing/CMakeFiles/mm_timing.dir/relationships.cpp.o.d"
+  "/root/repo/src/timing/report.cpp" "src/timing/CMakeFiles/mm_timing.dir/report.cpp.o" "gcc" "src/timing/CMakeFiles/mm_timing.dir/report.cpp.o.d"
+  "/root/repo/src/timing/sta.cpp" "src/timing/CMakeFiles/mm_timing.dir/sta.cpp.o" "gcc" "src/timing/CMakeFiles/mm_timing.dir/sta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sdc/CMakeFiles/mm_sdc.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/mm_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_timing.dir/delay_calc.cpp.o"
+  "CMakeFiles/mm_timing.dir/delay_calc.cpp.o.d"
+  "CMakeFiles/mm_timing.dir/exceptions.cpp.o"
+  "CMakeFiles/mm_timing.dir/exceptions.cpp.o.d"
+  "CMakeFiles/mm_timing.dir/graph.cpp.o"
+  "CMakeFiles/mm_timing.dir/graph.cpp.o.d"
+  "CMakeFiles/mm_timing.dir/mode_graph.cpp.o"
+  "CMakeFiles/mm_timing.dir/mode_graph.cpp.o.d"
+  "CMakeFiles/mm_timing.dir/relationships.cpp.o"
+  "CMakeFiles/mm_timing.dir/relationships.cpp.o.d"
+  "CMakeFiles/mm_timing.dir/report.cpp.o"
+  "CMakeFiles/mm_timing.dir/report.cpp.o.d"
+  "CMakeFiles/mm_timing.dir/sta.cpp.o"
+  "CMakeFiles/mm_timing.dir/sta.cpp.o.d"
+  "libmm_timing.a"
+  "libmm_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

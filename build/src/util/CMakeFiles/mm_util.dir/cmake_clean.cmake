@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_util.dir/glob.cpp.o"
+  "CMakeFiles/mm_util.dir/glob.cpp.o.d"
+  "CMakeFiles/mm_util.dir/logger.cpp.o"
+  "CMakeFiles/mm_util.dir/logger.cpp.o.d"
+  "CMakeFiles/mm_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/mm_util.dir/thread_pool.cpp.o.d"
+  "libmm_util.a"
+  "libmm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clock_refine.dir/test_clock_refine.cpp.o"
+  "CMakeFiles/test_clock_refine.dir/test_clock_refine.cpp.o.d"
+  "test_clock_refine"
+  "test_clock_refine.pdb"
+  "test_clock_refine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clock_refine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

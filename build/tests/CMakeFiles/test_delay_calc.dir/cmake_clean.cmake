@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delay_calc.dir/test_delay_calc.cpp.o"
+  "CMakeFiles/test_delay_calc.dir/test_delay_calc.cpp.o.d"
+  "test_delay_calc"
+  "test_delay_calc.pdb"
+  "test_delay_calc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delay_calc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

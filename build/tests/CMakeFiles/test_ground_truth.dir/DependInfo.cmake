@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ground_truth.cpp" "tests/CMakeFiles/test_ground_truth.dir/test_ground_truth.cpp.o" "gcc" "tests/CMakeFiles/test_ground_truth.dir/test_ground_truth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/merge/CMakeFiles/mm_merge.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/mm_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/mm_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdc/CMakeFiles/mm_sdc.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/mm_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

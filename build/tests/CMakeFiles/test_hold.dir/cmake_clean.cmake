@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hold.dir/test_hold.cpp.o"
+  "CMakeFiles/test_hold.dir/test_hold.cpp.o.d"
+  "test_hold"
+  "test_hold.pdb"
+  "test_hold[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

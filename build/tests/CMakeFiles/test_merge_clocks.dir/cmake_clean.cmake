@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_merge_clocks.dir/test_merge_clocks.cpp.o"
+  "CMakeFiles/test_merge_clocks.dir/test_merge_clocks.cpp.o.d"
+  "test_merge_clocks"
+  "test_merge_clocks.pdb"
+  "test_merge_clocks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_merge_clocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mergeability.dir/test_mergeability.cpp.o"
+  "CMakeFiles/test_mergeability.dir/test_mergeability.cpp.o.d"
+  "test_mergeability"
+  "test_mergeability.pdb"
+  "test_mergeability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mergeability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mode_graph.dir/test_mode_graph.cpp.o"
+  "CMakeFiles/test_mode_graph.dir/test_mode_graph.cpp.o.d"
+  "test_mode_graph"
+  "test_mode_graph.pdb"
+  "test_mode_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mode_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preliminary.dir/test_preliminary.cpp.o"
+  "CMakeFiles/test_preliminary.dir/test_preliminary.cpp.o.d"
+  "test_preliminary"
+  "test_preliminary.pdb"
+  "test_preliminary[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preliminary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

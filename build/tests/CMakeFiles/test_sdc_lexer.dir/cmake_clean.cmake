@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sdc_lexer.dir/test_sdc_lexer.cpp.o"
+  "CMakeFiles/test_sdc_lexer.dir/test_sdc_lexer.cpp.o.d"
+  "test_sdc_lexer"
+  "test_sdc_lexer.pdb"
+  "test_sdc_lexer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sdc_lexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sdc_parser.dir/test_sdc_parser.cpp.o"
+  "CMakeFiles/test_sdc_parser.dir/test_sdc_parser.cpp.o.d"
+  "test_sdc_parser"
+  "test_sdc_parser.pdb"
+  "test_sdc_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sdc_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

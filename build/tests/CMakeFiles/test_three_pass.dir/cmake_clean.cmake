@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_three_pass.dir/test_three_pass.cpp.o"
+  "CMakeFiles/test_three_pass.dir/test_three_pass.cpp.o.d"
+  "test_three_pass"
+  "test_three_pass.pdb"
+  "test_three_pass[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_three_pass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,4 @@
+create_clock -name clkA -period 10 -add [get_ports clk1]
+set_false_path -to [get_pins rX/D] -comment "mode-merge refinement"
+set_false_path -from [get_pins rA/CP] -to [get_pins rY/D] -comment "mode-merge refinement"
+set_false_path -from [get_pins rC/CP] -through [get_pins inv3/A] -to [get_pins rZ/D] -comment "mode-merge pass-3 refinement"

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modemerge.dir/modemerge_main.cpp.o"
+  "CMakeFiles/modemerge.dir/modemerge_main.cpp.o.d"
+  "modemerge"
+  "modemerge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modemerge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
