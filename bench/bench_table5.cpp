@@ -9,8 +9,10 @@
 // Usage: bench_table5 [MM_SCALE=0.01 in env scales design size]
 
 #include <cstdio>
+#include <fstream>
 
 #include "merge/merger.h"
+#include "obs/obs.h"
 #include "util/timer.h"
 #include "workloads.h"
 
@@ -26,6 +28,13 @@ int main() {
       "%-7s %10s %8s %8s %8s | %8s %8s | %12s %12s\n", "Design", "Cells",
       "#Modes", "Merged", "Merged*", "Red%%", "Red%%*", "Merge(s)", "Paper(s)");
   std::printf("%s\n", std::string(96, '-').c_str());
+
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("schema").value("mm.bench/1");
+  json.key("bench").value("table5");
+  json.key("scale").value(size_scale());
+  json.key("rows").begin_array();
 
   double sum_red = 0.0, sum_red_paper = 0.0;
   for (const TableRow& row : table_rows()) {
@@ -43,14 +52,28 @@ int main() {
 
     sum_red += out.reduction_percent();
     sum_red_paper += row.paper_reduction;
+    const size_t paper_merged =
+        row.num_modes -
+        static_cast<size_t>(row.num_modes * row.paper_reduction / 100.0 + 0.5);
     std::printf("%-7s %10zu %8zu %8zu %8zu | %8.1f %8.1f | %12.2f %12.0f%s\n",
                 row.name, w.cells, w.mode_ptrs.size(), out.num_merged_modes(),
-                row.num_modes - static_cast<size_t>(
-                                    row.num_modes *
-                                    row.paper_reduction / 100.0 + 0.5),
+                paper_merged,
                 out.reduction_percent(), row.paper_reduction, seconds,
                 row.paper_merge_runtime,
                 optimism ? "  [OPTIMISM VIOLATIONS!]" : "");
+
+    json.begin_object();
+    json.key("design").value(row.name);
+    json.key("cells").value(w.cells);
+    json.key("num_modes").value(w.mode_ptrs.size());
+    json.key("num_merged").value(out.num_merged_modes());
+    json.key("num_merged_paper").value(paper_merged);
+    json.key("reduction_percent").value(out.reduction_percent());
+    json.key("reduction_percent_paper").value(row.paper_reduction);
+    json.key("merge_seconds").value(seconds);
+    json.key("merge_seconds_paper").value(row.paper_merge_runtime);
+    json.key("optimism_violations").value(optimism);
+    json.end_object();
   }
   std::printf("%s\n", std::string(96, '-').c_str());
   std::printf("%-7s %10s %8s %8s %8s | %8.1f %8.1f |\n", "Average", "", "", "",
@@ -58,5 +81,16 @@ int main() {
               sum_red_paper / table_rows().size());
   std::printf("\n(Merged* / Red%%* = the paper's reported values; runtimes are\n"
               " not comparable across substrates and are shown for shape only.)\n");
+
+  json.end_array();
+  json.key("average").begin_object();
+  json.key("reduction_percent").value(sum_red / table_rows().size());
+  json.key("reduction_percent_paper")
+      .value(sum_red_paper / table_rows().size());
+  json.end_object();
+  json.key("stats").raw(obs::stats_json());
+  json.end_object();
+  std::ofstream("BENCH_table5.json") << json.str() << '\n';
+  std::fprintf(stderr, "wrote BENCH_table5.json\n");
   return 0;
 }

@@ -5,8 +5,10 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 
 #include "merge/merger.h"
+#include "obs/obs.h"
 #include "timing/sta.h"
 #include "util/timer.h"
 #include "workloads.h"
@@ -22,6 +24,13 @@ int main() {
   std::printf("%-7s %12s %12s %8s %8s | %10s %10s\n", "Design", "Indiv(s)",
               "Merged(s)", "Red%%", "Red%%*", "Conform%%", "Conform%%*");
   std::printf("%s\n", std::string(80, '-').c_str());
+
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("schema").value("mm.bench/1");
+  json.key("bench").value("table6");
+  json.key("scale").value(size_scale());
+  json.key("rows").begin_array();
 
   double sum_red = 0.0, sum_conf = 0.0;
   for (const TableRow& row : table_rows()) {
@@ -71,11 +80,37 @@ int main() {
     std::printf("%-7s %12.3f %12.3f %8.1f %8.1f | %10.2f %10.2f\n", row.name,
                 indiv_seconds, merged_seconds, red, row.paper_sta_reduction,
                 conf, row.paper_conformity);
+
+    json.begin_object();
+    json.key("design").value(row.name);
+    json.key("cells").value(w.cells);
+    json.key("num_modes").value(w.mode_ptrs.size());
+    json.key("num_merged").value(out.num_merged_modes());
+    json.key("sta_individual_seconds").value(indiv_seconds);
+    json.key("sta_merged_seconds").value(merged_seconds);
+    json.key("sta_reduction_percent").value(red);
+    json.key("sta_reduction_percent_paper").value(row.paper_sta_reduction);
+    json.key("conformity_percent").value(conf);
+    json.key("conformity_percent_paper").value(row.paper_conformity);
+    json.key("endpoints").value(total);
+    json.end_object();
   }
   std::printf("%s\n", std::string(80, '-').c_str());
   std::printf("%-7s %12s %12s %8.1f %8.1f | %10.2f %10.2f\n", "Average", "",
               "", sum_red / table_rows().size(), 62.52,
               sum_conf / table_rows().size(), 99.82);
   std::printf("\n(Columns marked * are the paper's reported values.)\n");
+
+  json.end_array();
+  json.key("average").begin_object();
+  json.key("sta_reduction_percent").value(sum_red / table_rows().size());
+  json.key("sta_reduction_percent_paper").value(62.52);
+  json.key("conformity_percent").value(sum_conf / table_rows().size());
+  json.key("conformity_percent_paper").value(99.82);
+  json.end_object();
+  json.key("stats").raw(obs::stats_json());
+  json.end_object();
+  std::ofstream("BENCH_table6.json") << json.str() << '\n';
+  std::fprintf(stderr, "wrote BENCH_table6.json\n");
   return 0;
 }

@@ -4,9 +4,11 @@
 // propagation parallelism) on a design-E-like workload.
 
 #include <cstdio>
+#include <fstream>
 #include <thread>
 
 #include "merge/merger.h"
+#include "obs/obs.h"
 #include "util/timer.h"
 #include "workloads.h"
 
@@ -40,6 +42,16 @@ int main() {
               std::thread::hardware_concurrency());
   std::printf("%8s %12s %10s\n", "threads", "merge(ms)", "speedup");
 
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("schema").value("mm.bench/1");
+  json.key("bench").value("threads");
+  json.key("scale").value(size_scale());
+  json.key("cells").value(design.num_instances());
+  json.key("hardware_threads")
+      .value(static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  json.key("rows").begin_array();
+
   double base = 0.0;
   for (size_t threads : {1, 2, 4, 8}) {
     merge::MergeOptions options;
@@ -51,6 +63,19 @@ int main() {
     if (base == 0.0) base = ms;
     std::printf("%8zu %12.2f %9.2fx%s\n", threads, ms, base / ms,
                 out.equivalence.signoff_safe() ? "" : "  [UNSAFE!]");
+
+    json.begin_object();
+    json.key("threads").value(threads);
+    json.key("merge_ms").value(ms);
+    json.key("speedup").value(base / ms);
+    json.key("signoff_safe").value(out.equivalence.signoff_safe());
+    json.end_object();
   }
+
+  json.end_array();
+  json.key("stats").raw(obs::stats_json());
+  json.end_object();
+  std::ofstream("BENCH_threads.json") << json.str() << '\n';
+  std::fprintf(stderr, "wrote BENCH_threads.json\n");
   return 0;
 }

@@ -4,6 +4,7 @@
 #include <set>
 #include <unordered_set>
 
+#include "obs/obs.h"
 #include "util/logger.h"
 
 namespace mm::merge {
@@ -143,8 +144,11 @@ void refine_clock_propagation(const RefineContext& ctx, MergeResult& result) {
 void refine_clock_network(const RefineContext& ctx, MergeResult& result,
                           const MergeOptions& options) {
   (void)options;
+  MM_SPAN("merge/clock_refine");
   infer_disables(ctx, result);
   refine_clock_propagation(ctx, result);
+  MM_COUNT("merge/inferred_disables", result.stats.inferred_disables);
+  MM_COUNT("merge/clock_stops_added", result.stats.clock_stops_added);
 }
 
 }  // namespace mm::merge

@@ -8,6 +8,7 @@
 #include <functional>
 #include <unordered_set>
 
+#include "obs/obs.h"
 #include "timing/exceptions.h"
 #include "timing/relationships.h"
 #include "util/logger.h"
@@ -166,11 +167,30 @@ class DataRefiner {
         analyze_hold_(options.analyze_hold) {}
 
   void run() {
-    build_mode_exceptions();
-    step_clocks_on_data();
-    pass1();
-    pass2();
-    pass3();
+    MM_SPAN("merge/data_refine");
+    {
+      MM_SPAN("merge/refine_pass0");
+      build_mode_exceptions();
+      step_clocks_on_data();
+    }
+    {
+      MM_SPAN("merge/refine_pass1");
+      pass1();
+    }
+    {
+      MM_SPAN("merge/refine_pass2");
+      pass2();
+    }
+    {
+      MM_SPAN("merge/refine_pass3");
+      pass3();
+    }
+    const MergeStats& s = result_.stats;
+    MM_COUNT("merge/endpoints_descended_pass2", pass2_endpoints_.size());
+    MM_COUNT("merge/pairs_descended_pass3", s.pass3_pairs);
+    MM_COUNT("merge/paths_enumerated_pass3", s.pass3_paths_enumerated);
+    MM_COUNT("merge/false_paths_emitted",
+             s.pass0_pair_fixed + s.data_clock_fps_added + s.pass3_fps_added);
   }
 
  private:

@@ -1,5 +1,6 @@
 #include "merge/equivalence.h"
 
+#include "obs/obs.h"
 #include "timing/relationships.h"
 #include "util/thread_pool.h"
 
@@ -25,6 +26,7 @@ EquivalenceReport check_equivalence(const RefineContext& ctx,
                                     const Sdc& merged, const ClockMap& map,
                                     bool startpoint_level,
                                     size_t num_threads) {
+  MM_SPAN("merge/equivalence");
   EquivalenceReport report;
   const timing::TimingGraph& graph = *ctx.graph;
 

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "merge/keys.h"
+#include "obs/obs.h"
 
 namespace mm::merge {
 
@@ -187,6 +188,8 @@ PairVerdict check_mergeable(const Sdc& a, const Sdc& b,
 MergeabilityGraph::MergeabilityGraph(const std::vector<const Sdc*>& modes,
                                      const MergeOptions& options)
     : n_(modes.size()), adj_(n_ * n_, 0), reasons_(n_ * n_) {
+  MM_SPAN("merge/mergeability");
+  MM_COUNT("merge/mergeability_pairs", n_ * (n_ - 1) / 2);
   for (size_t i = 0; i < n_; ++i) {
     adj_[i * n_ + i] = 1;
     for (size_t j = i + 1; j < n_; ++j) {
@@ -208,6 +211,7 @@ size_t MergeabilityGraph::degree(size_t i) const {
 }
 
 std::vector<std::vector<size_t>> MergeabilityGraph::clique_cover() const {
+  MM_SPAN("merge/clique_cover");
   std::vector<size_t> order(n_);
   for (size_t i = 0; i < n_; ++i) order[i] = i;
   std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {

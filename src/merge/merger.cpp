@@ -5,6 +5,7 @@
 #include "merge/clock_refine.h"
 #include "merge/data_refine.h"
 #include "merge/preliminary.h"
+#include "obs/obs.h"
 #include "util/logger.h"
 #include "util/timer.h"
 
@@ -33,8 +34,15 @@ ValidatedMergeResult merge_modes(const timing::TimingGraph& graph,
         MM_ERROR("merged mode has %zu optimism violation(s)",
                  out.equivalence.optimism_violations);
       }
+      MM_COUNT("merge/equivalence_keys_compared",
+               out.equivalence.keys_compared);
+      MM_COUNT("merge/optimism_violations",
+               out.equivalence.optimism_violations);
     }
   }
+  MM_COUNT("merge/modes_merged", modes.size());
+  MM_COUNT("merge/pass1_ambiguous_endpoints", out.merge.stats.pass1_ambiguous);
+  MM_COUNT("merge/unresolved_pessimism", out.merge.stats.unresolved_pessimism);
   return out;
 }
 

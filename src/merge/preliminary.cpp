@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "merge/keys.h"
+#include "obs/obs.h"
 #include "util/timer.h"
 
 namespace mm::merge {
@@ -665,6 +666,7 @@ class PreliminaryMerger {
 
 MergeResult preliminary_merge(const std::vector<const Sdc*>& modes,
                               const MergeOptions& options) {
+  MM_SPAN("merge/preliminary");
   return PreliminaryMerger(modes, options).run();
 }
 

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "obs/obs.h"
 #include "util/error.h"
 
 namespace mm::netlist {
@@ -306,7 +307,11 @@ std::string emit_name(std::string_view name) {
 }  // namespace
 
 Design read_verilog(std::string_view text, const Library& lib) {
-  return Parser(text, lib).run();
+  MM_SPAN("netlist/build");
+  Design design = Parser(text, lib).run();
+  MM_GAUGE_SET("netlist/instances", design.num_instances());
+  MM_GAUGE_SET("netlist/nets", design.num_nets());
+  return design;
 }
 
 std::string write_verilog(const Design& design) {

@@ -1,0 +1,138 @@
+#pragma once
+// Minimal streaming JSON writer used by the stats / trace / bench
+// serializers. No external dependencies; emits compact, valid JSON with
+// correct string escaping and finite-number handling (NaN/Inf -> null,
+// which keeps the output loadable by strict parsers).
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mm::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    comma();
+    os_ << '{';
+    first_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    first_.pop_back();
+    os_ << '}';
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    comma();
+    os_ << '[';
+    first_.push_back(true);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    first_.pop_back();
+    os_ << ']';
+    return *this;
+  }
+
+  /// Object key; must be followed by exactly one value / container.
+  JsonWriter& key(std::string_view k) {
+    comma();
+    write_string(k);
+    os_ << ':';
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    comma();
+    write_string(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    comma();
+    os_ << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    comma();
+    if (!std::isfinite(v)) {
+      os_ << "null";
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      os_ << buf;
+    }
+    return *this;
+  }
+  JsonWriter& value(uint64_t v) {
+    comma();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(int64_t v) {
+    comma();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<uint64_t>(v)); }
+
+  /// Embed an already-serialized JSON value (e.g. a stats_json() document).
+  JsonWriter& raw(std::string_view json) {
+    comma();
+    os_ << json;
+    return *this;
+  }
+
+  std::string str() const { return os_.str(); }
+
+ private:
+  void comma() {
+    if (pending_value_) {
+      // Value immediately after a key: no comma.
+      pending_value_ = false;
+      return;
+    }
+    if (!first_.empty()) {
+      if (!first_.back()) os_ << ',';
+      first_.back() = false;
+    }
+  }
+
+  void write_string(std::string_view s) {
+    os_ << '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\b': os_ << "\\b"; break;
+        case '\f': os_ << "\\f"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\r': os_ << "\\r"; break;
+        case '\t': os_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            os_ << buf;
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostringstream os_;
+  std::vector<bool> first_;
+  bool pending_value_ = false;
+};
+
+}  // namespace mm::obs

@@ -1,0 +1,63 @@
+#include "obs/metrics.h"
+
+namespace mm::obs {
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<detail::CounterImpl>();
+  return Counter(slot.get());
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<detail::GaugeImpl>();
+  return Gauge(slot.get());
+}
+
+Histogram MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<detail::HistogramImpl>();
+  return Histogram(slot.get());
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, impl] : counters_) {
+    out.counters.emplace_back(name, impl->value());
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, impl] : gauges_) {
+    out.gauges.emplace_back(name, impl->value());
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, impl] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.count = impl->count();
+    h.sum_us = impl->sum_us();
+    h.min_us = impl->min_us();
+    h.max_us = impl->max_us();
+    h.buckets = impl->buckets();
+    out.histograms.push_back(std::move(h));
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, impl] : counters_) impl->reset();
+  for (auto& [name, impl] : gauges_) impl->reset();
+  for (auto& [name, impl] : histograms_) impl->reset();
+}
+
+}  // namespace mm::obs

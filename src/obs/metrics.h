@@ -1,0 +1,258 @@
+#pragma once
+// mm::obs metrics registry — named counters, gauges, and fixed-bucket
+// latency histograms with a lock-free fast path.
+//
+// Updates go through per-thread shards (relaxed atomics on cache-line-
+// padded cells indexed by a per-thread slot), so concurrent increments from
+// ThreadPool::parallel_for never contend on a lock and rarely contend on a
+// cache line. The registry mutex is taken only on first registration of a
+// name and on snapshot().
+//
+// Handles (Counter / Gauge / Histogram) are cheap POD-like wrappers around
+// the registered implementation; instrumentation sites cache them in
+// function-local statics (see obs.h macros) so the name lookup happens once
+// per site per process.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mm::obs {
+
+/// Number of update shards for counters; power of two.
+inline constexpr size_t kNumShards = 64;
+/// Histograms carry a full bucket array per shard, so they use fewer.
+inline constexpr size_t kNumHistShards = 16;
+/// log2-microsecond latency buckets: bucket 0 is <1us, bucket i covers
+/// [2^(i-1), 2^i) us, the last bucket is the overflow (>= ~1.1 minutes).
+inline constexpr size_t kNumHistBuckets = 28;
+
+/// Stable per-thread slot, assigned on first use.
+inline size_t thread_slot() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+namespace detail {
+
+struct alignas(64) Cell {
+  std::atomic<uint64_t> v{0};
+};
+
+class CounterImpl {
+ public:
+  void add(uint64_t n) {
+    cells_[thread_slot() % kNumShards].v.fetch_add(n,
+                                                   std::memory_order_relaxed);
+  }
+  uint64_t value() const {
+    uint64_t total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+  void reset() {
+    for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<Cell, kNumShards> cells_{};
+};
+
+class GaugeImpl {
+ public:
+  void set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void set_max(int64_t v) {
+    int64_t cur = value_.load(std::memory_order_relaxed);
+    while (v > cur && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class HistogramImpl {
+ public:
+  HistogramImpl() { reset_minmax(); }
+
+  static size_t bucket_of(uint64_t us) {
+    size_t b = 0;
+    while (us > 0 && b + 1 < kNumHistBuckets) {
+      us >>= 1;
+      ++b;
+    }
+    return b;
+  }
+
+  void record_us(uint64_t us) {
+    Shard& s = shards_[thread_slot() % kNumHistShards];
+    s.buckets[bucket_of(us)].fetch_add(1, std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum_us.fetch_add(us, std::memory_order_relaxed);
+    // min/max: registry-global CAS loops; cold relative to the adds above.
+    uint64_t mn = min_us_.load(std::memory_order_relaxed);
+    while (us < mn &&
+           !min_us_.compare_exchange_weak(mn, us, std::memory_order_relaxed)) {
+    }
+    uint64_t mx = max_us_.load(std::memory_order_relaxed);
+    while (us > mx &&
+           !max_us_.compare_exchange_weak(mx, us, std::memory_order_relaxed)) {
+    }
+  }
+  void record_seconds(double s) {
+    if (s < 0) s = 0;
+    record_us(static_cast<uint64_t>(s * 1e6));
+  }
+
+  uint64_t count() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_)
+      total += s.count.load(std::memory_order_relaxed);
+    return total;
+  }
+  uint64_t sum_us() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_)
+      total += s.sum_us.load(std::memory_order_relaxed);
+    return total;
+  }
+  uint64_t min_us() const {
+    const uint64_t v = min_us_.load(std::memory_order_relaxed);
+    return v == UINT64_MAX ? 0 : v;
+  }
+  uint64_t max_us() const { return max_us_.load(std::memory_order_relaxed); }
+  std::array<uint64_t, kNumHistBuckets> buckets() const {
+    std::array<uint64_t, kNumHistBuckets> out{};
+    for (const Shard& s : shards_) {
+      for (size_t i = 0; i < kNumHistBuckets; ++i)
+        out[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+
+  void reset() {
+    for (Shard& s : shards_) {
+      for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+      s.count.store(0, std::memory_order_relaxed);
+      s.sum_us.store(0, std::memory_order_relaxed);
+    }
+    reset_minmax();
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kNumHistBuckets> buckets{};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum_us{0};
+  };
+
+  void reset_minmax() {
+    min_us_.store(UINT64_MAX, std::memory_order_relaxed);
+    max_us_.store(0, std::memory_order_relaxed);
+  }
+
+  std::array<Shard, kNumHistShards> shards_{};
+  std::atomic<uint64_t> min_us_{UINT64_MAX};
+  std::atomic<uint64_t> max_us_{0};
+};
+
+}  // namespace detail
+
+class Counter {
+ public:
+  Counter() = default;
+  explicit Counter(detail::CounterImpl* impl) : impl_(impl) {}
+  void add(uint64_t n = 1) {
+    if (impl_) impl_->add(n);
+  }
+  uint64_t value() const { return impl_ ? impl_->value() : 0; }
+
+ private:
+  detail::CounterImpl* impl_ = nullptr;
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  explicit Gauge(detail::GaugeImpl* impl) : impl_(impl) {}
+  void set(int64_t v) {
+    if (impl_) impl_->set(v);
+  }
+  void set_max(int64_t v) {
+    if (impl_) impl_->set_max(v);
+  }
+  int64_t value() const { return impl_ ? impl_->value() : 0; }
+
+ private:
+  detail::GaugeImpl* impl_ = nullptr;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  explicit Histogram(detail::HistogramImpl* impl) : impl_(impl) {}
+  void record_us(uint64_t us) {
+    if (impl_) impl_->record_us(us);
+  }
+  void record_seconds(double s) {
+    if (impl_) impl_->record_seconds(s);
+  }
+  uint64_t count() const { return impl_ ? impl_->count() : 0; }
+  uint64_t sum_us() const { return impl_ ? impl_->sum_us() : 0; }
+
+ private:
+  detail::HistogramImpl* impl_ = nullptr;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum_us = 0;
+  uint64_t min_us = 0;
+  uint64_t max_us = 0;
+  std::array<uint64_t, kNumHistBuckets> buckets{};
+
+  double total_seconds() const { return static_cast<double>(sum_us) * 1e-6; }
+};
+
+/// Point-in-time aggregate of every registered metric, each section sorted
+/// by name (std::map iteration order) so serialization is deterministic.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  /// Process-wide registry used by all instrumentation macros.
+  static MetricsRegistry& global();
+
+  /// Get-or-create by name. Returned handles stay valid for the registry's
+  /// lifetime; reset() zeroes values but never invalidates handles.
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  Histogram histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zero every value, keeping all registrations (tests / benches).
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<detail::CounterImpl>> counters_;
+  std::map<std::string, std::unique_ptr<detail::GaugeImpl>> gauges_;
+  std::map<std::string, std::unique_ptr<detail::HistogramImpl>> histograms_;
+};
+
+}  // namespace mm::obs

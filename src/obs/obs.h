@@ -1,0 +1,58 @@
+#pragma once
+// mm::obs umbrella header + instrumentation macros.
+//
+// Usage at a pipeline phase boundary:
+//
+//   void levelize() {
+//     MM_SPAN("timing/levelize");       // RAII: times the enclosing scope
+//     ...
+//   }
+//
+//   MM_COUNT("timing/tags", n);         // named counter += n
+//   MM_GAUGE_SET("timing/graph/pins", pins);
+//
+// Each macro resolves its registry handle once per call site (function-
+// local static), so the steady-state cost is a clock read + relaxed atomic
+// adds. MM_SPAN_HOT skips the per-span RSS sample for sites that fire at
+// per-endpoint frequency.
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
+
+#define MM_OBS_CONCAT2(a, b) a##b
+#define MM_OBS_CONCAT(a, b) MM_OBS_CONCAT2(a, b)
+
+#define MM_SPAN(name)                                       \
+  static ::mm::obs::PhaseHandle& MM_OBS_CONCAT(mm_obs_ph_, __LINE__) = \
+      ::mm::obs::phase_handle(name);                        \
+  ::mm::obs::TraceSpan MM_OBS_CONCAT(mm_obs_span_, __LINE__)(          \
+      MM_OBS_CONCAT(mm_obs_ph_, __LINE__))
+
+#define MM_SPAN_HOT(name)                                   \
+  static ::mm::obs::PhaseHandle& MM_OBS_CONCAT(mm_obs_ph_, __LINE__) = \
+      ::mm::obs::phase_handle(name, /*sample_rss=*/false);  \
+  ::mm::obs::TraceSpan MM_OBS_CONCAT(mm_obs_span_, __LINE__)(          \
+      MM_OBS_CONCAT(mm_obs_ph_, __LINE__))
+
+#define MM_COUNT(name, n)                                             \
+  do {                                                                \
+    static ::mm::obs::Counter MM_OBS_CONCAT(mm_obs_c_, __LINE__) =    \
+        ::mm::obs::MetricsRegistry::global().counter(name);           \
+    MM_OBS_CONCAT(mm_obs_c_, __LINE__).add(static_cast<uint64_t>(n)); \
+  } while (0)
+
+#define MM_GAUGE_SET(name, v)                                        \
+  do {                                                               \
+    static ::mm::obs::Gauge MM_OBS_CONCAT(mm_obs_g_, __LINE__) =     \
+        ::mm::obs::MetricsRegistry::global().gauge(name);            \
+    MM_OBS_CONCAT(mm_obs_g_, __LINE__).set(static_cast<int64_t>(v)); \
+  } while (0)
+
+#define MM_GAUGE_MAX(name, v)                                            \
+  do {                                                                   \
+    static ::mm::obs::Gauge MM_OBS_CONCAT(mm_obs_g_, __LINE__) =         \
+        ::mm::obs::MetricsRegistry::global().gauge(name);                \
+    MM_OBS_CONCAT(mm_obs_g_, __LINE__).set_max(static_cast<int64_t>(v)); \
+  } while (0)

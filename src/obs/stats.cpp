@@ -1,0 +1,162 @@
+#include "obs/stats.h"
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+#include "util/logger.h"
+
+namespace mm::obs {
+namespace {
+
+constexpr const char* kPhasePrefix = "phase/";
+constexpr const char* kRssSuffix = "/rss_peak_bytes";
+
+bool has_prefix(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool has_suffix(const std::string& s, const char* suffix) {
+  const size_t n = std::string(suffix).size();
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+int64_t peak_rss_bytes() {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<int64_t>(ru.ru_maxrss) * 1024;
+}
+
+std::string stats_json(const StatsMeta& meta) {
+  const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+
+  // Phase RSS gauges, for joining into the phase digest.
+  std::map<std::string, int64_t> phase_rss;
+  for (const auto& [name, value] : snap.gauges) {
+    if (has_prefix(name, kPhasePrefix) && has_suffix(name, kRssSuffix)) {
+      const std::string phase = name.substr(
+          std::string(kPhasePrefix).size(),
+          name.size() - std::string(kPhasePrefix).size() -
+              std::string(kRssSuffix).size());
+      phase_rss[phase] = value;
+    }
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("mm.stats/1");
+
+  w.key("meta").begin_object();
+  for (const auto& [k, v] : meta.strings) w.key(k).value(v);
+  for (const auto& [k, v] : meta.numbers) w.key(k).value(v);
+  w.end_object();
+
+  w.key("process").begin_object();
+  w.key("peak_rss_bytes").value(peak_rss_bytes());
+  w.key("elapsed_seconds").value(Trace::now_us() * 1e-6);
+  w.end_object();
+
+  w.key("log").begin_object();
+  w.key("warnings").value(mm::Logger::warn_count());
+  w.key("errors").value(mm::Logger::error_count());
+  w.end_object();
+
+  w.key("phases").begin_object();
+  for (const HistogramSnapshot& h : snap.histograms) {
+    if (!has_prefix(h.name, kPhasePrefix)) continue;
+    const std::string phase = h.name.substr(std::string(kPhasePrefix).size());
+    w.key(phase).begin_object();
+    w.key("calls").value(h.count);
+    w.key("total_seconds").value(h.total_seconds());
+    w.key("min_seconds").value(static_cast<double>(h.min_us) * 1e-6);
+    w.key("max_seconds").value(static_cast<double>(h.max_us) * 1e-6);
+    // Hot spans (MM_SPAN_HOT) never sample RSS; omit the field rather
+    // than report a bogus 0-byte peak.
+    auto it = phase_rss.find(phase);
+    if (it != phase_rss.end() && it->second > 0)
+      w.key("rss_peak_bytes").value(it->second);
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : snap.counters) w.key(name).value(value);
+  w.end_object();
+
+  w.key("gauges").begin_object();
+  for (const auto& [name, value] : snap.gauges) w.key(name).value(value);
+  w.end_object();
+
+  w.key("histograms").begin_object();
+  for (const HistogramSnapshot& h : snap.histograms) {
+    w.key(h.name).begin_object();
+    w.key("count").value(h.count);
+    w.key("sum_us").value(h.sum_us);
+    w.key("min_us").value(h.min_us);
+    w.key("max_us").value(h.max_us);
+    w.key("buckets").begin_array();
+    // Trim trailing zero buckets to keep the document compact.
+    size_t last = h.buckets.size();
+    while (last > 0 && h.buckets[last - 1] == 0) --last;
+    for (size_t i = 0; i < last; ++i) w.value(h.buckets[i]);
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.end_object();
+  return w.str();
+}
+
+bool write_stats_json(const std::string& path, const StatsMeta& meta) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return false;
+  file << stats_json(meta) << '\n';
+  return static_cast<bool>(file);
+}
+
+std::string profile_table() {
+  const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  struct Row {
+    std::string name;
+    uint64_t calls;
+    double seconds;
+  };
+  std::vector<Row> rows;
+  double max_seconds = 0.0;
+  for (const HistogramSnapshot& h : snap.histograms) {
+    if (!has_prefix(h.name, kPhasePrefix) || h.count == 0) continue;
+    Row r{h.name.substr(std::string(kPhasePrefix).size()), h.count,
+          h.total_seconds()};
+    max_seconds = std::max(max_seconds, r.seconds);
+    rows.push_back(std::move(r));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.seconds > b.seconds; });
+
+  std::ostringstream os;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-36s %10s %12s  %s\n", "phase", "calls",
+                "total(s)", "share");
+  os << buf;
+  os << std::string(72, '-') << '\n';
+  for (const Row& r : rows) {
+    const double share = max_seconds > 0 ? r.seconds / max_seconds : 0.0;
+    const int bars = static_cast<int>(share * 20 + 0.5);
+    std::snprintf(buf, sizeof(buf), "%-36s %10llu %12.4f  %.*s\n",
+                  r.name.c_str(), static_cast<unsigned long long>(r.calls),
+                  r.seconds, bars, "####################");
+    os << buf;
+  }
+  return os.str();
+}
+
+}  // namespace mm::obs

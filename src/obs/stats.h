@@ -1,0 +1,52 @@
+#pragma once
+// Stats snapshot -> JSON serializer and process measurements.
+//
+// stats_json() renders the whole metrics registry (plus logger warning /
+// error totals and process peak RSS) as one machine-readable document,
+// schema "mm.stats/1":
+//
+//   {
+//     "schema": "mm.stats/1",
+//     "meta":     { ...caller-provided run metadata... },
+//     "process":  { "peak_rss_bytes": N, "elapsed_seconds": S },
+//     "log":      { "warnings": N, "errors": N },
+//     "phases":   { "<name>": { "calls", "total_seconds", "min_seconds",
+//                               "max_seconds", "rss_peak_bytes" }, ... },
+//     "counters": { "<name>": N, ... },
+//     "gauges":   { "<name>": N, ... },
+//     "histograms": { "<name>": { "count", "sum_us", "min_us", "max_us",
+//                                 "buckets": [ ... ] }, ... }
+//   }
+//
+// "phases" is the digest of every "phase/..." histogram recorded by
+// TraceSpan; all sections are sorted by name, so two snapshots of the same
+// state serialize byte-identically.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace mm::obs {
+
+/// Process peak resident set size in bytes (getrusage; 0 if unavailable).
+int64_t peak_rss_bytes();
+
+/// Caller-provided run metadata merged into the "meta" object.
+struct StatsMeta {
+  std::map<std::string, std::string> strings;
+  std::map<std::string, double> numbers;
+};
+
+/// Serialize the global registry (deterministic for a fixed state).
+std::string stats_json(const StatsMeta& meta = {});
+
+/// Write stats_json() to `path`; returns false on I/O failure.
+bool write_stats_json(const std::string& path, const StatsMeta& meta = {});
+
+/// Human-readable per-phase table (for --profile): name, calls, total
+/// seconds, share of the slowest phase.
+std::string profile_table();
+
+}  // namespace mm::obs

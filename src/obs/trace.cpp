@@ -1,0 +1,198 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "obs/json.h"
+#include "obs/stats.h"
+
+namespace mm::obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point anchor() {
+  static const Clock::time_point t0 = Clock::now();
+  return t0;
+}
+
+std::atomic<bool> g_enabled{false};
+
+// Per-thread event buffers. Each buffer carries its own mutex so the
+// collector can safely read while the owning thread appends; appends only
+// happen when tracing is enabled, so the uncontended lock is off the
+// default path entirely. When a thread exits, its events are retired into
+// the global list.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  uint32_t tid = 0;
+};
+
+struct Collector {
+  std::mutex mutex;
+  std::vector<ThreadBuffer*> live;
+  std::vector<TraceEvent> retired;
+  uint32_t next_tid = 1;
+};
+
+Collector& collector() {
+  static Collector* c = new Collector();  // never destroyed
+  return *c;
+}
+
+struct ThreadBufferOwner {
+  std::shared_ptr<ThreadBuffer> buf = std::make_shared<ThreadBuffer>();
+
+  ThreadBufferOwner() {
+    Collector& c = collector();
+    std::lock_guard<std::mutex> lock(c.mutex);
+    buf->tid = c.next_tid++;
+    c.live.push_back(buf.get());
+  }
+  ~ThreadBufferOwner() {
+    Collector& c = collector();
+    std::lock_guard<std::mutex> lock(c.mutex);
+    c.live.erase(std::remove(c.live.begin(), c.live.end(), buf.get()),
+                 c.live.end());
+    std::lock_guard<std::mutex> block(buf->mutex);
+    c.retired.insert(c.retired.end(), buf->events.begin(), buf->events.end());
+  }
+};
+
+ThreadBuffer& thread_buffer() {
+  thread_local ThreadBufferOwner owner;
+  return *owner.buf;
+}
+
+void append_event(const std::string& name, double ts_us, double dur_us) {
+  ThreadBuffer& b = thread_buffer();
+  std::lock_guard<std::mutex> lock(b.mutex);
+  b.events.push_back(TraceEvent{name, ts_us, dur_us, b.tid});
+}
+
+struct PhaseTable {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<PhaseHandle>> handles;
+};
+
+PhaseTable& phase_table() {
+  static PhaseTable* t = new PhaseTable();  // never destroyed
+  return *t;
+}
+
+}  // namespace
+
+bool Trace::enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void Trace::set_enabled(bool on) {
+  anchor();  // pin the time origin no later than enable time
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void Trace::clear() {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  for (ThreadBuffer* b : c.live) {
+    std::lock_guard<std::mutex> block(b->mutex);
+    b->events.clear();
+  }
+  c.retired.clear();
+}
+
+std::vector<TraceEvent> Trace::collect() {
+  Collector& c = collector();
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(c.mutex);
+    out = c.retired;
+    for (ThreadBuffer* b : c.live) {
+      std::lock_guard<std::mutex> block(b->mutex);
+      out.insert(out.end(), b->events.begin(), b->events.end());
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return a.dur_us > b.dur_us;  // parents before children at equal ts
+  });
+  return out;
+}
+
+std::string Trace::chrome_json() {
+  const std::vector<TraceEvent> events = collect();
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").begin_array();
+  // Process metadata so the trace names itself in the UI.
+  w.begin_object();
+  w.key("name").value("process_name");
+  w.key("ph").value("M");
+  w.key("pid").value(1);
+  w.key("args").begin_object().key("name").value("modemerge").end_object();
+  w.end_object();
+  for (const TraceEvent& e : events) {
+    w.begin_object();
+    w.key("name").value(e.name);
+    w.key("cat").value("mm");
+    w.key("ph").value("X");
+    w.key("ts").value(e.ts_us);
+    w.key("dur").value(e.dur_us);
+    w.key("pid").value(1);
+    w.key("tid").value(static_cast<uint64_t>(e.tid));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+bool Trace::write_chrome_json(const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return false;
+  file << chrome_json() << '\n';
+  return static_cast<bool>(file);
+}
+
+double Trace::now_us() {
+  return std::chrono::duration<double, std::micro>(Clock::now() - anchor())
+      .count();
+}
+
+PhaseHandle& phase_handle(const std::string& name, bool sample_rss) {
+  PhaseTable& t = phase_table();
+  std::lock_guard<std::mutex> lock(t.mutex);
+  auto& slot = t.handles[name];
+  if (!slot) {
+    slot = std::make_unique<PhaseHandle>();
+    slot->name = name;
+    slot->latency = MetricsRegistry::global().histogram("phase/" + name);
+    slot->rss_peak =
+        MetricsRegistry::global().gauge("phase/" + name + "/rss_peak_bytes");
+    slot->sample_rss = sample_rss;
+  }
+  return *slot;
+}
+
+TraceSpan::TraceSpan(PhaseHandle& handle)
+    : handle_(&handle), start_us_(Trace::now_us()) {}
+
+TraceSpan::TraceSpan(const std::string& name)
+    : handle_(&phase_handle(name)), start_us_(Trace::now_us()) {}
+
+TraceSpan::~TraceSpan() {
+  const double end_us = Trace::now_us();
+  const double dur_us = end_us - start_us_;
+  handle_->latency.record_us(
+      dur_us > 0 ? static_cast<uint64_t>(dur_us) : 0);
+  if (handle_->sample_rss) handle_->rss_peak.set_max(peak_rss_bytes());
+  if (Trace::enabled()) append_event(handle_->name, start_us_, dur_us);
+}
+
+}  // namespace mm::obs

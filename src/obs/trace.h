@@ -1,0 +1,78 @@
+#pragma once
+// Phase-scoped tracing.
+//
+// TraceSpan is an RAII scope timer. Destruction ALWAYS feeds the phase's
+// latency histogram ("phase/<name>") in the metrics registry — that is the
+// always-on part the --profile table and --stats-out report read — and,
+// when tracing is enabled, additionally appends a Chrome trace_event
+// "complete" (ph:"X") event with begin timestamp, duration and thread id to
+// a per-thread buffer. Trace::chrome_json() serializes all buffered events
+// into JSON loadable by chrome://tracing and Perfetto.
+//
+// Tracing is off by default: a disabled span costs one steady_clock read at
+// each end plus a couple of relaxed atomic adds.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace mm::obs {
+
+struct TraceEvent {
+  std::string name;
+  double ts_us = 0.0;   // begin, microseconds since process trace anchor
+  double dur_us = 0.0;  // duration, microseconds
+  uint32_t tid = 0;     // small sequential thread id (also Chrome tid)
+};
+
+class Trace {
+ public:
+  static bool enabled();
+  static void set_enabled(bool on);
+  /// Drop all buffered events (does not change enabled state).
+  static void clear();
+  /// Copy out all events recorded so far, sorted by (ts, tid).
+  static std::vector<TraceEvent> collect();
+  /// Chrome trace_event JSON ({"traceEvents":[...]}) of collect().
+  static std::string chrome_json();
+  /// Write chrome_json() to a file; throws mm::Error-free (returns false)
+  /// on I/O failure so shutdown paths can report instead of aborting.
+  static bool write_chrome_json(const std::string& path);
+  /// Microseconds since the process-wide trace anchor (steady clock).
+  static double now_us();
+};
+
+/// One instrumentation site: the phase name plus its pre-registered
+/// metrics handles. Obtained once per site via phase_handle() and cached in
+/// a function-local static by the MM_SPAN macros.
+struct PhaseHandle {
+  std::string name;
+  Histogram latency;  // "phase/<name>" (microseconds)
+  Gauge rss_peak;     // "phase/<name>/rss_peak_bytes"
+  bool sample_rss = true;
+};
+
+/// Get-or-create the handle for `name`. `sample_rss=false` skips the
+/// getrusage sample at span end — use for spans that fire thousands of
+/// times (e.g. per-endpoint propagation).
+PhaseHandle& phase_handle(const std::string& name, bool sample_rss = true);
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(PhaseHandle& handle);
+  /// Dynamic-name convenience: resolves the handle through the registry
+  /// mutex each time; use for coarse, low-frequency phases only.
+  explicit TraceSpan(const std::string& name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  PhaseHandle* handle_;
+  double start_us_;
+};
+
+}  // namespace mm::obs

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/obs.h"
 #include "sdc/lexer.h"
 #include "sdc/query.h"
 #include "util/logger.h"
@@ -741,6 +742,8 @@ Sdc parse_sdc(std::string_view text, const netlist::Design& design) {
 }
 
 void parse_sdc_into(std::string_view text, Sdc& sdc) {
+  MM_SPAN("sdc/parse");
+  MM_COUNT("sdc/bytes_parsed", text.size());
   Parser(sdc).run(text);
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "util/logger.h"
 
 namespace mm::timing {
@@ -19,9 +20,17 @@ TimingGraph::TimingGraph(const Design& design, double net_delay_per_fanout)
   is_endpoint_.assign(n, 0);
   is_startpoint_.assign(n, 0);
   load_.assign(n, 0.0);
-  build_arcs(net_delay_per_fanout);
-  classify_pins();
-  levelize();
+  {
+    MM_SPAN("timing/graph_build");
+    build_arcs(net_delay_per_fanout);
+    classify_pins();
+  }
+  {
+    MM_SPAN("timing/levelize");
+    levelize();
+  }
+  MM_GAUGE_SET("timing/graph/nodes", num_nodes());
+  MM_GAUGE_SET("timing/graph/arcs", num_arcs());
 }
 
 void TimingGraph::build_arcs(double net_delay_per_fanout) {

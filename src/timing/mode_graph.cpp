@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "util/logger.h"
 
 namespace mm::timing {
@@ -15,11 +16,17 @@ ModeGraph::ModeGraph(const TimingGraph& graph, const Sdc& sdc)
   arc_enabled_.assign(graph.num_arcs(), 1);
   clocks_on_.resize(graph.num_nodes());
 
-  propagate_constants();
-  apply_disables();
-  kill_blocked_arcs();
-  propagate_clocks();
-  find_active_points();
+  {
+    MM_SPAN_HOT("timing/case_analysis");
+    propagate_constants();
+    apply_disables();
+    kill_blocked_arcs();
+  }
+  {
+    MM_SPAN_HOT("timing/clock_propagation");
+    propagate_clocks();
+    find_active_points();
+  }
 }
 
 void ModeGraph::propagate_constants() {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
 #include "util/logger.h"
 
 namespace mm::timing {
@@ -85,6 +86,7 @@ Propagator::Propagator(const ModeGraph& mode,
 }
 
 void Propagator::run(const PropagationOptions& options) {
+  MM_SPAN_HOT("timing/relationship_propagation");
   const TimingGraph& graph = mode_->graph();
 
   seed(options);
@@ -134,6 +136,12 @@ void Propagator::run(const PropagationOptions& options) {
     if (options.pin_filter && !(*options.pin_filter)[ep.index()]) continue;
     resolve_endpoint(ep, options);
   }
+
+  size_t num_tags = 0;
+  for (const auto& pin_tags : tags_) num_tags += pin_tags.size();
+  MM_COUNT("timing/tags", num_tags);
+  MM_COUNT("timing/relations", relations_.size());
+  MM_COUNT("timing/propagations", 1);
 }
 
 void Propagator::seed(const PropagationOptions& options) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "timing/delay_calc.h"
 #include "util/timer.h"
 
@@ -9,6 +10,7 @@ namespace mm::timing {
 
 StaResult run_sta(const TimingGraph& graph, const Sdc& sdc,
                   bool analyze_hold) {
+  MM_SPAN_HOT("sta/run");
   Stopwatch timer;
   StaResult result;
 
@@ -48,6 +50,8 @@ StaResult run_sta(const TimingGraph& graph, const Sdc& sdc,
 
 StaResult run_sta_multi(const TimingGraph& graph,
                         const std::vector<const Sdc*>& modes) {
+  MM_SPAN("sta/multi");
+  MM_COUNT("sta/modes_analyzed", modes.size());
   Stopwatch timer;
   StaResult combined;
   for (const Sdc* sdc : modes) {

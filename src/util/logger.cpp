@@ -1,15 +1,20 @@
 #include "util/logger.h"
 
 #include <atomic>
+#include <chrono>
+#include <ctime>
 #include <mutex>
 
 namespace mm {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<LogPrefixStyle> g_prefix_style{LogPrefixStyle::kPlain};
+std::atomic<uint64_t> g_warns{0};
+std::atomic<uint64_t> g_errors{0};
 std::mutex g_mutex;
 
-const char* prefix(LogLevel lvl) {
+const char* level_name(LogLevel lvl) {
   switch (lvl) {
     case LogLevel::kDebug: return "debug";
     case LogLevel::kInfo: return "info";
@@ -17,6 +22,32 @@ const char* prefix(LogLevel lvl) {
     case LogLevel::kError: return "error";
     default: return "?";
   }
+}
+
+uint32_t thread_log_id() {
+  static std::atomic<uint32_t> next{1};
+  thread_local const uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void print_prefix(LogLevel lvl) {
+  if (g_prefix_style.load(std::memory_order_relaxed) ==
+      LogPrefixStyle::kPlain) {
+    std::fprintf(stderr, "[mm:%s] ", level_name(lvl));
+    return;
+  }
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm tm{};
+  localtime_r(&secs, &tm);
+  std::fprintf(stderr, "[mm %02d:%02d:%02d.%03d t%u %s] ", tm.tm_hour,
+               tm.tm_min, tm.tm_sec, static_cast<int>(ms), thread_log_id(),
+               level_name(lvl));
 }
 
 }  // namespace
@@ -27,10 +58,34 @@ void Logger::set_level(LogLevel lvl) {
   g_level.store(lvl, std::memory_order_relaxed);
 }
 
+LogPrefixStyle Logger::prefix_style() {
+  return g_prefix_style.load(std::memory_order_relaxed);
+}
+
+void Logger::set_prefix_style(LogPrefixStyle style) {
+  g_prefix_style.store(style, std::memory_order_relaxed);
+}
+
+uint64_t Logger::warn_count() {
+  return g_warns.load(std::memory_order_relaxed);
+}
+
+uint64_t Logger::error_count() {
+  return g_errors.load(std::memory_order_relaxed);
+}
+
+void Logger::reset_counts() {
+  g_warns.store(0, std::memory_order_relaxed);
+  g_errors.store(0, std::memory_order_relaxed);
+}
+
 void Logger::log(LogLevel lvl, const char* fmt, ...) {
+  if (lvl == LogLevel::kWarn) g_warns.fetch_add(1, std::memory_order_relaxed);
+  if (lvl == LogLevel::kError)
+    g_errors.fetch_add(1, std::memory_order_relaxed);
   if (lvl < level()) return;
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[mm:%s] ", prefix(lvl));
+  print_prefix(lvl);
   va_list args;
   va_start(args, fmt);
   std::vfprintf(stderr, fmt, args);

@@ -1,19 +1,42 @@
 #pragma once
-// Minimal leveled logger. Global level, printf-style formatting, thread-safe
-// line emission. Tools print to stderr so benchmark table output on stdout
-// stays machine-readable.
+// Minimal leveled logger. Atomic global level, printf-style formatting,
+// thread-safe line emission. Tools print to stderr so benchmark table
+// output on stdout stays machine-readable.
+//
+// Optional prefix styles add a wall-clock timestamp and a small sequential
+// thread id to every line ("[mm 12:34:56.789 t2 warn] ..."), for
+// correlating log lines with trace spans from multi-threaded phases.
+//
+// Warning / error totals are counted (atomically, regardless of the level
+// filter) so the observability layer can surface them in --stats-out.
 
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 
 namespace mm {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kSilent = 4 };
 
+enum class LogPrefixStyle {
+  kPlain,       // "[mm:warn] "
+  kTimestamped  // "[mm 12:34:56.789 t2 warn] "
+};
+
 class Logger {
  public:
   static LogLevel level();
   static void set_level(LogLevel lvl);
+
+  static LogPrefixStyle prefix_style();
+  static void set_prefix_style(LogPrefixStyle style);
+
+  /// Totals of MM_WARN / MM_ERROR call sites hit since process start (or
+  /// the last reset_counts()); counted even when the line is suppressed by
+  /// the level filter so the stats report reflects ground truth.
+  static uint64_t warn_count();
+  static uint64_t error_count();
+  static void reset_counts();
 
   static void log(LogLevel lvl, const char* fmt, ...)
       __attribute__((format(printf, 2, 3)));

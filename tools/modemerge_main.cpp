@@ -3,15 +3,25 @@
 //   modemerge --netlist design.v --mode func.sdc --mode scan.sdc ...
 //             [--out DIR] [--tolerance X] [--threads N] [--sta]
 //             [--no-refine] [--no-validate] [--no-hold]
+//             [--stats-out FILE.json] [--trace-out FILE.json] [--profile]
 //
 // Reads a structural Verilog netlist (built-in cell library) and N SDC mode
 // decks, runs mergeability analysis + clique cover + per-clique merging,
 // writes one merged SDC per clique into DIR (default .), and prints the
 // merge reports. With --sta it also runs STA on individual vs merged modes
 // and reports the runtime reduction and slack conformity. Exit status is
-// non-zero if any merged mode fails sign-off validation.
+// non-zero if any merged mode fails sign-off validation; bad command-line
+// input exits 2.
+//
+// Observability: --stats-out dumps the mm::obs metrics registry (per-phase
+// wall time, peak RSS, counters) as JSON, --trace-out writes a Chrome
+// trace_event file loadable in chrome://tracing / Perfetto, and --profile
+// prints the per-phase table at the end of the run.
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -19,6 +29,7 @@
 #include "merge/merger.h"
 #include "netlist/liberty.h"
 #include "netlist/verilog.h"
+#include "obs/obs.h"
 #include "sdc/parser.h"
 #include "sdc/writer.h"
 #include "timing/report.h"
@@ -28,6 +39,8 @@
 
 namespace {
 
+constexpr const char* kVersion = "modemerge 1.1.0";
+
 std::string read_file(const std::string& path) {
   std::ifstream file(path, std::ios::binary);
   if (!file) throw mm::Error("cannot open: " + path);
@@ -36,13 +49,66 @@ std::string read_file(const std::string& path) {
   return os.str();
 }
 
-void usage() {
-  std::fprintf(stderr,
-               "usage: modemerge --netlist FILE.v [--liberty FILE.lib] --mode FILE.sdc "
-               "[--mode FILE.sdc ...]\n"
-               "  [--out DIR] [--tolerance X] [--threads N] [--sta]\n"
-               "  [--no-refine] [--no-validate] [--no-hold] [--verbose]\n"
-               "  [--report-timing N] [--report-clocks]\n");
+void usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: modemerge --netlist FILE.v [--liberty FILE.lib] --mode FILE.sdc "
+      "[--mode FILE.sdc ...]\n"
+      "\n"
+      "merging:\n"
+      "  --out DIR            output directory for merged_<k>.sdc (default .)\n"
+      "  --tolerance X        relative constraint-value merge tolerance (>= 0)\n"
+      "  --threads N          refinement/validation threads (0 = hardware)\n"
+      "  --no-refine          preliminary merge only (skip 3-pass refinement)\n"
+      "  --no-validate        skip the final equivalence validation\n"
+      "  --no-hold            setup-side analysis only\n"
+      "\n"
+      "analysis / reports:\n"
+      "  --sta                run STA individual-vs-merged and report reduction\n"
+      "  --report-timing N    print the N worst paths per merged mode\n"
+      "  --report-clocks      print the clock report per merged mode\n"
+      "\n"
+      "observability:\n"
+      "  --stats-out FILE     write machine-readable run stats JSON\n"
+      "  --trace-out FILE     write Chrome trace_event JSON (chrome://tracing)\n"
+      "  --profile            print the per-phase wall-time table at exit\n"
+      "  --verbose            log at info level\n"
+      "  --log-timestamps     prefix log lines with wall clock + thread id\n"
+      "\n"
+      "  --help, -h           this help (exit 0)\n"
+      "  --version            print version (exit 0)\n");
+}
+
+[[noreturn]] void bad_arg(const char* flag, const char* text,
+                          const char* expected) {
+  std::fprintf(stderr, "modemerge: invalid value for %s: '%s' (expected %s)\n",
+               flag, text, expected);
+  std::exit(2);
+}
+
+/// Strictly parse a non-negative finite double; exits 2 with a clear
+/// message on garbage, trailing junk, or negative values.
+double parse_double_arg(const char* flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE || !std::isfinite(v)) {
+    bad_arg(flag, text, "a finite number");
+  }
+  if (v < 0) bad_arg(flag, text, "a non-negative number");
+  return v;
+}
+
+/// Strictly parse a non-negative integer; exits 2 on anything else.
+size_t parse_size_arg(const char* flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE ||
+      std::strchr(text, '-') != nullptr) {
+    bad_arg(flag, text, "a non-negative integer");
+  }
+  return static_cast<size_t>(v);
 }
 
 }  // namespace
@@ -54,6 +120,9 @@ int main(int argc, char** argv) {
   std::string liberty_path;
   std::vector<std::string> mode_paths;
   std::string out_dir = ".";
+  std::string stats_out;
+  std::string trace_out;
+  bool profile_flag = false;
   merge::MergeOptions options;
   bool run_sta_flag = false;
   size_t report_paths = 0;
@@ -63,7 +132,7 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     auto value = [&]() -> const char* {
       if (i + 1 >= argc) {
-        usage();
+        std::fprintf(stderr, "modemerge: %s requires a value\n", arg.c_str());
         std::exit(2);
       }
       return argv[++i];
@@ -72,28 +141,73 @@ int main(int argc, char** argv) {
     else if (arg == "--liberty") liberty_path = value();
     else if (arg == "--mode") mode_paths.push_back(value());
     else if (arg == "--out") out_dir = value();
-    else if (arg == "--tolerance") options.value_tolerance = std::atof(value());
-    else if (arg == "--threads") options.num_threads = std::atoi(value());
+    else if (arg == "--tolerance")
+      options.value_tolerance = parse_double_arg("--tolerance", value());
+    else if (arg == "--threads")
+      options.num_threads = parse_size_arg("--threads", value());
     else if (arg == "--sta") run_sta_flag = true;
-    else if (arg == "--report-timing") report_paths = std::atoi(value());
+    else if (arg == "--report-timing")
+      report_paths = parse_size_arg("--report-timing", value());
     else if (arg == "--report-clocks") report_clocks_flag = true;
     else if (arg == "--no-refine") options.run_refinement = false;
     else if (arg == "--no-validate") options.validate = false;
     else if (arg == "--no-hold") options.analyze_hold = false;
+    else if (arg == "--stats-out") stats_out = value();
+    else if (arg == "--trace-out") trace_out = value();
+    else if (arg == "--profile") profile_flag = true;
     else if (arg == "--verbose") Logger::set_level(LogLevel::kInfo);
-    else if (arg == "--help" || arg == "-h") {
-      usage();
+    else if (arg == "--log-timestamps")
+      Logger::set_prefix_style(LogPrefixStyle::kTimestamped);
+    else if (arg == "--version") {
+      std::printf("%s\n", kVersion);
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(stdout);
       return 0;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-      usage();
+      usage(stderr);
       return 2;
     }
   }
   if (netlist_path.empty() || mode_paths.empty()) {
-    usage();
+    usage(stderr);
     return 2;
   }
+
+  if (!trace_out.empty()) obs::Trace::set_enabled(true);
+
+  obs::StatsMeta meta;
+  meta.strings["tool"] = kVersion;
+  meta.strings["netlist"] = netlist_path;
+  meta.numbers["num_input_modes"] = static_cast<double>(mode_paths.size());
+
+  // Emit whatever observability artifacts were requested, even on the
+  // error path, so failed runs stay diagnosable.
+  // Returns false if a requested artifact could not be written.
+  auto emit_observability = [&]() {
+    bool ok = true;
+    if (!stats_out.empty()) {
+      if (obs::write_stats_json(stats_out, meta)) {
+        std::fprintf(stderr, "wrote stats to %s\n", stats_out.c_str());
+      } else {
+        std::fprintf(stderr, "error: cannot write %s\n", stats_out.c_str());
+        ok = false;
+      }
+    }
+    if (!trace_out.empty()) {
+      if (obs::Trace::write_chrome_json(trace_out)) {
+        std::fprintf(stderr, "wrote trace to %s\n", trace_out.c_str());
+      } else {
+        std::fprintf(stderr, "error: cannot write %s\n", trace_out.c_str());
+        ok = false;
+      }
+    }
+    if (profile_flag) {
+      std::printf("\n=== phase profile ===\n%s", obs::profile_table().c_str());
+    }
+    return ok;
+  };
 
   try {
     const netlist::Library lib =
@@ -132,6 +246,10 @@ int main(int argc, char** argv) {
     std::printf("\n%zu modes -> %zu merged (%.1f%% reduction) in %.2fs\n",
                 ptrs.size(), out.num_merged_modes(), out.reduction_percent(),
                 out.total_seconds);
+    meta.numbers["num_merged_modes"] =
+        static_cast<double>(out.num_merged_modes());
+    meta.numbers["reduction_percent"] = out.reduction_percent();
+    meta.numbers["merge_seconds"] = out.total_seconds;
 
     bool safe = true;
     for (size_t c = 0; c < out.merged.size(); ++c) {
@@ -183,15 +301,22 @@ int main(int argc, char** argv) {
           t_indiv > 0 ? 100.0 * (1.0 - t_merged / t_indiv) : 0.0);
       std::printf("WNS individual %.4f, merged %.4f\n", indiv.wns,
                   merged_sta.wns);
+      meta.numbers["sta_individual_seconds"] = t_indiv;
+      meta.numbers["sta_merged_seconds"] = t_merged;
+      meta.numbers["wns_individual"] = indiv.wns;
+      meta.numbers["wns_merged"] = merged_sta.wns;
     }
 
+    const bool artifacts_ok = emit_observability();
     if (!safe) {
       std::fprintf(stderr, "\nFAIL: at least one merged mode is not sign-off safe\n");
       return 1;
     }
-    return 0;
+    return artifacts_ok ? 0 : 1;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    meta.strings["error"] = e.what();
+    emit_observability();
     return 1;
   }
 }
