@@ -1,0 +1,139 @@
+// Mergeability-analysis scaling in mode count M (the pipeline's first
+// superlinear wall: O(M^2) pairwise mock merges). Sweeps M ∈ {8,16,32,64}
+// and times three configurations per M:
+//
+//   serial/seed   — 1 thread, relationship cache off (the pre-cache path
+//                   that re-derives each mode's relationship set per pair)
+//   parallel/cold — all threads, content-addressed cache cleared first
+//   parallel/warm — all threads, cache pre-populated by the cold run
+//
+// Asserts the parallel graph + clique cover identical to the serial one
+// and writes BENCH_mergeability_scale.json (mm.bench/1).
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "merge/mergeability.h"
+#include "merge/relationship_cache.h"
+#include "obs/obs.h"
+#include "sdc/parser.h"
+#include "util/timer.h"
+#include "workloads.h"
+
+namespace {
+
+bool graphs_identical(const mm::merge::MergeabilityGraph& a,
+                      const mm::merge::MergeabilityGraph& b) {
+  if (a.num_modes() != b.num_modes()) return false;
+  for (size_t i = 0; i < a.num_modes(); ++i) {
+    for (size_t j = 0; j < a.num_modes(); ++j) {
+      if (a.edge(i, j) != b.edge(i, j)) return false;
+      if (a.reason(i, j) != b.reason(i, j)) return false;
+    }
+  }
+  return a.clique_cover() == b.clique_cover();
+}
+
+}  // namespace
+
+int main() {
+  using namespace mm;
+  using namespace mm::bench;
+
+  const netlist::Library lib = netlist::Library::builtin();
+
+  gen::DesignParams dp;
+  dp.num_regs = std::max<size_t>(100, static_cast<size_t>(2e5 * size_scale()));
+  netlist::Design design = gen::generate_design(lib, dp);
+
+  std::printf("Mergeability analysis at scale (design %zu cells)\n",
+              design.num_instances());
+  std::printf("(host reports %u hardware thread(s))\n",
+              std::thread::hardware_concurrency());
+  std::printf("%8s %8s %14s %14s %14s %9s %9s %10s\n", "#modes", "pairs",
+              "serial(ms)", "par-cold(ms)", "par-warm(ms)", "spd-cold",
+              "spd-warm", "identical");
+
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("schema").value("mm.bench/1");
+  json.key("bench").value("mergeability_scale");
+  json.key("scale").value(size_scale());
+  json.key("cells").value(design.num_instances());
+  json.key("hardware_threads")
+      .value(static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  json.key("rows").begin_array();
+
+  bool all_identical = true;
+  for (size_t m : {8, 16, 32, 64}) {
+    gen::ModeFamilyParams mp;
+    mp.num_modes = m;
+    mp.target_groups = std::max<size_t>(1, m / 6);
+    std::vector<std::unique_ptr<sdc::Sdc>> modes;
+    std::vector<const sdc::Sdc*> ptrs;
+    for (const auto& gm : gen::generate_mode_family(dp, mp)) {
+      modes.push_back(
+          std::make_unique<sdc::Sdc>(sdc::parse_sdc(gm.sdc_text, design)));
+    }
+    for (const auto& mode : modes) ptrs.push_back(mode.get());
+
+    merge::MergeOptions serial_seed;
+    serial_seed.num_threads = 1;
+    serial_seed.use_relationship_cache = false;
+    merge::MergeOptions parallel;  // defaults: all threads, cache on
+
+    Stopwatch timer;
+    const merge::MergeabilityGraph reference(ptrs, serial_seed);
+    const double serial_ms = timer.elapsed_ms();
+
+    merge::RelationshipCache::global().clear();
+    const merge::RelationshipCache::Stats before =
+        merge::RelationshipCache::global().stats();
+    timer.reset();
+    const merge::MergeabilityGraph cold(ptrs, parallel);
+    const double cold_ms = timer.elapsed_ms();
+
+    timer.reset();
+    const merge::MergeabilityGraph warm(ptrs, parallel);
+    const double warm_ms = timer.elapsed_ms();
+    const merge::RelationshipCache::Stats after =
+        merge::RelationshipCache::global().stats();
+
+    const bool identical =
+        graphs_identical(reference, cold) && graphs_identical(reference, warm);
+    all_identical = all_identical && identical;
+    const size_t pairs = m * (m - 1) / 2;
+    std::printf("%8zu %8zu %14.2f %14.2f %14.2f %8.2fx %8.2fx %10s\n", m,
+                pairs, serial_ms, cold_ms, warm_ms, serial_ms / cold_ms,
+                serial_ms / warm_ms, identical ? "yes" : "NO!");
+
+    json.begin_object();
+    json.key("modes").value(m);
+    json.key("pairs").value(pairs);
+    json.key("cliques").value(reference.clique_cover().size());
+    json.key("serial_seed_ms").value(serial_ms);
+    json.key("parallel_cold_ms").value(cold_ms);
+    json.key("parallel_warm_ms").value(warm_ms);
+    json.key("speedup_cold").value(serial_ms / cold_ms);
+    json.key("speedup_warm").value(serial_ms / warm_ms);
+    json.key("cache_misses").value(after.misses - before.misses);
+    json.key("cache_hits").value(after.hits - before.hits);
+    json.key("identical").value(identical);
+    json.end_object();
+  }
+
+  json.end_array();
+  json.key("stats").raw(obs::stats_json());
+  json.end_object();
+  std::ofstream("BENCH_mergeability_scale.json") << json.str() << '\n';
+  std::fprintf(stderr, "wrote BENCH_mergeability_scale.json\n");
+  if (!all_identical) {
+    std::fprintf(stderr, "[DETERMINISM VIOLATION] parallel mergeability "
+                         "graph differs from serial\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in README.md and docs/*.md.
+
+Usage: check_links.py [repo_root]
+
+Checks every markdown inline link [text](target) whose target is not an
+absolute URL or a pure in-page anchor; the target (minus any #fragment or
+query) must exist relative to the file containing the link. Stdlib only.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def check_file(md: Path, root: Path) -> list[str]:
+    errors = []
+    text = md.read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), 1):
+        for target in LINK_RE.findall(line):
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            path = target.split("#", 1)[0].split("?", 1)[0]
+            if not path:
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{md.relative_to(root)}:{lineno}: broken link "
+                    f"'{target}' -> {resolved}"
+                )
+    return errors
+
+
+def main() -> int:
+    root = Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    files = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+    errors = []
+    checked = 0
+    for md in files:
+        if not md.exists():
+            errors.append(f"expected file missing: {md}")
+            continue
+        checked += 1
+        errors.extend(check_file(md, root))
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"checked {checked} file(s): "
+          f"{'FAIL' if errors else 'OK'} ({len(errors)} broken link(s))")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

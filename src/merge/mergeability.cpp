@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <optional>
 #include <set>
 #include <sstream>
+#include <string_view>
 
 #include "merge/keys.h"
 #include "obs/obs.h"
+#include "util/thread_pool.h"
 
 namespace mm::merge {
 
@@ -18,7 +21,124 @@ bool within_tolerance(double a, double b, double rel_tol) {
   return std::fabs(a - b) <= rel_tol * scale + 1e-12;
 }
 
+// Clock-conflict pre-screen over pre-extracted per-clock windows: same
+// checks, same order, same reason text as the Sdc-level path, but each
+// value is a table read instead of a constraint-list scan. Returns the
+// verdict as soon as a matched clock's windows conflict, letting the
+// caller skip the exception-signature work entirely for such pairs.
+std::optional<PairVerdict> clock_conflict_screen(const ModeRelationships& a,
+                                                 const ModeRelationships& b,
+                                                 const MergeOptions& options) {
+  for (const auto& [key, ia] : a.by_key) {
+    auto it = b.by_key.find(key);
+    if (it == b.by_key.end()) continue;
+    const ModeRelationships::ClockInfo& ca = a.clocks[ia];
+    const ModeRelationships::ClockInfo& cb = b.clocks[it->second];
+
+    for (size_t source = 0; source < 2; ++source) {
+      for (size_t max_side = 0; max_side < 2; ++max_side) {
+        if (ca.latency_present[source][max_side] &&
+            cb.latency_present[source][max_side] &&
+            !within_tolerance(ca.latency[source][max_side],
+                              cb.latency[source][max_side],
+                              options.value_tolerance)) {
+          return PairVerdict{
+              false, "clock latency mismatch on matching clock (" +
+                         std::to_string(ca.latency[source][max_side]) +
+                         " vs " +
+                         std::to_string(cb.latency[source][max_side]) + ")"};
+        }
+      }
+    }
+    for (size_t setup : {size_t{1}, size_t{0}}) {
+      if (ca.uncertainty_present[setup] && cb.uncertainty_present[setup] &&
+          !within_tolerance(ca.uncertainty[setup], cb.uncertainty[setup],
+                            options.value_tolerance)) {
+        return PairVerdict{false,
+                           "clock uncertainty mismatch on matching clock"};
+      }
+    }
+    for (size_t max_side : {size_t{1}, size_t{0}}) {
+      if (ca.transition_present[max_side] && cb.transition_present[max_side] &&
+          !within_tolerance(ca.transition[max_side], cb.transition[max_side],
+                            options.value_tolerance)) {
+        return PairVerdict{false,
+                           "clock transition mismatch on matching clock"};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace
+
+PairVerdict check_mergeable(const ModeRelationships& a,
+                            const ModeRelationships& b,
+                            const MergeOptions& options) {
+  // --- matched clocks: pre-screen on memoized constraint windows ----------
+  if (std::optional<PairVerdict> v = clock_conflict_screen(a, b, options)) {
+    MM_COUNT("merge/mergeability_prescreen_conflicts", 1);
+    return *v;
+  }
+
+  // --- drive / load compatibility ------------------------------------------
+  for (const sdc::DriveConstraint& da : a.drives) {
+    for (const sdc::DriveConstraint& db : b.drives) {
+      if (da.port_pin != db.port_pin || da.is_transition != db.is_transition)
+        continue;
+      if (!(da.minmax.min && db.minmax.min) && !(da.minmax.max && db.minmax.max))
+        continue;
+      if (!within_tolerance(da.value, db.value, options.value_tolerance)) {
+        return {false, "drive/transition value mismatch on port"};
+      }
+    }
+  }
+  for (const sdc::LoadConstraint& la : a.loads) {
+    for (const sdc::LoadConstraint& lb : b.loads) {
+      if (la.port_pin != lb.port_pin) continue;
+      if (!within_tolerance(la.value, lb.value, options.value_tolerance)) {
+        return {false, "load value mismatch on port"};
+      }
+    }
+  }
+
+  // --- exceptions ------------------------------------------------------------
+  // Same anchors, different kind/value: conflicting unless uniquifiable.
+  std::map<std::string_view, const ModeRelationships::ExceptionInfo*>
+      by_anchor;
+  for (const ModeRelationships::ExceptionInfo& ex : a.exceptions) {
+    by_anchor.emplace(ex.sig_anchor, &ex);
+  }
+  for (const ModeRelationships::ExceptionInfo& ex : b.exceptions) {
+    auto it = by_anchor.find(ex.sig_anchor);
+    if (it == by_anchor.end()) continue;
+    const ModeRelationships::ExceptionInfo& other = *it->second;
+    if (other.kind == ex.kind && other.value == ex.value) continue;
+    if (keys_disjoint(other.from_keys, ex.from_keys)) continue;
+    return {false, "conflicting exception values on identical anchors"};
+  }
+
+  // Non-false-path exception present in one mode only and not uniquifiable.
+  auto check_one_sided = [](const ModeRelationships& holder,
+                            const ModeRelationships& other) -> PairVerdict {
+    for (const ModeRelationships::ExceptionInfo& ex : holder.exceptions) {
+      if (ex.kind == sdc::ExceptionKind::kFalsePath) continue;  // droppable
+      if (other.full_sigs.count(ex.sig_full)) continue;  // common exception
+      if (!keys_disjoint(ex.from_keys, other.clock_keys)) {
+        return {false,
+                "non-false-path exception unique to one mode cannot be "
+                "uniquified by clock restriction"};
+      }
+    }
+    return {true, ""};
+  };
+  PairVerdict v = check_one_sided(a, b);
+  if (!v.mergeable) return v;
+  v = check_one_sided(b, a);
+  if (!v.mergeable) return v;
+
+  return {true, ""};
+}
 
 PairVerdict check_mergeable(const Sdc& a, const Sdc& b,
                             const MergeOptions& options) {
@@ -189,15 +309,47 @@ MergeabilityGraph::MergeabilityGraph(const std::vector<const Sdc*>& modes,
                                      const MergeOptions& options)
     : n_(modes.size()), adj_(n_ * n_, 0), reasons_(n_ * n_) {
   MM_SPAN("merge/mergeability");
-  MM_COUNT("merge/mergeability_pairs", n_ * (n_ - 1) / 2);
-  for (size_t i = 0; i < n_; ++i) {
-    adj_[i * n_ + i] = 1;
-    for (size_t j = i + 1; j < n_; ++j) {
-      const PairVerdict verdict = check_mergeable(*modes[i], *modes[j], options);
-      adj_[i * n_ + j] = adj_[j * n_ + i] = verdict.mergeable ? 1 : 0;
-      if (!verdict.mergeable) {
-        reasons_[i * n_ + j] = reasons_[j * n_ + i] = verdict.reason;
-      }
+  const size_t num_pairs = n_ * (n_ - 1) / 2;
+  MM_COUNT("merge/mergeability_pairs", num_pairs);
+  for (size_t i = 0; i < n_; ++i) adj_[i * n_ + i] = 1;
+  if (n_ < 2) return;
+
+  ThreadPool pool(options.num_threads == 0 ? 0 : options.num_threads);
+
+  // Each mode's relationship set is extracted once (memoized across runs by
+  // the content-addressed cache), not re-derived inside every pair.
+  std::vector<std::shared_ptr<const ModeRelationships>> rels;
+  if (options.use_relationship_cache) {
+    rels.resize(n_);
+    pool.parallel_for(n_, [&](size_t i) {
+      rels[i] = RelationshipCache::global().get(*modes[i]);
+    });
+  }
+
+  // Flattened upper-triangle pair index. Every pair writes only its own
+  // verdict slot and the fill below runs in index order, so adjacency and
+  // reasons are bit-identical to the serial i/j loop.
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  pairs.reserve(num_pairs);
+  for (uint32_t i = 0; i + 1 < n_; ++i) {
+    for (uint32_t j = i + 1; j < n_; ++j) pairs.emplace_back(i, j);
+  }
+  std::vector<PairVerdict> verdicts(pairs.size());
+  // Pairs are cheap once extraction is memoized; a minimum grain keeps the
+  // queue overhead below the per-pair work.
+  pool.parallel_for(pairs.size(), /*min_grain=*/16, [&](size_t p) {
+    const auto [i, j] = pairs[p];
+    verdicts[p] = options.use_relationship_cache
+                      ? check_mergeable(*rels[i], *rels[j], options)
+                      : check_mergeable(*modes[i], *modes[j], options);
+  });
+
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    const auto [i, j] = pairs[p];
+    const PairVerdict& verdict = verdicts[p];
+    adj_[i * n_ + j] = adj_[j * n_ + i] = verdict.mergeable ? 1 : 0;
+    if (!verdict.mergeable) {
+      reasons_[i * n_ + j] = reasons_[j * n_ + i] = verdict.reason;
     }
   }
 }

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "merge/relationship_cache.h"
 #include "merge/types.h"
 
 namespace mm::merge {
@@ -23,12 +24,31 @@ struct PairVerdict {
 ///  - conflicting non-false-path exceptions (same anchors, different
 ///    kind/value) that cannot be uniquified by clock restriction,
 ///  - generated-clock master mismatches (clock blocking).
+///
+/// This overload re-derives both modes' relationship sets from scratch —
+/// it is the reference (seed) path; MergeabilityGraph uses the memoized
+/// overload below, which returns byte-identical verdicts.
 PairVerdict check_mergeable(const Sdc& a, const Sdc& b,
+                            const MergeOptions& options);
+
+/// Same verdicts (bit-identical, including reason text) from pre-extracted
+/// relationship sets: the per-pair cost drops to lookups over memoized
+/// keys/signatures, and a clock-conflict pre-screen short-circuits pairs
+/// whose per-clock windows already conflict before any exception-signature
+/// work (counted in merge/mergeability_prescreen_conflicts).
+PairVerdict check_mergeable(const ModeRelationships& a,
+                            const ModeRelationships& b,
                             const MergeOptions& options);
 
 class MergeabilityGraph {
  public:
-  /// Build the graph over `modes` (pairwise check_mergeable).
+  /// Build the graph over `modes`. Per-mode relationship sets are fetched
+  /// from RelationshipCache::global() (unless options.use_relationship_cache
+  /// is off) and the pairwise checks fan out over a flattened pair index on
+  /// a ThreadPool sized by options.num_threads. Each pair writes only its
+  /// own verdict slot and the adjacency fill consumes the slots in index
+  /// order, so the graph — and therefore the clique cover — is
+  /// bit-identical to a serial build.
   MergeabilityGraph(const std::vector<const Sdc*>& modes,
                     const MergeOptions& options);
 

@@ -55,6 +55,7 @@ MergedModeSet merge_mode_set(const timing::TimingGraph& graph,
 
   MergeabilityGraph mgraph(modes, options);
   out.cliques = mgraph.clique_cover();
+  MM_COUNT("merge/cliques", out.cliques.size());
 
   for (const std::vector<size_t>& clique : out.cliques) {
     std::vector<const Sdc*> members;

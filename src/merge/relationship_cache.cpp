@@ -1,0 +1,150 @@
+#include "merge/relationship_cache.h"
+
+#include "merge/keys.h"
+#include "obs/obs.h"
+#include "sdc/writer.h"
+
+namespace mm::merge {
+
+namespace {
+
+uint64_t fnv1a(uint64_t h, const char* data, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t fnv1a(uint64_t h, const std::string& s) {
+  return fnv1a(h, s.data(), s.size());
+}
+
+}  // namespace
+
+ModeRelationships extract_relationships(const Sdc& sdc) {
+  MM_SPAN_HOT("merge/relationship_extract");
+  ModeRelationships out;
+
+  // Clocks: canonical keys plus constraint windows. Forward iteration with
+  // overwrite reproduces check_mergeable's last-matching-entry-wins scans.
+  out.clocks.resize(sdc.num_clocks());
+  for (size_t i = 0; i < sdc.num_clocks(); ++i) {
+    out.clocks[i].key = clock_key(sdc, ClockId(i));
+    out.by_key.emplace(out.clocks[i].key, i);
+    out.clock_keys.insert(out.clocks[i].key);
+  }
+  for (const sdc::ClockLatency& lat : sdc.clock_latencies()) {
+    ModeRelationships::ClockInfo& c = out.clocks[lat.clock.index()];
+    const size_t src = lat.source ? 1 : 0;
+    if (lat.minmax.min) {
+      c.latency[src][0] = lat.value;
+      c.latency_present[src][0] = true;
+    }
+    if (lat.minmax.max) {
+      c.latency[src][1] = lat.value;
+      c.latency_present[src][1] = true;
+    }
+  }
+  for (const sdc::ClockUncertainty& unc : sdc.clock_uncertainties()) {
+    ModeRelationships::ClockInfo& c = out.clocks[unc.clock.index()];
+    if (unc.setup_hold.hold) {
+      c.uncertainty[0] = unc.value;
+      c.uncertainty_present[0] = true;
+    }
+    if (unc.setup_hold.setup) {
+      c.uncertainty[1] = unc.value;
+      c.uncertainty_present[1] = true;
+    }
+  }
+  for (const sdc::ClockTransition& tr : sdc.clock_transitions()) {
+    ModeRelationships::ClockInfo& c = out.clocks[tr.clock.index()];
+    if (tr.minmax.min) {
+      c.transition[0] = tr.value;
+      c.transition_present[0] = true;
+    }
+    if (tr.minmax.max) {
+      c.transition[1] = tr.value;
+      c.transition_present[1] = true;
+    }
+  }
+
+  // Exceptions: both signature flavors + effective launch-clock keys.
+  out.exceptions.reserve(sdc.exceptions().size());
+  for (const sdc::Exception& ex : sdc.exceptions()) {
+    ModeRelationships::ExceptionInfo info;
+    info.kind = ex.kind;
+    info.value = ex.value;
+    info.sig_anchor = exception_signature(sdc, ex, /*include_value=*/false);
+    info.sig_full = exception_signature(sdc, ex, /*include_value=*/true);
+    info.from_keys = effective_from_keys(sdc, ex);
+    out.full_sigs.insert(info.sig_full);
+    out.exceptions.push_back(std::move(info));
+  }
+
+  out.drives = sdc.drives();
+  out.loads = sdc.loads();
+  return out;
+}
+
+RelationshipCache::RelationshipCache(size_t max_entries)
+    : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+uint64_t RelationshipCache::content_key(const Sdc& sdc) {
+  uint64_t h = 14695981039346656037ull;
+  h = fnv1a(h, sdc::write_sdc(sdc));
+  h = fnv1a(h, sdc.design().name());
+  const uint64_t pins = sdc.design().num_pins();
+  h = fnv1a(h, reinterpret_cast<const char*>(&pins), sizeof(pins));
+  return h;
+}
+
+std::shared_ptr<const ModeRelationships> RelationshipCache::get(
+    const Sdc& sdc) {
+  const uint64_t key = content_key(sdc);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++stats_.hits;
+      MM_COUNT("merge/relationship_cache_hits", 1);
+      return it->second;
+    }
+  }
+
+  // Extract outside the lock; a concurrent miss on the same key extracts
+  // twice and the first insert wins.
+  auto rels = std::make_shared<const ModeRelationships>(
+      extract_relationships(sdc));
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.misses;
+  MM_COUNT("merge/relationship_cache_misses", 1);
+  if (map_.size() >= max_entries_ && !map_.count(key)) {
+    stats_.evictions += map_.size();
+    map_.clear();
+  }
+  auto [it, inserted] = map_.emplace(key, std::move(rels));
+  return it->second;
+}
+
+void RelationshipCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  map_.clear();
+}
+
+size_t RelationshipCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+RelationshipCache::Stats RelationshipCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+RelationshipCache& RelationshipCache::global() {
+  static RelationshipCache cache;
+  return cache;
+}
+
+}  // namespace mm::merge

@@ -24,8 +24,13 @@ struct MergeOptions {
   double waveform_tolerance = 1e-9;
   /// Path-enumeration cap per (startpoint, endpoint) pair in pass 3.
   size_t max_enumerated_paths = 4096;
-  /// Threads for per-mode propagation (0 = hardware concurrency).
+  /// Threads for per-mode propagation and pairwise mergeability analysis
+  /// (0 = hardware concurrency).
   size_t num_threads = 0;
+  /// Memoize per-mode relationship extraction (merge/relationship_cache.h)
+  /// during mergeability analysis. Off = the seed per-pair re-derivation,
+  /// kept as the reference path for benchmarks and determinism tests.
+  bool use_relationship_cache = true;
   /// Run §3.2 refinement (clock + data + 3-pass). Disabling yields the
   /// preliminary merged mode only — used by benchmarks and ablations.
   bool run_refinement = true;

@@ -41,8 +41,14 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(size_t count,
                               const std::function<void(size_t)>& fn) {
+  parallel_for(count, /*min_grain=*/1, fn);
+}
+
+void ThreadPool::parallel_for(size_t count, size_t min_grain,
+                              const std::function<void(size_t)>& fn) {
   if (count == 0) return;
-  if (count == 1 || num_threads() == 1) {
+  if (min_grain == 0) min_grain = 1;
+  if (count <= min_grain || count == 1 || num_threads() == 1) {
     for (size_t i = 0; i < count; ++i) fn(i);
     return;
   }
@@ -50,7 +56,8 @@ void ThreadPool::parallel_for(size_t count,
   // Dynamic chunking: enough chunks per worker for load balance without
   // drowning in queue overhead.
   const size_t chunks = std::min(count, num_threads() * 4);
-  const size_t chunk_size = (count + chunks - 1) / chunks;
+  size_t chunk_size = (count + chunks - 1) / chunks;
+  if (chunk_size < min_grain) chunk_size = min_grain;
 
   std::atomic<size_t> remaining{0};
   std::exception_ptr error;

@@ -31,6 +31,12 @@ class ThreadPool {
   /// Exceptions from fn propagate to the caller (first one wins).
   void parallel_for(size_t count, const std::function<void(size_t)>& fn);
 
+  /// Same, with a minimum chunk size: at least `min_grain` consecutive
+  /// indices per task, for loops whose per-index work is too cheap to pay
+  /// one queue round-trip each (e.g. one mergeability pair check).
+  void parallel_for(size_t count, size_t min_grain,
+                    const std::function<void(size_t)>& fn);
+
   /// Process-wide default pool (lazily constructed, hardware threads).
   static ThreadPool& global();
 

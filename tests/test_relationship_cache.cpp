@@ -1,0 +1,229 @@
+// RelationshipCache tests: hit/miss accounting, content-key invalidation,
+// and byte-identical determinism of the memoized + parallel mergeability
+// path against the serial seed path (paper worked example and a 32-mode
+// generated family).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gen/design_gen.h"
+#include "gen/mode_gen.h"
+#include "gen/paper_circuit.h"
+#include "merge/mergeability.h"
+#include "merge/relationship_cache.h"
+#include "sdc/parser.h"
+
+namespace mm::merge {
+namespace {
+
+class RelationshipCacheTest : public ::testing::Test {
+ protected:
+  netlist::Library lib = netlist::Library::builtin();
+  netlist::Design design = gen::paper_circuit(lib);
+
+  sdc::Sdc parse(const std::string& text) {
+    return sdc::parse_sdc(text, design);
+  }
+
+  MergeOptions options;
+};
+
+TEST_F(RelationshipCacheTest, HitAndMissCounting) {
+  RelationshipCache cache;
+  sdc::Sdc a = parse("create_clock -name c -period 10 [get_ports clk1]\n");
+
+  auto first = cache.get(a);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Same object again and the same text parsed into a fresh Sdc both hit.
+  auto second = cache.get(a);
+  sdc::Sdc a2 = parse("create_clock -name c -period 10 [get_ports clk1]\n");
+  auto third = cache.get(a2);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(first.get(), third.get());
+}
+
+TEST_F(RelationshipCacheTest, SdcTextChangeInvalidates) {
+  RelationshipCache cache;
+  sdc::Sdc a = parse(
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_clock_uncertainty -setup 0.3 [get_clocks c]\n");
+  auto before = cache.get(a);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // A different constraint value is a different content key: no stale hit.
+  sdc::Sdc b = parse(
+      "create_clock -name c -period 10 [get_ports clk1]\n"
+      "set_clock_uncertainty -setup 0.9 [get_clocks c]\n");
+  EXPECT_NE(RelationshipCache::content_key(a),
+            RelationshipCache::content_key(b));
+  auto after = cache.get(b);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_NE(before.get(), after.get());
+  EXPECT_NE(before->clocks[0].uncertainty[1], after->clocks[0].uncertainty[1]);
+
+  // Mutating a cached mode's constraints changes its key too.
+  a.exceptions().push_back(sdc::Exception{});
+  EXPECT_NE(RelationshipCache::content_key(a),
+            RelationshipCache::content_key(b));
+  cache.get(a);
+  EXPECT_EQ(cache.stats().misses, 3u);
+}
+
+TEST_F(RelationshipCacheTest, KeyIncludesNetlistIdentity) {
+  gen::DesignParams dp;
+  dp.num_regs = 60;
+  dp.name = "block_a";
+  netlist::Design da = gen::generate_design(lib, dp);
+  dp.name = "block_b";
+  netlist::Design db = gen::generate_design(lib, dp);
+
+  const std::string text =
+      "create_clock -name c -period 10 [get_ports clk0]\n";
+  sdc::Sdc on_a = sdc::parse_sdc(text, da);
+  sdc::Sdc on_b = sdc::parse_sdc(text, db);
+  EXPECT_NE(RelationshipCache::content_key(on_a),
+            RelationshipCache::content_key(on_b));
+}
+
+TEST_F(RelationshipCacheTest, EvictionBoundsEntries) {
+  RelationshipCache cache(/*max_entries=*/2);
+  for (int period = 1; period <= 5; ++period) {
+    sdc::Sdc m = parse("create_clock -name c -period " +
+                       std::to_string(period) + " [get_ports clk1]\n");
+    cache.get(m);
+  }
+  EXPECT_LE(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().misses, 5u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+// The cached overload must return the seed overload's verdict bit for bit
+// (mergeable flag AND reason text) on every kind of conflict.
+TEST_F(RelationshipCacheTest, CachedVerdictsMatchSeedPath) {
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"create_clock -name c -period 10 [get_ports clk1]\n",
+       "create_clock -name c -period 10 [get_ports clk1]\n"},
+      {"create_clock -name c1 -period 10 [get_ports clk1]\n",
+       "create_clock -name c2 -period 20 [get_ports clk2]\n"},
+      {"create_clock -name c -period 10 [get_ports clk1]\n"
+       "set_clock_uncertainty -setup 0.3 [get_clocks c]\n",
+       "create_clock -name c -period 10 [get_ports clk1]\n"
+       "set_clock_uncertainty -setup 0.9 [get_clocks c]\n"},
+      {"create_clock -name c -period 10 [get_ports clk1]\n"
+       "set_clock_latency -max 0.5 [get_clocks c]\n",
+       "create_clock -name c -period 10 [get_ports clk1]\n"
+       "set_clock_latency -max 2.5 [get_clocks c]\n"},
+      {"create_clock -name c -period 10 [get_ports clk1]\n"
+       "set_clock_transition -max 0.1 [get_clocks c]\n",
+       "create_clock -name c -period 10 [get_ports clk1]\n"
+       "set_clock_transition -max 0.8 [get_clocks c]\n"},
+      {"set_input_transition 0.1 [get_ports in1]\n",
+       "set_input_transition 0.9 [get_ports in1]\n"},
+      {"set_load 1.0 [get_ports out1]\n", "set_load 5.0 [get_ports out1]\n"},
+      {"create_clock -name c -period 10 [get_ports clk1]\n"
+       "set_multicycle_path 2 -through [get_pins inv1/Z]\n",
+       "create_clock -name c -period 10 [get_ports clk1]\n"
+       "set_multicycle_path 3 -through [get_pins inv1/Z]\n"},
+      {"create_clock -name c -period 10 [get_ports clk1]\n"
+       "set_multicycle_path 2 -through [get_pins inv1/Z]\n",
+       "create_clock -name c -period 10 [get_ports clk1]\n"},
+      {gen::constraint_sets::kSet4ModeA, gen::constraint_sets::kSet4ModeB},
+      {gen::constraint_sets::kSet6ModeA, gen::constraint_sets::kSet6ModeB},
+      {"create_clock -name c -period 10 [get_ports clk1]\n"
+       "set_false_path -to [get_pins rX/D]\n",
+       "create_clock -name c -period 10 [get_ports clk1]\n"},
+  };
+
+  for (double tol : {0.0, 3.0}) {
+    MergeOptions opts;
+    opts.value_tolerance = tol;
+    for (const auto& [ta, tb] : cases) {
+      sdc::Sdc a = parse(ta), b = parse(tb);
+      const PairVerdict seed = check_mergeable(a, b, opts);
+      const ModeRelationships ra = extract_relationships(a);
+      const ModeRelationships rb = extract_relationships(b);
+      const PairVerdict cached = check_mergeable(ra, rb, opts);
+      EXPECT_EQ(seed.mergeable, cached.mergeable)
+          << "tol=" << tol << "\nA:\n" << ta << "B:\n" << tb;
+      EXPECT_EQ(seed.reason, cached.reason)
+          << "tol=" << tol << "\nA:\n" << ta << "B:\n" << tb;
+    }
+  }
+}
+
+// Graph-level determinism helper: adjacency, reasons, and clique cover of
+// two builds must be identical.
+void expect_identical_graphs(const MergeabilityGraph& x,
+                             const MergeabilityGraph& y) {
+  ASSERT_EQ(x.num_modes(), y.num_modes());
+  for (size_t i = 0; i < x.num_modes(); ++i) {
+    for (size_t j = 0; j < x.num_modes(); ++j) {
+      EXPECT_EQ(x.edge(i, j), y.edge(i, j)) << i << "," << j;
+      EXPECT_EQ(x.reason(i, j), y.reason(i, j)) << i << "," << j;
+    }
+  }
+  EXPECT_EQ(x.clique_cover(), y.clique_cover());
+}
+
+TEST_F(RelationshipCacheTest, ParallelPathDeterministicOnPaperExample) {
+  std::vector<sdc::Sdc> modes;
+  for (const char* text :
+       {gen::constraint_sets::kSet2ModeA, gen::constraint_sets::kSet2ModeB,
+        gen::constraint_sets::kSet4ModeA, gen::constraint_sets::kSet4ModeB,
+        gen::constraint_sets::kSet6ModeA, gen::constraint_sets::kSet6ModeB}) {
+    modes.push_back(parse(text));
+  }
+  std::vector<const Sdc*> ptrs;
+  for (const auto& m : modes) ptrs.push_back(&m);
+
+  MergeOptions serial_seed;
+  serial_seed.num_threads = 1;
+  serial_seed.use_relationship_cache = false;
+  MergeOptions parallel_cached;
+  parallel_cached.num_threads = 4;
+
+  const MergeabilityGraph reference(ptrs, serial_seed);
+  const MergeabilityGraph parallel(ptrs, parallel_cached);
+  expect_identical_graphs(reference, parallel);
+  // Warm-cache rebuild is identical too.
+  const MergeabilityGraph warm(ptrs, parallel_cached);
+  expect_identical_graphs(reference, warm);
+}
+
+TEST_F(RelationshipCacheTest, ParallelPathDeterministicOn32GeneratedModes) {
+  gen::DesignParams dp;
+  dp.num_regs = 120;
+  netlist::Design d = gen::generate_design(lib, dp);
+
+  gen::ModeFamilyParams mp;
+  mp.num_modes = 32;
+  mp.target_groups = 5;
+  std::vector<std::unique_ptr<sdc::Sdc>> modes;
+  std::vector<const Sdc*> ptrs;
+  for (const auto& gm : gen::generate_mode_family(dp, mp)) {
+    modes.push_back(std::make_unique<sdc::Sdc>(sdc::parse_sdc(gm.sdc_text, d)));
+  }
+  for (const auto& m : modes) ptrs.push_back(m.get());
+
+  MergeOptions serial_seed;
+  serial_seed.num_threads = 1;
+  serial_seed.use_relationship_cache = false;
+  MergeOptions parallel_cached;
+  parallel_cached.num_threads = 0;  // hardware concurrency
+
+  const MergeabilityGraph reference(ptrs, serial_seed);
+  const MergeabilityGraph parallel(ptrs, parallel_cached);
+  expect_identical_graphs(reference, parallel);
+}
+
+}  // namespace
+}  // namespace mm::merge

@@ -188,5 +188,21 @@ TEST(ThreadPool, SingleThreadFallback) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
+TEST(ThreadPool, GrainedParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  pool.parallel_for(hits.size(), /*min_grain=*/64,
+                    [&](size_t i) { hits[i]++; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+}
+
+TEST(ThreadPool, GrainAtLeastCountRunsInline) {
+  ThreadPool pool(4);
+  std::vector<int> order;  // unsynchronized: only safe because inline
+  pool.parallel_for(7, /*min_grain=*/16,
+                    [&](size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6}));
+}
+
 }  // namespace
 }  // namespace mm
