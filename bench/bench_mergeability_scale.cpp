@@ -1,14 +1,20 @@
 // Mergeability-analysis scaling in mode count M (the pipeline's first
-// superlinear wall: O(M^2) pairwise mock merges). Sweeps M ∈ {8,16,32,64}
-// and times three configurations per M:
+// superlinear wall: O(M^2) pairwise mock merges). Sweeps M ∈
+// {8,16,32,64,128} and times two engine paths, each through its own
+// MergeContext session:
 //
-//   serial/seed   — 1 thread, relationship cache off (the pre-cache path
-//                   that re-derives each mode's relationship set per pair)
-//   parallel/cold — all threads, content-addressed cache cleared first
-//   parallel/warm — all threads, cache pre-populated by the cold run
+//   string/cold,warm   — string-keyed reference path (use_interned_keys
+//                        off); cold = fresh context (empty relationship
+//                        cache), warm = rerun on the same context
+//   interned/cold,warm — KeyId fast path (default); same cold/warm split
 //
-// Asserts the parallel graph + clique cover identical to the serial one
-// and writes BENCH_mergeability_scale.json (mm.bench/1).
+// plus, for M ≤ 64, the historical serial/seed reference (1 thread,
+// relationship cache off — the path that re-derives each mode's
+// relationship set per pair).
+//
+// Asserts every configuration produces the identical graph + clique cover
+// and writes BENCH_mergeability_scale.json (mm.bench/1) with both paths'
+// timings per row.
 
 #include <cstdio>
 #include <fstream>
@@ -16,8 +22,8 @@
 #include <thread>
 #include <vector>
 
+#include "merge/context.h"
 #include "merge/mergeability.h"
-#include "merge/relationship_cache.h"
 #include "obs/obs.h"
 #include "sdc/parser.h"
 #include "util/timer.h"
@@ -37,6 +43,32 @@ bool graphs_identical(const mm::merge::MergeabilityGraph& a,
   return a.clique_cover() == b.clique_cover();
 }
 
+struct PathTiming {
+  double cold_ms = 0.0;
+  double warm_ms = 0.0;
+};
+
+/// Cold build in a fresh MergeContext, warm rebuild in the same session.
+PathTiming time_path(const std::vector<const mm::sdc::Sdc*>& ptrs,
+                     bool interned,
+                     const mm::merge::MergeabilityGraph& reference,
+                     bool* identical) {
+  mm::merge::MergeOptions options;  // all threads, cache on
+  options.use_interned_keys = interned;
+  mm::merge::MergeContext ctx(options);
+
+  PathTiming t;
+  mm::Stopwatch timer;
+  const mm::merge::MergeabilityGraph cold(ptrs, ctx);
+  t.cold_ms = timer.elapsed_ms();
+  timer.reset();
+  const mm::merge::MergeabilityGraph warm(ptrs, ctx);
+  t.warm_ms = timer.elapsed_ms();
+  *identical = *identical && graphs_identical(reference, cold) &&
+               graphs_identical(reference, warm);
+  return t;
+}
+
 }  // namespace
 
 int main() {
@@ -53,9 +85,9 @@ int main() {
               design.num_instances());
   std::printf("(host reports %u hardware thread(s))\n",
               std::thread::hardware_concurrency());
-  std::printf("%8s %8s %14s %14s %14s %9s %9s %10s\n", "#modes", "pairs",
-              "serial(ms)", "par-cold(ms)", "par-warm(ms)", "spd-cold",
-              "spd-warm", "identical");
+  std::printf("%8s %8s %12s %10s %10s %10s %10s %9s %10s\n", "#modes",
+              "pairs", "serial(ms)", "str-cold", "str-warm", "int-cold",
+              "int-warm", "int/str", "identical");
 
   obs::JsonWriter json;
   json.begin_object();
@@ -68,7 +100,7 @@ int main() {
   json.key("rows").begin_array();
 
   bool all_identical = true;
-  for (size_t m : {8, 16, 32, 64}) {
+  for (size_t m : {8, 16, 32, 64, 128}) {
     gen::ModeFamilyParams mp;
     mp.num_modes = m;
     mp.target_groups = std::max<size_t>(1, m / 6);
@@ -80,47 +112,57 @@ int main() {
     }
     for (const auto& mode : modes) ptrs.push_back(mode.get());
 
-    merge::MergeOptions serial_seed;
-    serial_seed.num_threads = 1;
-    serial_seed.use_relationship_cache = false;
-    merge::MergeOptions parallel;  // defaults: all threads, cache on
+    // Reference graph: string path, cold session. Everything else must
+    // match it bit for bit.
+    merge::MergeOptions string_opts;
+    string_opts.use_interned_keys = false;
+    merge::MergeContext reference_ctx(string_opts);
+    const merge::MergeabilityGraph reference(ptrs, reference_ctx);
 
-    Stopwatch timer;
-    const merge::MergeabilityGraph reference(ptrs, serial_seed);
-    const double serial_ms = timer.elapsed_ms();
+    // Historical serial seed path (quadratic re-extraction) — priced out
+    // at M = 128, where it would dominate the whole sweep.
+    double serial_ms = 0.0;
+    const bool run_serial = m <= 64;
+    if (run_serial) {
+      merge::MergeOptions serial_seed;
+      serial_seed.num_threads = 1;
+      serial_seed.use_relationship_cache = false;
+      serial_seed.use_interned_keys = false;
+      Stopwatch timer;
+      const merge::MergeabilityGraph serial(ptrs, serial_seed);
+      serial_ms = timer.elapsed_ms();
+      all_identical = all_identical && graphs_identical(reference, serial);
+    }
 
-    merge::RelationshipCache::global().clear();
-    const merge::RelationshipCache::Stats before =
-        merge::RelationshipCache::global().stats();
-    timer.reset();
-    const merge::MergeabilityGraph cold(ptrs, parallel);
-    const double cold_ms = timer.elapsed_ms();
-
-    timer.reset();
-    const merge::MergeabilityGraph warm(ptrs, parallel);
-    const double warm_ms = timer.elapsed_ms();
-    const merge::RelationshipCache::Stats after =
-        merge::RelationshipCache::global().stats();
-
-    const bool identical =
-        graphs_identical(reference, cold) && graphs_identical(reference, warm);
+    bool identical = true;
+    const PathTiming str = time_path(ptrs, /*interned=*/false, reference,
+                                     &identical);
+    const PathTiming intern = time_path(ptrs, /*interned=*/true, reference,
+                                        &identical);
     all_identical = all_identical && identical;
+
     const size_t pairs = m * (m - 1) / 2;
-    std::printf("%8zu %8zu %14.2f %14.2f %14.2f %8.2fx %8.2fx %10s\n", m,
-                pairs, serial_ms, cold_ms, warm_ms, serial_ms / cold_ms,
-                serial_ms / warm_ms, identical ? "yes" : "NO!");
+    char serial_buf[32];
+    if (run_serial)
+      std::snprintf(serial_buf, sizeof serial_buf, "%.2f", serial_ms);
+    else
+      std::snprintf(serial_buf, sizeof serial_buf, "-");
+    std::printf("%8zu %8zu %12s %10.2f %10.2f %10.2f %10.2f %8.2fx %10s\n",
+                m, pairs, serial_buf, str.cold_ms, str.warm_ms,
+                intern.cold_ms, intern.warm_ms,
+                str.warm_ms / intern.warm_ms, identical ? "yes" : "NO!");
 
     json.begin_object();
     json.key("modes").value(m);
     json.key("pairs").value(pairs);
     json.key("cliques").value(reference.clique_cover().size());
-    json.key("serial_seed_ms").value(serial_ms);
-    json.key("parallel_cold_ms").value(cold_ms);
-    json.key("parallel_warm_ms").value(warm_ms);
-    json.key("speedup_cold").value(serial_ms / cold_ms);
-    json.key("speedup_warm").value(serial_ms / warm_ms);
-    json.key("cache_misses").value(after.misses - before.misses);
-    json.key("cache_hits").value(after.hits - before.hits);
+    if (run_serial) json.key("serial_seed_ms").value(serial_ms);
+    json.key("string_cold_ms").value(str.cold_ms);
+    json.key("string_warm_ms").value(str.warm_ms);
+    json.key("interned_cold_ms").value(intern.cold_ms);
+    json.key("interned_warm_ms").value(intern.warm_ms);
+    json.key("speedup_interned_cold").value(str.cold_ms / intern.cold_ms);
+    json.key("speedup_interned_warm").value(str.warm_ms / intern.warm_ms);
     json.key("identical").value(identical);
     json.end_object();
   }
@@ -131,8 +173,8 @@ int main() {
   std::ofstream("BENCH_mergeability_scale.json") << json.str() << '\n';
   std::fprintf(stderr, "wrote BENCH_mergeability_scale.json\n");
   if (!all_identical) {
-    std::fprintf(stderr, "[DETERMINISM VIOLATION] parallel mergeability "
-                         "graph differs from serial\n");
+    std::fprintf(stderr, "[DETERMINISM VIOLATION] mergeability graph "
+                         "differs across configurations\n");
     return 1;
   }
   return 0;

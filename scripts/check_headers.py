@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Fail on public headers that are not self-contained.
+
+Usage: check_headers.py [repo_root] [--cxx COMPILER] [--jobs N]
+
+Compiles every header under src/ standalone (-fsyntax-only, forced C++
+mode) so a header that silently leans on its includer's #includes fails
+here instead of in the next refactor that reorders includes. Stdlib only.
+"""
+
+import argparse
+import concurrent.futures
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+
+def check_header(cxx: str, root: Path, header: Path) -> str | None:
+    cmd = [
+        cxx,
+        "-std=c++20",
+        "-fsyntax-only",
+        "-x", "c++",
+        "-I", str(root / "src"),
+        str(header),
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        return (
+            f"{header.relative_to(root)}: not self-contained\n"
+            f"{proc.stderr.strip()}"
+        )
+    return None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("root", nargs="?", default=".")
+    parser.add_argument("--cxx", default=os.environ.get("CXX", "c++"))
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    args = parser.parse_args()
+
+    root = Path(args.root).resolve()
+    headers = sorted((root / "src").rglob("*.h"))
+    if not headers:
+        print(f"no headers found under {root / 'src'}", file=sys.stderr)
+        return 1
+
+    errors = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for result in pool.map(
+            lambda h: check_header(args.cxx, root, h), headers
+        ):
+            if result:
+                errors.append(result)
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(
+        f"checked {len(headers)} header(s) with {args.cxx}: "
+        f"{'FAIL' if errors else 'OK'} ({len(errors)} not self-contained)"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Byte-compare modemerge output with and without key interning.
+
+Usage: check_intern_parity.py MODEMERGE_BIN NETLIST MODE_SDC... [--out DIR]
+
+Runs the CLI twice on the same netlist + modes — default (interned keys)
+and --no-key-intern (string-keyed reference path) — and byte-compares
+every merged_*.sdc the two runs produce. Any divergence means the interned
+fast path changed observable output. Stdlib only.
+"""
+
+import argparse
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def run_merge(binary: str, netlist: str, modes: list[str], out_dir: Path,
+              extra_flags: list[str]) -> None:
+    cmd = [binary, "--netlist", netlist]
+    for mode in modes:
+        cmd += ["--mode", mode]
+    cmd += ["--out", str(out_dir)] + extra_flags
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        raise SystemExit(f"modemerge failed ({proc.returncode}): {' '.join(cmd)}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("binary")
+    parser.add_argument("netlist")
+    parser.add_argument("modes", nargs="+")
+    parser.add_argument("--out", default=None)
+    args = parser.parse_args()
+
+    base = Path(args.out) if args.out else Path(tempfile.mkdtemp())
+    interned_dir = base / "interned"
+    string_dir = base / "string"
+    interned_dir.mkdir(parents=True, exist_ok=True)
+    string_dir.mkdir(parents=True, exist_ok=True)
+
+    run_merge(args.binary, args.netlist, args.modes, interned_dir, [])
+    run_merge(args.binary, args.netlist, args.modes, string_dir,
+              ["--no-key-intern"])
+
+    interned = sorted(p.name for p in interned_dir.glob("merged_*.sdc"))
+    strings = sorted(p.name for p in string_dir.glob("merged_*.sdc"))
+    errors = []
+    if not interned:
+        errors.append(f"no merged_*.sdc produced in {interned_dir}")
+    if interned != strings:
+        errors.append(f"file sets differ: {interned} vs {strings}")
+    for name in interned:
+        if name not in strings:
+            continue
+        a = (interned_dir / name).read_bytes()
+        b = (string_dir / name).read_bytes()
+        if a != b:
+            errors.append(f"{name}: interned and string outputs differ")
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(
+        f"compared {len(interned)} merged SDC file(s): "
+        f"{'FAIL' if errors else 'OK (byte-identical)'}"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

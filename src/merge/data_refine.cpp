@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <tuple>
 #include <set>
 #include <unordered_map>
@@ -345,11 +346,18 @@ class DataRefiner {
     }
   }
 
-  /// Per-mode relation maps in the merged clock space (parallel).
+  /// Per-mode relation maps in the merged clock space (parallel). Runs on
+  /// the merge session's pool when one is live, else a pass-local pool.
   std::vector<RelationMap> individual_relations(const PropagationOptions& opts) {
     std::vector<RelationMap> partial(ctx_.modes.size());
-    ThreadPool pool(options_.num_threads == 0 ? 0 : options_.num_threads);
-    pool.parallel_for(ctx_.modes.size(), [&](size_t m) {
+    std::unique_ptr<ThreadPool> local;
+    ThreadPool* pool = ctx_.session ? &ctx_.session->pool() : nullptr;
+    if (pool == nullptr) {
+      local = std::make_unique<ThreadPool>(
+          options_.num_threads == 0 ? 0 : options_.num_threads);
+      pool = local.get();
+    }
+    pool->parallel_for(ctx_.modes.size(), [&](size_t m) {
       accumulate_mode_relations(m, opts, partial[m]);
     });
     return partial;

@@ -1,5 +1,7 @@
 #include "merge/equivalence.h"
 
+#include <memory>
+
 #include "obs/obs.h"
 #include "timing/relationships.h"
 #include "util/thread_pool.h"
@@ -36,8 +38,15 @@ EquivalenceReport check_equivalence(const RefineContext& ctx,
   opts.analyze_hold = true;
 
   // Individual side (union over modes, clocks mapped to merged space).
+  // Reuse the merge session's pool when the context carries one.
   std::vector<RelationMap> partial(ctx.modes.size());
-  ThreadPool pool(num_threads == 0 ? 0 : num_threads);
+  std::unique_ptr<ThreadPool> local;
+  ThreadPool* pool_ptr = ctx.session ? &ctx.session->pool() : nullptr;
+  if (pool_ptr == nullptr) {
+    local = std::make_unique<ThreadPool>(num_threads == 0 ? 0 : num_threads);
+    pool_ptr = local.get();
+  }
+  ThreadPool& pool = *pool_ptr;
   pool.parallel_for(ctx.modes.size(), [&](size_t m) {
     CompiledExceptions ce(graph, *ctx.modes[m]);
     Propagator prop(*ctx.mode_graphs[m], ce);

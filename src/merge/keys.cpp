@@ -73,4 +73,85 @@ bool keys_disjoint(const std::set<std::string>& a,
   return true;
 }
 
+bool keys_disjoint(const KeySet& a, const KeySet& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia == *ib) return false;
+    if (*ia < *ib)
+      ++ia;
+    else
+      ++ib;
+  }
+  return true;
+}
+
+DynamicBitset keyset_bits(const KeySet& keys) {
+  if (keys.empty()) return DynamicBitset();
+  // keys is sorted, so the universe is the last id + 1.
+  DynamicBitset bits(keys.back().id() + 1);
+  for (KeyId k : keys) bits.set(k.id());
+  return bits;
+}
+
+KeyId CanonicalKeyTable::clock_key_id(const Sdc& sdc, ClockId id) {
+  return intern(clock_key(sdc, id));
+}
+
+KeySet CanonicalKeyTable::mode_clock_key_ids(const Sdc& sdc) {
+  KeySet ids;
+  ids.reserve(sdc.num_clocks());
+  for (size_t i = 0; i < sdc.num_clocks(); ++i) {
+    ids.push_back(clock_key_id(sdc, ClockId(i)));
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+KeyId CanonicalKeyTable::exception_signature_id(const Sdc& sdc,
+                                                const sdc::Exception& ex,
+                                                bool include_value) {
+  return intern(exception_signature(sdc, ex, include_value));
+}
+
+KeySet CanonicalKeyTable::effective_from_key_ids(const Sdc& sdc,
+                                                 const sdc::Exception& ex) {
+  if (ex.from.clocks.empty()) return mode_clock_key_ids(sdc);
+  KeySet ids;
+  ids.reserve(ex.from.clocks.size());
+  for (ClockId c : ex.from.clocks) ids.push_back(clock_key_id(sdc, c));
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+KeyId CanonicalKeyTable::intern(std::string_view key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const size_t before = pool_.size();
+  const Symbol sym = pool_.intern(key);
+  if (pool_.size() > before) bytes_ += key.size();
+  return sym;
+}
+
+std::string CanonicalKeyTable::str(KeyId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::string(pool_.str(id));
+}
+
+size_t CanonicalKeyTable::num_keys() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pool_.size();
+}
+
+size_t CanonicalKeyTable::bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+CanonicalKeyTable& CanonicalKeyTable::global() {
+  static CanonicalKeyTable table;
+  return table;
+}
+
 }  // namespace mm::merge

@@ -7,7 +7,9 @@
 #include <set>
 #include <sstream>
 #include <string_view>
+#include <unordered_map>
 
+#include "merge/context.h"
 #include "merge/keys.h"
 #include "obs/obs.h"
 #include "util/thread_pool.h"
@@ -21,21 +23,13 @@ bool within_tolerance(double a, double b, double rel_tol) {
   return std::fabs(a - b) <= rel_tol * scale + 1e-12;
 }
 
-// Clock-conflict pre-screen over pre-extracted per-clock windows: same
-// checks, same order, same reason text as the Sdc-level path, but each
-// value is a table read instead of a constraint-list scan. Returns the
-// verdict as soon as a matched clock's windows conflict, letting the
-// caller skip the exception-signature work entirely for such pairs.
-std::optional<PairVerdict> clock_conflict_screen(const ModeRelationships& a,
-                                                 const ModeRelationships& b,
-                                                 const MergeOptions& options) {
-  for (const auto& [key, ia] : a.by_key) {
-    auto it = b.by_key.find(key);
-    if (it == b.by_key.end()) continue;
-    const ModeRelationships::ClockInfo& ca = a.clocks[ia];
-    const ModeRelationships::ClockInfo& cb = b.clocks[it->second];
-
-    for (size_t source = 0; source < 2; ++source) {
+// Window comparison shared by the string-keyed and interned pre-screens:
+// same checks, same order, same reason text as the Sdc-level path, but each
+// value is a table read instead of a constraint-list scan.
+std::optional<PairVerdict> clock_window_conflict(
+    const ModeRelationships::ClockInfo& ca,
+    const ModeRelationships::ClockInfo& cb, const MergeOptions& options) {
+  for (size_t source = 0; source < 2; ++source) {
       for (size_t max_side = 0; max_side < 2; ++max_side) {
         if (ca.latency_present[source][max_side] &&
             cb.latency_present[source][max_side] &&
@@ -66,8 +60,118 @@ std::optional<PairVerdict> clock_conflict_screen(const ModeRelationships& a,
                            "clock transition mismatch on matching clock"};
       }
     }
+  return std::nullopt;
+}
+
+// Clock-conflict pre-screen over pre-extracted per-clock windows. Returns
+// the verdict as soon as a matched clock's windows conflict, letting the
+// caller skip the exception-signature work entirely for such pairs.
+// Matched clocks are visited in canonical-key string order, so the first
+// conflict found — and therefore the reason text — is the same as the
+// Sdc-level path's.
+std::optional<PairVerdict> clock_conflict_screen(const ModeRelationships& a,
+                                                 const ModeRelationships& b,
+                                                 const MergeOptions& options) {
+  for (const auto& [key, ia] : a.by_key) {
+    auto it = b.by_key.find(key);
+    if (it == b.by_key.end()) continue;
+    if (std::optional<PairVerdict> v = clock_window_conflict(
+            a.clocks[ia], b.clocks[it->second], options)) {
+      return v;
+    }
   }
   return std::nullopt;
+}
+
+// Interned pre-screen: same visit order (a.clock_order is the by_key
+// iteration order), but the probe into b is an integer hash lookup.
+std::optional<PairVerdict> clock_conflict_screen_interned(
+    const ModeRelationships& a, const ModeRelationships& b,
+    const MergeOptions& options) {
+  for (uint32_t ia : a.clock_order) {
+    const ModeRelationships::ClockInfo& ca = a.clocks[ia];
+    auto it = b.by_key_id.find(ca.key_id.id());
+    if (it == b.by_key_id.end()) continue;
+    if (std::optional<PairVerdict> v =
+            clock_window_conflict(ca, b.clocks[it->second], options)) {
+      return v;
+    }
+  }
+  return std::nullopt;
+}
+
+// Interned-path verdict: identical checks and reason strings to the
+// string-keyed body in check_mergeable below, with every string compare
+// replaced by a KeyId compare and every std::set<std::string> probe by a
+// bitset intersection. Requires both entries interned in the same table.
+PairVerdict check_mergeable_interned(const ModeRelationships& a,
+                                     const ModeRelationships& b,
+                                     const MergeOptions& options) {
+  // --- matched clocks: pre-screen on memoized constraint windows ----------
+  if (std::optional<PairVerdict> v =
+          clock_conflict_screen_interned(a, b, options)) {
+    MM_COUNT("merge/mergeability_prescreen_conflicts", 1);
+    return *v;
+  }
+
+  // --- drive / load compatibility ------------------------------------------
+  for (const sdc::DriveConstraint& da : a.drives) {
+    for (const sdc::DriveConstraint& db : b.drives) {
+      if (da.port_pin != db.port_pin || da.is_transition != db.is_transition)
+        continue;
+      if (!(da.minmax.min && db.minmax.min) && !(da.minmax.max && db.minmax.max))
+        continue;
+      if (!within_tolerance(da.value, db.value, options.value_tolerance)) {
+        return {false, "drive/transition value mismatch on port"};
+      }
+    }
+  }
+  for (const sdc::LoadConstraint& la : a.loads) {
+    for (const sdc::LoadConstraint& lb : b.loads) {
+      if (la.port_pin != lb.port_pin) continue;
+      if (!within_tolerance(la.value, lb.value, options.value_tolerance)) {
+        return {false, "load value mismatch on port"};
+      }
+    }
+  }
+
+  // --- exceptions ------------------------------------------------------------
+  // Same anchors, different kind/value: conflicting unless uniquifiable.
+  std::unordered_map<uint32_t, const ModeRelationships::ExceptionInfo*>
+      by_anchor;
+  by_anchor.reserve(a.exceptions.size());
+  for (const ModeRelationships::ExceptionInfo& ex : a.exceptions) {
+    by_anchor.emplace(ex.anchor_id.id(), &ex);
+  }
+  for (const ModeRelationships::ExceptionInfo& ex : b.exceptions) {
+    auto it = by_anchor.find(ex.anchor_id.id());
+    if (it == by_anchor.end()) continue;
+    const ModeRelationships::ExceptionInfo& other = *it->second;
+    if (other.kind == ex.kind && other.value == ex.value) continue;
+    if (!other.from_key_bits.intersects(ex.from_key_bits)) continue;
+    return {false, "conflicting exception values on identical anchors"};
+  }
+
+  // Non-false-path exception present in one mode only and not uniquifiable.
+  auto check_one_sided = [](const ModeRelationships& holder,
+                            const ModeRelationships& other) -> PairVerdict {
+    for (const ModeRelationships::ExceptionInfo& ex : holder.exceptions) {
+      if (ex.kind == sdc::ExceptionKind::kFalsePath) continue;  // droppable
+      if (other.full_sig_ids.count(ex.full_id.id())) continue;  // common
+      if (ex.from_key_bits.intersects(other.clock_key_bits)) {
+        return {false,
+                "non-false-path exception unique to one mode cannot be "
+                "uniquified by clock restriction"};
+      }
+    }
+    return {true, ""};
+  };
+  PairVerdict v = check_one_sided(a, b);
+  if (!v.mergeable) return v;
+  v = check_one_sided(b, a);
+  if (!v.mergeable) return v;
+
+  return {true, ""};
 }
 
 }  // namespace
@@ -75,6 +179,12 @@ std::optional<PairVerdict> clock_conflict_screen(const ModeRelationships& a,
 PairVerdict check_mergeable(const ModeRelationships& a,
                             const ModeRelationships& b,
                             const MergeOptions& options) {
+  // Interned fast path when both entries carry ids (from the same table —
+  // the cache/session invariant); otherwise the string-keyed reference.
+  if (options.use_interned_keys && a.interned && b.interned) {
+    return check_mergeable_interned(a, b, options);
+  }
+
   // --- matched clocks: pre-screen on memoized constraint windows ----------
   if (std::optional<PairVerdict> v = clock_conflict_screen(a, b, options)) {
     MM_COUNT("merge/mergeability_prescreen_conflicts", 1);
@@ -306,25 +416,41 @@ PairVerdict check_mergeable(const Sdc& a, const Sdc& b,
 }
 
 MergeabilityGraph::MergeabilityGraph(const std::vector<const Sdc*>& modes,
-                                     const MergeOptions& options)
-    : n_(modes.size()), adj_(n_ * n_, 0), reasons_(n_ * n_) {
+                                     const MergeOptions& options) {
+  // Legacy entry: the process-wide cache (bound to the global key table)
+  // and a pool of this build's own, sized by options.num_threads.
+  ThreadPool pool(options.num_threads == 0 ? 0 : options.num_threads);
+  build(modes, options, RelationshipCache::global(), pool);
+  MM_GAUGE_SET("merge/key_table_keys", CanonicalKeyTable::global().num_keys());
+  MM_GAUGE_SET("merge/key_table_bytes", CanonicalKeyTable::global().bytes());
+}
+
+MergeabilityGraph::MergeabilityGraph(const std::vector<const Sdc*>& modes,
+                                     MergeContext& ctx) {
+  build(modes, ctx.options(), ctx.cache(), ctx.pool());
+  ctx.export_stats();
+}
+
+void MergeabilityGraph::build(const std::vector<const Sdc*>& modes,
+                              const MergeOptions& options,
+                              RelationshipCache& cache, ThreadPool& pool) {
+  n_ = modes.size();
+  adj_.assign(n_ * n_, 0);
+  reasons_.assign(n_ * n_, std::string());
   MM_SPAN("merge/mergeability");
   const size_t num_pairs = n_ * (n_ - 1) / 2;
   MM_COUNT("merge/mergeability_pairs", num_pairs);
   for (size_t i = 0; i < n_; ++i) adj_[i * n_ + i] = 1;
   if (n_ < 2) return;
 
-  ThreadPool pool(options.num_threads == 0 ? 0 : options.num_threads);
-
   // Each mode's relationship set is extracted once (memoized across runs by
   // the content-addressed cache), not re-derived inside every pair.
   std::vector<std::shared_ptr<const ModeRelationships>> rels;
   if (options.use_relationship_cache) {
     rels.resize(n_);
-    pool.parallel_for(n_, [&](size_t i) {
-      rels[i] = RelationshipCache::global().get(*modes[i]);
-    });
+    pool.parallel_for(n_, [&](size_t i) { rels[i] = cache.get(*modes[i]); });
   }
+  MM_GAUGE_SET("merge/relationship_cache_entries", cache.size());
 
   // Flattened upper-triangle pair index. Every pair writes only its own
   // verdict slot and the fill below runs in index order, so adjacency and

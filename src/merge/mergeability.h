@@ -10,7 +10,13 @@
 #include "merge/relationship_cache.h"
 #include "merge/types.h"
 
+namespace mm {
+class ThreadPool;
+}
+
 namespace mm::merge {
+
+class MergeContext;
 
 /// Why a pair of modes cannot merge (empty reason == mergeable).
 struct PairVerdict {
@@ -35,7 +41,11 @@ PairVerdict check_mergeable(const Sdc& a, const Sdc& b,
 /// relationship sets: the per-pair cost drops to lookups over memoized
 /// keys/signatures, and a clock-conflict pre-screen short-circuits pairs
 /// whose per-clock windows already conflict before any exception-signature
-/// work (counted in merge/mergeability_prescreen_conflicts).
+/// work (counted in merge/mergeability_prescreen_conflicts). When
+/// options.use_interned_keys and both entries carry the interned view
+/// (extracted via the same CanonicalKeyTable), the comparison runs on
+/// KeyId sets and key bitsets instead of strings — still byte-identical
+/// verdicts and reasons.
 PairVerdict check_mergeable(const ModeRelationships& a,
                             const ModeRelationships& b,
                             const MergeOptions& options);
@@ -52,6 +62,11 @@ class MergeabilityGraph {
   MergeabilityGraph(const std::vector<const Sdc*>& modes,
                     const MergeOptions& options);
 
+  /// Session entry: relationship sets come from ctx.cache() (interned into
+  /// ctx.keys() when ctx.options().use_interned_keys) and the pair checks
+  /// run on ctx.pool(). Same determinism guarantee as above.
+  MergeabilityGraph(const std::vector<const Sdc*>& modes, MergeContext& ctx);
+
   size_t num_modes() const { return n_; }
   bool edge(size_t i, size_t j) const { return adj_[i * n_ + j] != 0; }
   const std::string& reason(size_t i, size_t j) const {
@@ -66,7 +81,10 @@ class MergeabilityGraph {
   std::vector<std::vector<size_t>> clique_cover() const;
 
  private:
-  size_t n_;
+  void build(const std::vector<const Sdc*>& modes, const MergeOptions& options,
+             RelationshipCache& cache, ThreadPool& pool);
+
+  size_t n_ = 0;
   std::vector<uint8_t> adj_;
   std::vector<std::string> reasons_;
 };

@@ -14,11 +14,19 @@ namespace mm::merge {
 ValidatedMergeResult merge_modes(const timing::TimingGraph& graph,
                                  const std::vector<const Sdc*>& modes,
                                  const MergeOptions& options) {
-  ValidatedMergeResult out{preliminary_merge(modes, options), {}};
+  MergeContext session(options);
+  return merge_modes(graph, modes, session);
+}
+
+ValidatedMergeResult merge_modes(const timing::TimingGraph& graph,
+                                 const std::vector<const Sdc*>& modes,
+                                 MergeContext& session) {
+  const MergeOptions& options = session.options();
+  ValidatedMergeResult out{preliminary_merge(modes, session), {}};
 
   if (options.run_refinement) {
     Stopwatch timer;
-    RefineContext ctx(graph, modes, options.num_threads);
+    RefineContext ctx(graph, modes, session);
     refine_clock_network(ctx, out.merge, options);
     refine_data_network(ctx, out.merge, options);
     out.merge.stats.refinement_seconds = timer.elapsed_seconds();
@@ -49,11 +57,18 @@ ValidatedMergeResult merge_modes(const timing::TimingGraph& graph,
 MergedModeSet merge_mode_set(const timing::TimingGraph& graph,
                              const std::vector<const Sdc*>& modes,
                              const MergeOptions& options) {
+  MergeContext session(options);
+  return merge_mode_set(graph, modes, session);
+}
+
+MergedModeSet merge_mode_set(const timing::TimingGraph& graph,
+                             const std::vector<const Sdc*>& modes,
+                             MergeContext& session) {
   Stopwatch timer;
   MergedModeSet out;
   out.num_input_modes = modes.size();
 
-  MergeabilityGraph mgraph(modes, options);
+  MergeabilityGraph mgraph(modes, session);
   out.cliques = mgraph.clique_cover();
   MM_COUNT("merge/cliques", out.cliques.size());
 
@@ -61,9 +76,10 @@ MergedModeSet merge_mode_set(const timing::TimingGraph& graph,
     std::vector<const Sdc*> members;
     members.reserve(clique.size());
     for (size_t idx : clique) members.push_back(modes[idx]);
-    out.merged.push_back(merge_modes(graph, members, options));
+    out.merged.push_back(merge_modes(graph, members, session));
   }
   out.total_seconds = timer.elapsed_seconds();
+  session.export_stats();
   return out;
 }
 

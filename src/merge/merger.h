@@ -8,6 +8,7 @@
 //                mergeability graph, greedy clique cover, one merge per
 //                clique (Figure 2 + Tables 5/6 configuration).
 
+#include "merge/context.h"
 #include "merge/equivalence.h"
 #include "merge/mergeability.h"
 #include "merge/types.h"
@@ -20,9 +21,16 @@ struct ValidatedMergeResult {
 };
 
 /// Merge N modes (assumed mergeable) into one superset mode over `graph`.
+/// Constructs a transient MergeContext from `options`.
 ValidatedMergeResult merge_modes(const timing::TimingGraph& graph,
                                  const std::vector<const Sdc*>& modes,
                                  const MergeOptions& options = {});
+
+/// Session entry: every pass shares ctx's key table, relationship cache,
+/// and thread pool.
+ValidatedMergeResult merge_modes(const timing::TimingGraph& graph,
+                                 const std::vector<const Sdc*>& modes,
+                                 MergeContext& ctx);
 
 struct MergedModeSet {
   /// One merged mode per clique (cliques of size 1 reuse the original mode's
@@ -44,9 +52,17 @@ struct MergedModeSet {
 };
 
 /// Full flow: mergeability analysis + clique cover + per-clique merges.
+/// Constructs one MergeContext for the whole run.
 MergedModeSet merge_mode_set(const timing::TimingGraph& graph,
                              const std::vector<const Sdc*>& modes,
                              const MergeOptions& options = {});
+
+/// Session entry: mergeability analysis, every clique's preliminary merge,
+/// refinement, and validation all flow through ctx — each mode's
+/// relationship set is extracted (and its keys interned) exactly once.
+MergedModeSet merge_mode_set(const timing::TimingGraph& graph,
+                             const std::vector<const Sdc*>& modes,
+                             MergeContext& ctx);
 
 /// Human-readable summary of one merge (stats + notes).
 std::string report_merge(const MergeResult& result,

@@ -3,10 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <memory>
 #include <set>
 #include <sstream>
+#include <unordered_map>
+#include <utility>
 
+#include "merge/context.h"
 #include "merge/keys.h"
+#include "merge/relationship_cache.h"
 #include "obs/obs.h"
 #include "util/timer.h"
 
@@ -35,15 +40,23 @@ bool within_tolerance(double a, double b, double rel_tol) {
 
 class PreliminaryMerger {
  public:
-  PreliminaryMerger(const std::vector<const Sdc*>& modes,
-                    const MergeOptions& options)
-      : modes_(modes), options_(options) {
+  PreliminaryMerger(const std::vector<const Sdc*>& modes, MergeContext& ctx)
+      : modes_(modes), ctx_(ctx), options_(ctx.options()) {
     MM_ASSERT_MSG(!modes.empty(), "preliminary_merge needs >= 1 mode");
     design_ = &modes[0]->design();
     for (const Sdc* m : modes) {
       MM_ASSERT_MSG(&m->design() == design_, "modes target different designs");
     }
     result_.merged = std::make_unique<Sdc>(design_);
+    // Reuse the per-mode extraction the mergeability pass cached (or pay
+    // for it exactly once now); the interned path below consumes the
+    // KeyIds these entries carry.
+    if (options_.use_interned_keys) {
+      rels_.reserve(modes_.size());
+      for (const Sdc* m : modes_) rels_.push_back(ctx_.relationships(*m));
+      interned_ = true;
+      for (const auto& r : rels_) interned_ = interned_ && r->interned;
+    }
   }
 
   MergeResult run() {
@@ -66,16 +79,30 @@ class PreliminaryMerger {
   // --- §3.1.1 union of clocks ---------------------------------------------
 
   void merge_clocks() {
+    // Clock identity lookups: canonical-key string map (reference path) or
+    // interned-id hash map. Both are lookup-only — merged-clock order is
+    // insertion order either way, so output is byte-identical across paths.
     std::map<std::string, ClockId> merged_by_key;
+    std::unordered_map<uint32_t, ClockId> merged_by_id;
     for (size_t m = 0; m < modes_.size(); ++m) {
       const Sdc& sdc = *modes_[m];
       for (size_t ci = 0; ci < sdc.num_clocks(); ++ci) {
         const ClockId mode_clock(ci);
-        const std::string key = clock_key(sdc, mode_clock);
-        auto it = merged_by_key.find(key);
-        if (it != merged_by_key.end()) {
+        std::string key;
+        KeyId key_id;
+        ClockId existing;
+        if (interned_) {
+          key_id = rels_[m]->clocks[ci].key_id;
+          auto it = merged_by_id.find(key_id.id());
+          if (it != merged_by_id.end()) existing = it->second;
+        } else {
+          key = clock_key(sdc, mode_clock);
+          auto it = merged_by_key.find(key);
+          if (it != merged_by_key.end()) existing = it->second;
+        }
+        if (existing.valid()) {
           // Duplicate clock (same sources + waveform): reuse.
-          result_.clock_map.register_clock(m, mode_clock, it->second,
+          result_.clock_map.register_clock(m, mode_clock, existing,
                                            modes_.size());
           ++result_.stats.clocks_deduped;
           continue;
@@ -95,7 +122,11 @@ class PreliminaryMerger {
           ++result_.stats.clocks_renamed;
         }
         const ClockId merged_id = merged().add_clock(std::move(clock));
-        merged_by_key.emplace(key, merged_id);
+        if (interned_) {
+          merged_by_id.emplace(key_id.id(), merged_id);
+        } else {
+          merged_by_key.emplace(key, merged_id);
+        }
         result_.clock_map.register_clock(m, mode_clock, merged_id,
                                          modes_.size());
         ++result_.stats.clocks_union;
@@ -498,19 +529,52 @@ class PreliminaryMerger {
 
   // --- §3.1.9 / §3.1.10 exceptions -------------------------------------------
 
+  // Group of identical exceptions (anchors + value, clocks canonicalized)
+  // across modes.
+  struct ExceptionGroup {
+    sdc::Exception sample;  // from the first mode that has it
+    size_t sample_mode = 0;
+    std::vector<size_t> holders;
+  };
+
   void merge_exceptions() {
-    // Group identical exceptions (anchors + value, clocks canonicalized)
-    // across modes.
-    struct Group {
-      sdc::Exception sample;  // from the first mode that has it
-      size_t sample_mode = 0;
-      std::vector<size_t> holders;
-    };
-    std::map<std::string, Group> groups;
+    if (interned_) {
+      // Group by interned full signature; the ids come from the same table
+      // for every mode in the session, so equal id <=> equal signature.
+      std::unordered_map<uint32_t, ExceptionGroup> groups;
+      for (size_t m = 0; m < modes_.size(); ++m) {
+        const auto& infos = rels_[m]->exceptions;
+        const auto& exceptions = modes_[m]->exceptions();
+        for (size_t e = 0; e < exceptions.size(); ++e) {
+          auto [it, inserted] = groups.emplace(infos[e].full_id.id(),
+                                               ExceptionGroup{});
+          if (inserted) {
+            it->second.sample = exceptions[e];
+            it->second.sample_mode = m;
+          }
+          if (it->second.holders.empty() || it->second.holders.back() != m) {
+            it->second.holders.push_back(m);
+          }
+        }
+      }
+      // Emit in signature-string order — the iteration order of the string
+      // path's std::map — so the merged SDC is byte-identical across paths.
+      std::vector<std::pair<std::string, ExceptionGroup*>> ordered;
+      ordered.reserve(groups.size());
+      for (auto& [id, group] : groups) {
+        ordered.emplace_back(ctx_.keys().str(KeyId(id)), &group);
+      }
+      std::sort(ordered.begin(), ordered.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (auto& [sig, group] : ordered) emit_exception_group(*group);
+      return;
+    }
+
+    std::map<std::string, ExceptionGroup> groups;
     for (size_t m = 0; m < modes_.size(); ++m) {
       for (const sdc::Exception& ex : modes_[m]->exceptions()) {
         const std::string sig = exception_signature(*modes_[m], ex, true);
-        auto [it, inserted] = groups.emplace(sig, Group{});
+        auto [it, inserted] = groups.emplace(sig, ExceptionGroup{});
         if (inserted) {
           it->second.sample = ex;
           it->second.sample_mode = m;
@@ -520,49 +584,53 @@ class PreliminaryMerger {
         }
       }
     }
+    for (auto& [sig, group] : groups) emit_exception_group(group);
+  }
 
-    for (auto& [sig, group] : groups) {
-      // Map the sample's clock references into the merged space.
-      sdc::Exception ex = group.sample;
-      auto map_point = [&](sdc::ExceptionPoint& pt) {
-        for (ClockId& c : pt.clocks) {
-          c = result_.clock_map.merged_of(group.sample_mode, c);
-        }
-      };
-      map_point(ex.from);
-      map_point(ex.to);
-      for (sdc::ExceptionPoint& th : ex.throughs) map_point(th);
-
-      if (group.holders.size() == modes_.size()) {
-        // §3.1.9: present in all modes -> add directly.
-        merged().exceptions().push_back(std::move(ex));
-        ++result_.stats.exceptions_common;
-        continue;
+  /// §3.1.9 / §3.1.10 disposition of one exception group: common -> add,
+  /// else uniquify by clock restriction, else drop (FP/MCP) or keep
+  /// pessimistically (min/max delay).
+  void emit_exception_group(ExceptionGroup& group) {
+    // Map the sample's clock references into the merged space.
+    sdc::Exception ex = group.sample;
+    auto map_point = [&](sdc::ExceptionPoint& pt) {
+      for (ClockId& c : pt.clocks) {
+        c = result_.clock_map.merged_of(group.sample_mode, c);
       }
+    };
+    map_point(ex.from);
+    map_point(ex.to);
+    for (sdc::ExceptionPoint& th : ex.throughs) map_point(th);
 
-      // §3.1.10: uniquify by clock restriction.
-      if (uniquify_exception(ex, group.holders)) {
-        merged().exceptions().push_back(std::move(ex));
-        ++result_.stats.exceptions_uniquified;
-        continue;
-      }
+    if (group.holders.size() == modes_.size()) {
+      // §3.1.9: present in all modes -> add directly.
+      merged().exceptions().push_back(std::move(ex));
+      ++result_.stats.exceptions_common;
+      return;
+    }
 
-      if (ex.kind == sdc::ExceptionKind::kFalsePath ||
-          ex.kind == sdc::ExceptionKind::kMulticyclePath) {
-        // Applying FP/MCP to other modes' paths would loosen them
-        // (optimism) -> drop; §3.2 refinement restores the holder modes'
-        // false paths precisely, and a dropped MCP is only pessimistic.
-        ++result_.stats.exceptions_dropped;
-        result_.note("dropped non-uniquifiable exception (refinement covers "
-                     "false paths; dropped MCP is pessimistic-safe)");
-      } else {
-        // min/max delay applied to extra paths only tightens them
-        // (pessimistic-safe) -> keep as-is.
-        merged().exceptions().push_back(std::move(ex));
-        ++result_.stats.exceptions_kept_pessimistic;
-        result_.note("kept non-uniquifiable min/max-delay exception "
-                     "(pessimistic on non-holder modes)");
-      }
+    // §3.1.10: uniquify by clock restriction.
+    if (uniquify_exception(ex, group.holders)) {
+      merged().exceptions().push_back(std::move(ex));
+      ++result_.stats.exceptions_uniquified;
+      return;
+    }
+
+    if (ex.kind == sdc::ExceptionKind::kFalsePath ||
+        ex.kind == sdc::ExceptionKind::kMulticyclePath) {
+      // Applying FP/MCP to other modes' paths would loosen them
+      // (optimism) -> drop; §3.2 refinement restores the holder modes'
+      // false paths precisely, and a dropped MCP is only pessimistic.
+      ++result_.stats.exceptions_dropped;
+      result_.note("dropped non-uniquifiable exception (refinement covers "
+                   "false paths; dropped MCP is pessimistic-safe)");
+    } else {
+      // min/max delay applied to extra paths only tightens them
+      // (pessimistic-safe) -> keep as-is.
+      merged().exceptions().push_back(std::move(ex));
+      ++result_.stats.exceptions_kept_pessimistic;
+      result_.note("kept non-uniquifiable min/max-delay exception "
+                   "(pessimistic on non-holder modes)");
     }
   }
 
@@ -657,17 +725,28 @@ class PreliminaryMerger {
   }
 
   const std::vector<const Sdc*>& modes_;
+  MergeContext& ctx_;
   const MergeOptions& options_;
   const netlist::Design* design_;
   MergeResult result_;
+  /// Per-mode relationship sets from the session cache (aligned with
+  /// modes_); empty when the string-keyed path is selected.
+  std::vector<std::shared_ptr<const ModeRelationships>> rels_;
+  bool interned_ = false;
 };
 
 }  // namespace
 
 MergeResult preliminary_merge(const std::vector<const Sdc*>& modes,
-                              const MergeOptions& options) {
+                              MergeContext& ctx) {
   MM_SPAN("merge/preliminary");
-  return PreliminaryMerger(modes, options).run();
+  return PreliminaryMerger(modes, ctx).run();
+}
+
+MergeResult preliminary_merge(const std::vector<const Sdc*>& modes,
+                              const MergeOptions& options) {
+  MergeContext ctx(options);
+  return preliminary_merge(modes, ctx);
 }
 
 }  // namespace mm::merge

@@ -12,9 +12,19 @@
 
 namespace mm::merge {
 
+class MergeContext;
+
 /// Merge N mergeable modes into one preliminary superset Sdc.
-/// All modes must reference the same Design.
+/// All modes must reference the same Design. Constructs a transient
+/// MergeContext; prefer the context overload when one is already live.
 MergeResult preliminary_merge(const std::vector<const Sdc*>& modes,
                               const MergeOptions& options);
+
+/// Session entry: clock identity and exception grouping reuse the per-mode
+/// relationship sets ctx already extracted (or extracts-and-caches now), so
+/// a merge_mode_set run derives each mode's keys exactly once across
+/// mergeability analysis and preliminary merging.
+MergeResult preliminary_merge(const std::vector<const Sdc*>& modes,
+                              MergeContext& ctx);
 
 }  // namespace mm::merge

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "merge/context.h"
 #include "merge/types.h"
 #include "timing/mode_graph.h"
 #include "util/thread_pool.h"
@@ -16,12 +17,26 @@ struct RefineContext {
   const timing::TimingGraph* graph = nullptr;
   std::vector<const Sdc*> modes;
   std::vector<std::unique_ptr<timing::ModeGraph>> mode_graphs;
+  /// The owning merge session, when the refinement stages run inside one:
+  /// its thread pool is reused instead of one pool per stage.
+  MergeContext* session = nullptr;
 
   RefineContext(const timing::TimingGraph& g, std::vector<const Sdc*> m,
                 size_t num_threads = 0)
       : graph(&g), modes(std::move(m)) {
-    mode_graphs.resize(modes.size());
     ThreadPool pool(num_threads == 0 ? 0 : num_threads);
+    build_mode_graphs(g, pool);
+  }
+
+  RefineContext(const timing::TimingGraph& g, std::vector<const Sdc*> m,
+                MergeContext& ctx)
+      : graph(&g), modes(std::move(m)), session(&ctx) {
+    build_mode_graphs(g, ctx.pool());
+  }
+
+ private:
+  void build_mode_graphs(const timing::TimingGraph& g, ThreadPool& pool) {
+    mode_graphs.resize(modes.size());
     pool.parallel_for(modes.size(), [&](size_t i) {
       mode_graphs[i] = std::make_unique<timing::ModeGraph>(g, *modes[i]);
     });

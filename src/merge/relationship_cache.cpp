@@ -1,5 +1,7 @@
 #include "merge/relationship_cache.h"
 
+#include <algorithm>
+
 #include "merge/keys.h"
 #include "obs/obs.h"
 #include "sdc/writer.h"
@@ -22,7 +24,8 @@ uint64_t fnv1a(uint64_t h, const std::string& s) {
 
 }  // namespace
 
-ModeRelationships extract_relationships(const Sdc& sdc) {
+ModeRelationships extract_relationships(const Sdc& sdc,
+                                        CanonicalKeyTable* table) {
   MM_SPAN_HOT("merge/relationship_extract");
   ModeRelationships out;
 
@@ -84,11 +87,52 @@ ModeRelationships extract_relationships(const Sdc& sdc) {
 
   out.drives = sdc.drives();
   out.loads = sdc.loads();
+
+  // Interned view: every key string above, interned into the session table.
+  // Ids are assigned by the table, so entries interned into the same table
+  // compare by integer; the string fields stay authoritative.
+  if (table != nullptr) {
+    for (size_t i = 0; i < out.clocks.size(); ++i) {
+      out.clocks[i].key_id = table->intern(out.clocks[i].key);
+      // First-wins per key id == first-wins per key string (same bijection).
+      out.by_key_id.emplace(out.clocks[i].key_id.id(),
+                            static_cast<uint32_t>(i));
+      out.clock_key_ids.push_back(out.clocks[i].key_id);
+    }
+    // by_key iterates in key-string order; recording that order lets the
+    // interned pre-screen report the same first conflict as the string path.
+    out.clock_order.reserve(out.by_key.size());
+    for (const auto& [key, index] : out.by_key) {
+      out.clock_order.push_back(static_cast<uint32_t>(index));
+    }
+    std::sort(out.clock_key_ids.begin(), out.clock_key_ids.end());
+    out.clock_key_ids.erase(
+        std::unique(out.clock_key_ids.begin(), out.clock_key_ids.end()),
+        out.clock_key_ids.end());
+    out.clock_key_bits = keyset_bits(out.clock_key_ids);
+
+    for (ModeRelationships::ExceptionInfo& info : out.exceptions) {
+      info.anchor_id = table->intern(info.sig_anchor);
+      info.full_id = table->intern(info.sig_full);
+      info.from_key_ids.reserve(info.from_keys.size());
+      for (const std::string& k : info.from_keys) {
+        info.from_key_ids.push_back(table->intern(k));
+      }
+      std::sort(info.from_key_ids.begin(), info.from_key_ids.end());
+      info.from_key_bits = keyset_bits(info.from_key_ids);
+      out.full_sig_ids.insert(info.full_id.id());
+    }
+    out.interned = true;
+  }
   return out;
 }
 
 RelationshipCache::RelationshipCache(size_t max_entries)
     : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+RelationshipCache::RelationshipCache(CanonicalKeyTable* table,
+                                     size_t max_entries)
+    : max_entries_(max_entries == 0 ? 1 : max_entries), table_(table) {}
 
 uint64_t RelationshipCache::content_key(const Sdc& sdc) {
   uint64_t h = 14695981039346656037ull;
@@ -115,7 +159,7 @@ std::shared_ptr<const ModeRelationships> RelationshipCache::get(
   // Extract outside the lock; a concurrent miss on the same key extracts
   // twice and the first insert wins.
   auto rels = std::make_shared<const ModeRelationships>(
-      extract_relationships(sdc));
+      extract_relationships(sdc, table_));
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.misses;
   MM_COUNT("merge/relationship_cache_misses", 1);
@@ -143,7 +187,7 @@ RelationshipCache::Stats RelationshipCache::stats() const {
 }
 
 RelationshipCache& RelationshipCache::global() {
-  static RelationshipCache cache;
+  static RelationshipCache cache(&CanonicalKeyTable::global());
   return cache;
 }
 

@@ -15,6 +15,14 @@
 // bench sweeps, server-style re-runs over the same decks) skip extraction
 // entirely, and any textual change to the constraints or a different
 // netlist invalidates naturally.
+//
+// When extraction is handed a CanonicalKeyTable (the MergeContext session
+// path and the global cache), every key string is also interned and the
+// entry carries an interned view — KeyId sets, dense key bitsets, and a
+// clock iteration order matching the string-ordered map — which
+// check_mergeable's interned path consumes to replace string compares with
+// integer compares. All entries in one cache share one table, so their ids
+// are mutually comparable.
 
 #include <cstdint>
 #include <map>
@@ -23,9 +31,12 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "merge/keys.h"
 #include "merge/types.h"
+#include "util/bitset.h"
 
 namespace mm::merge {
 
@@ -37,6 +48,7 @@ struct ModeRelationships {
   /// uncertainty[setup], transition[max_side].
   struct ClockInfo {
     std::string key;  // canonical clock key (merge/keys.h)
+    KeyId key_id;     // interned key (invalid unless `interned`)
     double latency[2][2] = {{0.0, 0.0}, {0.0, 0.0}};
     bool latency_present[2][2] = {{false, false}, {false, false}};
     double uncertainty[2] = {0.0, 0.0};
@@ -51,6 +63,11 @@ struct ModeRelationships {
     std::string sig_anchor;           // exception_signature(include_value=false)
     std::string sig_full;             // exception_signature(include_value=true)
     std::set<std::string> from_keys;  // effective_from_keys
+    // Interned view (invalid/empty unless `interned`):
+    KeyId anchor_id;
+    KeyId full_id;
+    KeySet from_key_ids;
+    DynamicBitset from_key_bits;
   };
 
   std::vector<ClockInfo> clocks;         // index = ClockId.index()
@@ -60,10 +77,24 @@ struct ModeRelationships {
   std::set<std::string> full_sigs;       // all sig_full values
   std::vector<sdc::DriveConstraint> drives;
   std::vector<sdc::LoadConstraint> loads;
+
+  /// Interned view, filled when extraction ran with a CanonicalKeyTable.
+  /// Ids are only comparable against entries interned in the same table.
+  bool interned = false;
+  /// Clock indices in canonical-key string order (= by_key iteration
+  /// order), so the interned pre-screen visits clocks in exactly the order
+  /// the string path does and returns the same first conflict.
+  std::vector<uint32_t> clock_order;
+  std::unordered_map<uint32_t, uint32_t> by_key_id;  // key id -> clock index
+  KeySet clock_key_ids;                              // sorted mode clock keys
+  DynamicBitset clock_key_bits;
+  std::unordered_set<uint32_t> full_sig_ids;
 };
 
-/// Extract a mode's relationship set (one linear scan over the Sdc).
-ModeRelationships extract_relationships(const Sdc& sdc);
+/// Extract a mode's relationship set (one linear scan over the Sdc). With a
+/// table, also fills the interned view.
+ModeRelationships extract_relationships(const Sdc& sdc,
+                                        CanonicalKeyTable* table = nullptr);
 
 /// Content-addressed, thread-safe memoization of extract_relationships.
 class RelationshipCache {
@@ -76,8 +107,14 @@ class RelationshipCache {
 
   /// `max_entries` bounds memory; exceeding it evicts the whole table
   /// (entries are cheap to rebuild and eviction is rare at real mode
-  /// counts).
+  /// counts). Without a table, entries carry the string view only.
   explicit RelationshipCache(size_t max_entries = 4096);
+
+  /// Bind the cache to a key table: every extracted entry also carries the
+  /// interned view, with ids drawn from `table` (which must outlive the
+  /// cache). nullptr behaves like the table-less constructor.
+  explicit RelationshipCache(CanonicalKeyTable* table,
+                             size_t max_entries = 4096);
 
   /// Extract-or-reuse. Thread-safe: concurrent misses on the same key both
   /// extract and the first insert wins. Increments the
@@ -92,11 +129,16 @@ class RelationshipCache {
   size_t size() const;
   Stats stats() const;
 
-  /// Process-wide cache used by MergeabilityGraph by default.
+  /// The key table entries are interned into (nullptr if none).
+  CanonicalKeyTable* table() const { return table_; }
+
+  /// Process-wide cache used by MergeabilityGraph by default; bound to
+  /// CanonicalKeyTable::global().
   static RelationshipCache& global();
 
  private:
   const size_t max_entries_;
+  CanonicalKeyTable* const table_ = nullptr;
   mutable std::mutex mutex_;
   std::unordered_map<uint64_t, std::shared_ptr<const ModeRelationships>> map_;
   Stats stats_;

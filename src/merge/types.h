@@ -31,6 +31,11 @@ struct MergeOptions {
   /// during mergeability analysis. Off = the seed per-pair re-derivation,
   /// kept as the reference path for benchmarks and determinism tests.
   bool use_relationship_cache = true;
+  /// Consume interned KeyId sets (merge/keys.h) from the session's
+  /// CanonicalKeyTable in mergeability analysis and preliminary merge. Off =
+  /// the string-keyed reference path (--no-key-intern), kept for one release
+  /// as the parity baseline; both paths produce byte-identical output.
+  bool use_interned_keys = true;
   /// Run §3.2 refinement (clock + data + 3-pass). Disabling yields the
   /// preliminary merged mode only — used by benchmarks and ablations.
   bool run_refinement = true;

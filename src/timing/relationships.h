@@ -12,6 +12,7 @@
 // PathStates over all covered paths, plus worst setup slack when arrivals
 // are enabled.
 
+#include <cstdint>
 #include <deque>
 #include <unordered_map>
 #include <vector>
@@ -58,12 +59,23 @@ struct RelationKey {
 };
 
 struct RelationKeyHash {
+  /// splitmix64 finalizer: full-width 64-bit avalanche, so ids that differ
+  /// in any field scatter across all size_t bits. (The previous 1000003u
+  /// multiply-xor mixed only the low bits and collided whole id ranges
+  /// into shared buckets on dense pin/clock ids.)
+  static constexpr uint64_t mix(uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
   size_t operator()(const RelationKey& k) const noexcept {
-    size_t h = std::hash<uint32_t>{}(k.endpoint.value());
-    h = h * 1000003u ^ k.startpoint.value();
-    h = h * 1000003u ^ k.launch.value();
-    h = h * 1000003u ^ k.capture.value();
-    return h;
+    const uint64_t pins = (static_cast<uint64_t>(k.endpoint.value()) << 32) |
+                          k.startpoint.value();
+    const uint64_t clocks = (static_cast<uint64_t>(k.launch.value()) << 32) |
+                            k.capture.value();
+    return static_cast<size_t>(mix(mix(pins) ^ clocks));
   }
 };
 

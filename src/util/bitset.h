@@ -2,6 +2,7 @@
 // Dynamic bitset sized at runtime. Used for reachability cones and
 // per-exception match masks during relationship propagation.
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -70,6 +71,16 @@ class DynamicBitset {
     MM_ASSERT(bits_ == o.bits_);
     for (size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
     return *this;
+  }
+
+  /// True if any bit is set in both. Sizes may differ: bits beyond the
+  /// shorter bitset cannot intersect, so only the common words are scanned.
+  bool intersects(const DynamicBitset& o) const {
+    const size_t n = std::min(words_.size(), o.words_.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (words_[i] & o.words_[i]) return true;
+    }
+    return false;
   }
 
   friend bool operator==(const DynamicBitset& a, const DynamicBitset& b) {

@@ -1,0 +1,316 @@
+// merge/keys: the interned KeyId layer against its string-keyed reference.
+//
+// The CanonicalKeyTable interns exactly the strings the string path builds,
+// so every comparison the engine makes on KeyIds must agree with the same
+// comparison on strings — and the two engine paths
+// (MergeOptions::use_interned_keys on/off) must produce byte-identical
+// mergeability graphs, reason strings, clique covers, and merged-SDC text.
+// This file asserts both levels: key-layer unit semantics (generated
+// clocks, duplicate-waveform dedup, name-collision rename) and whole-engine
+// parity on the paper example plus 32/64-mode generated families.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gen/design_gen.h"
+#include "gen/mode_gen.h"
+#include "gen/paper_circuit.h"
+#include "merge/context.h"
+#include "merge/keys.h"
+#include "merge/merger.h"
+#include "merge/mergeability.h"
+#include "merge/preliminary.h"
+#include "sdc/parser.h"
+#include "sdc/writer.h"
+#include "timing/graph.h"
+
+namespace mm::merge {
+namespace {
+
+class KeysTest : public ::testing::Test {
+ protected:
+  netlist::Library lib = netlist::Library::builtin();
+  netlist::Design design = gen::paper_circuit(lib);
+  timing::TimingGraph graph{design};
+
+  sdc::Sdc parse(const std::string& text) {
+    return sdc::parse_sdc(text, design);
+  }
+
+  static MergeOptions options_for(bool interned) {
+    MergeOptions options;
+    options.use_interned_keys = interned;
+    return options;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// CanonicalKeyTable semantics.
+
+TEST_F(KeysTest, TableInternsBijectively) {
+  CanonicalKeyTable table;
+  const KeyId a = table.intern("alpha");
+  const KeyId b = table.intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.intern("alpha"), a);
+  EXPECT_EQ(table.str(a), "alpha");
+  EXPECT_EQ(table.str(b), "beta");
+  EXPECT_EQ(table.num_keys(), 2u);
+  EXPECT_GE(table.bytes(), std::string("alpha").size());
+}
+
+TEST_F(KeysTest, ClockKeyIdMatchesStringKey) {
+  sdc::Sdc mode = parse(
+      "create_clock -name c1 -period 10 [get_ports clk1]\n"
+      "create_clock -name c2 -period 20 [get_ports clk2]\n");
+  CanonicalKeyTable table;
+  for (size_t i = 0; i < mode.num_clocks(); ++i) {
+    const ClockId id{i};
+    EXPECT_EQ(table.str(table.clock_key_id(mode, id)), clock_key(mode, id));
+  }
+  // mode_clock_key_ids is the interned image of mode_clock_keys.
+  std::set<std::string> from_ids;
+  for (KeyId k : table.mode_clock_key_ids(mode)) from_ids.insert(table.str(k));
+  EXPECT_EQ(from_ids, mode_clock_keys(mode));
+}
+
+TEST_F(KeysTest, KeySetDisjointAgreesWithStringPath) {
+  sdc::Sdc a = parse(
+      "create_clock -name x -period 10 [get_ports clk1]\n"
+      "create_clock -name y -period 20 [get_ports clk2]\n");
+  sdc::Sdc b = parse("create_clock -name z -period 20 [get_ports clk2]\n");
+  sdc::Sdc c = parse("create_clock -name w -period 5 [get_ports clk1]\n");
+
+  CanonicalKeyTable table;
+  const KeySet ka = table.mode_clock_key_ids(a);
+  const KeySet kb = table.mode_clock_key_ids(b);
+  const KeySet kc = table.mode_clock_key_ids(c);
+
+  // a shares clk2@20 with b; c's clk1@5 matches neither.
+  EXPECT_FALSE(keys_disjoint(ka, kb));
+  EXPECT_TRUE(keys_disjoint(kb, kc));
+  EXPECT_TRUE(keys_disjoint(ka, kc));
+  EXPECT_EQ(keys_disjoint(ka, kb),
+            keys_disjoint(mode_clock_keys(a), mode_clock_keys(b)));
+  EXPECT_EQ(keys_disjoint(kb, kc),
+            keys_disjoint(mode_clock_keys(b), mode_clock_keys(c)));
+
+  // The dense-bitset fast path agrees with the two-pointer scan even when
+  // the bitsets have different sizes.
+  EXPECT_EQ(keyset_bits(ka).intersects(keyset_bits(kb)), !keys_disjoint(ka, kb));
+  EXPECT_EQ(keyset_bits(kb).intersects(keyset_bits(kc)), !keys_disjoint(kb, kc));
+  EXPECT_FALSE(keyset_bits(KeySet{}).intersects(keyset_bits(ka)));
+}
+
+// ---------------------------------------------------------------------------
+// Edge case: generated clocks.
+
+TEST_F(KeysTest, GeneratedClockKeysEncodeGenerationParams) {
+  sdc::Sdc div2 = parse(
+      "create_clock -name m -period 8 [get_ports clk1]\n"
+      "create_generated_clock -name g -source [get_ports clk1] -divide_by 2 "
+      "[get_pins mux1/Z]\n");
+  sdc::Sdc div4 = parse(
+      "create_clock -name m -period 8 [get_ports clk1]\n"
+      "create_generated_clock -name g -source [get_ports clk1] -divide_by 4 "
+      "[get_pins mux1/Z]\n");
+  sdc::Sdc div2_renamed = parse(
+      "create_clock -name m -period 8 [get_ports clk1]\n"
+      "create_generated_clock -name h -source [get_ports clk1] -divide_by 2 "
+      "[get_pins mux1/Z]\n");
+
+  const std::string kg2 = clock_key(div2, div2.find_clock("g"));
+  const std::string kg4 = clock_key(div4, div4.find_clock("g"));
+  const std::string kh2 = clock_key(div2_renamed, div2_renamed.find_clock("h"));
+  // Same source/params, different name: same canonical identity.
+  EXPECT_EQ(kg2, kh2);
+  // Different divide ratio: different identity.
+  EXPECT_NE(kg2, kg4);
+
+  CanonicalKeyTable table;
+  EXPECT_EQ(table.clock_key_id(div2, div2.find_clock("g")),
+            table.clock_key_id(div2_renamed, div2_renamed.find_clock("h")));
+  EXPECT_NE(table.clock_key_id(div2, div2.find_clock("g")),
+            table.clock_key_id(div4, div4.find_clock("g")));
+}
+
+TEST_F(KeysTest, GeneratedClockMergeIdenticalBothPaths) {
+  const std::string text_a =
+      "create_clock -name m -period 8 [get_ports clk1]\n"
+      "create_generated_clock -name g -source [get_ports clk1] -divide_by 2 "
+      "[get_pins mux1/Z]\n";
+  const std::string text_b =
+      "create_clock -name m -period 8 [get_ports clk1]\n"
+      "create_generated_clock -name g -source [get_ports clk1] -divide_by 4 "
+      "[get_pins mux1/Z]\n";
+  std::string out_by_path[2];
+  for (bool interned : {false, true}) {
+    sdc::Sdc a = parse(text_a), b = parse(text_b);
+    const ValidatedMergeResult out =
+        merge_modes(graph, {&a, &b}, options_for(interned));
+    // m dedups; g(div2) and g(div4) coexist under distinct names.
+    EXPECT_EQ(out.merge.merged->num_clocks(), 3u);
+    out_by_path[interned] = sdc::write_sdc(*out.merge.merged);
+  }
+  EXPECT_EQ(out_by_path[0], out_by_path[1]);
+}
+
+// ---------------------------------------------------------------------------
+// Edge case: duplicate-waveform dedup (same identity, different names).
+
+TEST_F(KeysTest, DuplicateWaveformDedupBothPaths) {
+  std::string out_by_path[2];
+  size_t deduped_by_path[2] = {0, 0};
+  for (bool interned : {false, true}) {
+    // Same source + period + waveform under three different names across
+    // two modes: one merged clock.
+    sdc::Sdc a = parse(
+        "create_clock -name fast -period 10 -waveform {0 5} "
+        "[get_ports clk1]\n");
+    sdc::Sdc b = parse(
+        "create_clock -name quick -period 10 -waveform {0 5} "
+        "[get_ports clk1]\n");
+    const MergeResult out =
+        preliminary_merge({&a, &b}, options_for(interned));
+    EXPECT_EQ(out.merged->num_clocks(), 1u);
+    deduped_by_path[interned] = out.stats.clocks_deduped;
+    out_by_path[interned] = sdc::write_sdc(*out.merged);
+  }
+  EXPECT_EQ(deduped_by_path[0], 1u);
+  EXPECT_EQ(deduped_by_path[0], deduped_by_path[1]);
+  EXPECT_EQ(out_by_path[0], out_by_path[1]);
+}
+
+// ---------------------------------------------------------------------------
+// Edge case: name collision between distinct clocks forces a rename.
+
+TEST_F(KeysTest, NameCollisionRenameBothPaths) {
+  std::string out_by_path[2];
+  for (bool interned : {false, true}) {
+    // Same name "c", different sources: distinct identities that cannot
+    // share the merged name.
+    sdc::Sdc a = parse("create_clock -name c -period 10 [get_ports clk1]\n");
+    sdc::Sdc b = parse("create_clock -name c -period 10 [get_ports clk2]\n");
+    const MergeResult out =
+        preliminary_merge({&a, &b}, options_for(interned));
+    EXPECT_EQ(out.merged->num_clocks(), 2u);
+    EXPECT_EQ(out.stats.clocks_renamed, 1u);
+    EXPECT_EQ(out.stats.clocks_deduped, 0u);
+    out_by_path[interned] = sdc::write_sdc(*out.merged);
+  }
+  EXPECT_EQ(out_by_path[0], out_by_path[1]);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-engine parity: string path vs interned path must be byte-identical
+// in the mergeability graph, reason strings, clique cover, and merged SDC.
+
+struct EngineOutput {
+  std::vector<uint8_t> edges;
+  std::vector<std::string> reasons;
+  std::vector<std::vector<size_t>> cliques;
+  std::vector<std::string> merged_sdc;  // empty when only the graph is built
+};
+
+bool operator==(const EngineOutput& a, const EngineOutput& b) {
+  return a.edges == b.edges && a.reasons == b.reasons &&
+         a.cliques == b.cliques && a.merged_sdc == b.merged_sdc;
+}
+
+EngineOutput run_engine(const timing::TimingGraph& graph,
+                        const std::vector<const sdc::Sdc*>& modes,
+                        MergeOptions options, bool full_merge) {
+  MergeContext ctx(options);
+  EngineOutput out;
+  const MergeabilityGraph mgraph(modes, ctx);
+  for (size_t i = 0; i < mgraph.num_modes(); ++i) {
+    for (size_t j = 0; j < mgraph.num_modes(); ++j) {
+      out.edges.push_back(mgraph.edge(i, j) ? 1 : 0);
+      out.reasons.push_back(mgraph.reason(i, j));
+    }
+  }
+  out.cliques = mgraph.clique_cover();
+  if (full_merge) {
+    const MergedModeSet merged = merge_mode_set(graph, modes, ctx);
+    EXPECT_EQ(merged.cliques, out.cliques);
+    for (const ValidatedMergeResult& r : merged.merged) {
+      out.merged_sdc.push_back(sdc::write_sdc(*r.merge.merged));
+    }
+  }
+  return out;
+}
+
+TEST_F(KeysTest, PaperExampleParityStringVsInterned) {
+  namespace cs = gen::constraint_sets;
+  std::vector<sdc::Sdc> modes;
+  for (const char* text :
+       {cs::kSet2ModeA, cs::kSet2ModeB, cs::kSet3ModeA, cs::kSet3ModeB,
+        cs::kSet4ModeA, cs::kSet4ModeB, cs::kSet5ModeA, cs::kSet5ModeB,
+        cs::kSet6ModeA, cs::kSet6ModeB}) {
+    modes.push_back(parse(text));
+  }
+  std::vector<const sdc::Sdc*> ptrs;
+  for (const sdc::Sdc& m : modes) ptrs.push_back(&m);
+
+  const EngineOutput reference =
+      run_engine(graph, ptrs, options_for(false), /*full_merge=*/true);
+  const EngineOutput interned =
+      run_engine(graph, ptrs, options_for(true), /*full_merge=*/true);
+  EXPECT_TRUE(reference == interned);
+  EXPECT_FALSE(reference.merged_sdc.empty());
+}
+
+class KeysFamilyTest : public ::testing::Test {
+ protected:
+  netlist::Library lib = netlist::Library::builtin();
+
+  void run_family(size_t num_modes, size_t target_groups, bool full_merge) {
+    gen::DesignParams dp;
+    dp.num_regs = 120;
+    netlist::Design design = gen::generate_design(lib, dp);
+    timing::TimingGraph graph{design};
+
+    gen::ModeFamilyParams mp;
+    mp.num_modes = num_modes;
+    mp.target_groups = target_groups;
+    std::vector<std::unique_ptr<sdc::Sdc>> modes;
+    std::vector<const sdc::Sdc*> ptrs;
+    for (const auto& gm : gen::generate_mode_family(dp, mp)) {
+      modes.push_back(
+          std::make_unique<sdc::Sdc>(sdc::parse_sdc(gm.sdc_text, design)));
+    }
+    for (const auto& m : modes) ptrs.push_back(m.get());
+
+    MergeOptions string_path;
+    string_path.use_interned_keys = false;
+    string_path.validate = false;
+    MergeOptions interned_path;
+    interned_path.use_interned_keys = true;
+    interned_path.validate = false;
+
+    const EngineOutput reference =
+        run_engine(graph, ptrs, string_path, full_merge);
+    const EngineOutput interned =
+        run_engine(graph, ptrs, interned_path, full_merge);
+    EXPECT_TRUE(reference == interned);
+    EXPECT_EQ(reference.cliques.size(), target_groups);
+    if (full_merge) {
+      EXPECT_EQ(reference.merged_sdc.size(), target_groups);
+    }
+  }
+};
+
+TEST_F(KeysFamilyTest, Parity32ModeFamilyFullMerge) {
+  run_family(/*num_modes=*/32, /*target_groups=*/5, /*full_merge=*/true);
+}
+
+TEST_F(KeysFamilyTest, Parity64ModeFamilyGraph) {
+  run_family(/*num_modes=*/64, /*target_groups=*/8, /*full_merge=*/false);
+}
+
+}  // namespace
+}  // namespace mm::merge

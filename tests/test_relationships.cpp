@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
 #include "gen/paper_circuit.h"
 #include "sdc/parser.h"
 #include "timing/relationships.h"
@@ -235,6 +239,41 @@ TEST_F(RelTest, MaxDelayStateAndSlack) {
   EXPECT_EQ(data.states.states[0].kind, StateKind::kMaxDelay);
   // Path delay > 1.0 (launch 0.6+, inv 0.2+, nets) => negative slack.
   EXPECT_LT(data.worst_slack, 0.0f);
+}
+
+TEST_F(RelTest, RelationKeyHashSpreadsDenseIdSpace) {
+  // Regression for the pre-splitmix64 hash, which mixed only the low bits
+  // and collided whole ranges of dense pin/clock ids into shared buckets.
+  // Enumerate a dense id grid (the shape real designs produce: consecutive
+  // endpoint/startpoint pins, a handful of clocks) and require (a) zero
+  // full-width collisions and (b) near-uniform low-bit bucket load, since
+  // unordered_map derives its bucket from the low bits.
+  RelationKeyHash hash;
+  std::unordered_set<size_t> values;
+  std::vector<size_t> buckets(1024, 0);
+  size_t n = 0;
+  for (uint32_t e = 0; e < 32; ++e) {
+    for (uint32_t s = 0; s < 8; ++s) {
+      for (uint32_t l = 0; l < 4; ++l) {
+        for (uint32_t c = 0; c < 4; ++c) {
+          RelationKey key;
+          key.endpoint = PinId(e);
+          key.startpoint = PinId(s);
+          key.launch = ClockId(l);
+          key.capture = ClockId(c);
+          const size_t h = hash(key);
+          values.insert(h);
+          ++buckets[h & 1023u];
+          ++n;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(values.size(), n);  // 4096 dense keys, no 64-bit collisions
+  // Mean bucket load is 4; a well-mixed hash stays within a small constant
+  // of it. The old hash packed hundreds of keys into a few buckets here.
+  const size_t worst = *std::max_element(buckets.begin(), buckets.end());
+  EXPECT_LE(worst, 16u);
 }
 
 TEST_F(RelTest, ProgressTableInternsDeterministically) {

@@ -62,6 +62,9 @@ void usage(std::FILE* to) {
       "  --no-refine          preliminary merge only (skip 3-pass refinement)\n"
       "  --no-validate        skip the final equivalence validation\n"
       "  --no-hold            setup-side analysis only\n"
+      "  --no-key-intern      string-keyed canonical identity (parity\n"
+      "                       reference for the interned-key fast path;\n"
+      "                       output is byte-identical either way)\n"
       "\n"
       "analysis / reports:\n"
       "  --sta                run STA individual-vs-merged and report reduction\n"
@@ -152,6 +155,7 @@ int main(int argc, char** argv) {
     else if (arg == "--no-refine") options.run_refinement = false;
     else if (arg == "--no-validate") options.validate = false;
     else if (arg == "--no-hold") options.analyze_hold = false;
+    else if (arg == "--no-key-intern") options.use_interned_keys = false;
     else if (arg == "--stats-out") stats_out = value();
     else if (arg == "--trace-out") trace_out = value();
     else if (arg == "--profile") profile_flag = true;
