@@ -11,13 +11,15 @@
 #include "util/timer.h"
 #include "workloads.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mm;
   using namespace mm::bench;
 
+  const uint64_t seed = bench_seed(argc, argv);
   const netlist::Library lib = netlist::Library::builtin();
 
   gen::DesignParams dp;
+  dp.seed = seed;
   dp.num_regs = 800;
   dp.num_domains = 4;
   netlist::Design design = gen::generate_design(lib, dp);
@@ -33,7 +35,7 @@ int main() {
     gen::ModeFamilyParams mp;
     mp.num_modes = n;
     mp.target_groups = 1;
-    mp.seed = 11;
+    mp.seed = 11 * seed;
     std::vector<std::unique_ptr<sdc::Sdc>> modes;
     std::vector<const sdc::Sdc*> ptrs;
     for (const auto& gm : gen::generate_mode_family(dp, mp)) {

@@ -11,19 +11,22 @@
 #include "util/timer.h"
 #include "workloads.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mm;
   using namespace mm::bench;
 
+  const uint64_t seed = bench_seed(argc, argv);
   const netlist::Library lib = netlist::Library::builtin();
 
   // --- the Figure-2 style example -----------------------------------------
   {
     gen::DesignParams dp;
+    dp.seed = seed;
     dp.num_regs = 100;
     netlist::Design design = gen::generate_design(lib, dp);
 
     gen::ModeFamilyParams mp;
+    mp.seed = seed;
     mp.num_modes = 7;
     mp.target_groups = 3;
     std::vector<std::unique_ptr<sdc::Sdc>> modes;
@@ -65,10 +68,12 @@ int main() {
   std::printf("%8s %8s %10s %12s\n", "#modes", "groups", "cliques",
               "runtime(ms)");
   gen::DesignParams dp;
+  dp.seed = seed;
   dp.num_regs = 500;
   netlist::Design design = gen::generate_design(lib, dp);
   for (size_t n : {8, 16, 32, 64, 96, 128}) {
     gen::ModeFamilyParams mp;
+    mp.seed = seed;
     mp.num_modes = n;
     mp.target_groups = std::max<size_t>(1, n / 6);
     std::vector<std::unique_ptr<sdc::Sdc>> modes;

@@ -71,13 +71,15 @@ PathTiming time_path(const std::vector<const mm::sdc::Sdc*>& ptrs,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mm;
   using namespace mm::bench;
 
+  const uint64_t seed = bench_seed(argc, argv);
   const netlist::Library lib = netlist::Library::builtin();
 
   gen::DesignParams dp;
+  dp.seed = seed;
   dp.num_regs = std::max<size_t>(100, static_cast<size_t>(2e5 * size_scale()));
   netlist::Design design = gen::generate_design(lib, dp);
 
@@ -94,6 +96,7 @@ int main() {
   json.key("schema").value("mm.bench/1");
   json.key("bench").value("mergeability_scale");
   json.key("scale").value(size_scale());
+  json.key("seed").value(seed);
   json.key("cells").value(design.num_instances());
   json.key("hardware_threads")
       .value(static_cast<uint64_t>(std::thread::hardware_concurrency()));
@@ -102,6 +105,7 @@ int main() {
   bool all_identical = true;
   for (size_t m : {8, 16, 32, 64, 128}) {
     gen::ModeFamilyParams mp;
+    mp.seed = seed;
     mp.num_modes = m;
     mp.target_groups = std::max<size_t>(1, m / 6);
     std::vector<std::unique_ptr<sdc::Sdc>> modes;

@@ -10,10 +10,11 @@
 #include "timing/sta.h"
 #include "workloads.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mm;
   using namespace mm::bench;
 
+  const uint64_t seed = bench_seed(argc, argv);
   const netlist::Library lib = netlist::Library::builtin();
 
   std::printf(
@@ -25,7 +26,7 @@ int main() {
 
   for (const TableRow& row : table_rows()) {
     if (row.num_modes > 16) continue;  // keep the sweep quick; A covered by T5/T6
-    Workload w = make_table_workload(lib, row);
+    Workload w = make_table_workload(lib, row, seed);
 
     auto evaluate = [&](bool refine, size_t* pess, double* conf,
                         size_t* optimism) {

@@ -16,10 +16,11 @@
 #include "util/timer.h"
 #include "workloads.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mm;
   using namespace mm::bench;
 
+  const uint64_t seed = bench_seed(argc, argv);
   const netlist::Library lib = netlist::Library::builtin();
 
   std::printf("Table 5: mode reduction and merging runtime (scale=%.3g)\n",
@@ -34,11 +35,12 @@ int main() {
   json.key("schema").value("mm.bench/1");
   json.key("bench").value("table5");
   json.key("scale").value(size_scale());
+  json.key("seed").value(seed);
   json.key("rows").begin_array();
 
   double sum_red = 0.0, sum_red_paper = 0.0;
   for (const TableRow& row : table_rows()) {
-    Workload w = make_table_workload(lib, row);
+    Workload w = make_table_workload(lib, row, seed);
 
     Stopwatch timer;
     const merge::MergedModeSet out = merge::merge_mode_set(*w.graph, w.mode_ptrs);

@@ -13,10 +13,11 @@
 #include "util/timer.h"
 #include "workloads.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mm;
   using namespace mm::bench;
 
+  const uint64_t seed = bench_seed(argc, argv);
   const netlist::Library lib = netlist::Library::builtin();
 
   std::printf("Table 6: STA runtime reduction and QoR conformity (scale=%.3g)\n",
@@ -30,11 +31,12 @@ int main() {
   json.key("schema").value("mm.bench/1");
   json.key("bench").value("table6");
   json.key("scale").value(size_scale());
+  json.key("seed").value(seed);
   json.key("rows").begin_array();
 
   double sum_red = 0.0, sum_conf = 0.0;
   for (const TableRow& row : table_rows()) {
-    Workload w = make_table_workload(lib, row);
+    Workload w = make_table_workload(lib, row, seed);
     const merge::MergedModeSet out = merge::merge_mode_set(*w.graph, w.mode_ptrs);
 
     // STA over all individual modes (the paper's baseline flow).

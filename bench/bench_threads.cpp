@@ -13,13 +13,15 @@
 #include "util/timer.h"
 #include "workloads.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mm;
   using namespace mm::bench;
 
+  const uint64_t seed = bench_seed(argc, argv);
   const netlist::Library lib = netlist::Library::builtin();
 
   gen::DesignParams dp;
+  dp.seed = seed;
   dp.num_regs = static_cast<size_t>(1.6e6 * size_scale() / 4.0);
   if (dp.num_regs < 200) dp.num_regs = 200;
   dp.num_domains = 4;
@@ -27,6 +29,7 @@ int main() {
   timing::TimingGraph graph(design);
 
   gen::ModeFamilyParams mp;
+  mp.seed = seed;
   mp.num_modes = 5;  // design E: 5 modes -> 1 merged
   mp.target_groups = 1;
   std::vector<std::unique_ptr<sdc::Sdc>> modes;

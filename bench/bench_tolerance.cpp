@@ -11,13 +11,15 @@
 #include "sdc/parser.h"
 #include "workloads.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mm;
   using namespace mm::bench;
 
+  const uint64_t seed = bench_seed(argc, argv);
   const netlist::Library lib = netlist::Library::builtin();
 
   gen::DesignParams dp;
+  dp.seed = seed;
   dp.num_regs = 300;
   dp.num_domains = 3;
   netlist::Design design = gen::generate_design(lib, dp);

@@ -12,7 +12,9 @@
 //   E       1.6           5       1        80.0        459
 //   F       2.8           3       2        33.3        1424
 
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -59,6 +61,30 @@ inline double size_scale() {
     if (v > 0) return v;
   }
   return 0.01;
+}
+
+/// Parse `--seed <u64>` from a bench's command line (default 1) and print
+/// the effective seed, so every bench run states how to reproduce its
+/// workloads. Exits 2 on a malformed value or unknown option.
+inline uint64_t bench_seed(int argc, char** argv) {
+  uint64_t seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' ||
+          std::strchr(argv[i], '-') != nullptr) {
+        std::fprintf(stderr, "%s: invalid --seed '%s'\n", argv[0], argv[i]);
+        std::exit(2);
+      }
+      seed = static_cast<uint64_t>(v);
+    } else {
+      std::fprintf(stderr, "usage: %s [--seed N]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  std::printf("seed: %llu\n", static_cast<unsigned long long>(seed));
+  return seed;
 }
 
 struct Workload {

@@ -1,0 +1,174 @@
+#include "fuzz/corpus.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace mm::fuzz {
+
+namespace fs = std::filesystem;
+
+std::string corpus_case_dir(const std::string& root, size_t index) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "case_%03zu", index);
+  return root + "/" + buf;
+}
+
+void write_corpus_case(const std::string& dir, const Finding& finding) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) throw Error("cannot create corpus dir: " + dir);
+
+  const FuzzCase& c = finding.repro;
+  std::ostringstream os;
+  os << "schema mm.fuzzcase/1\n";
+  os << "case_seed " << c.case_seed << "\n";
+  os << "property " << finding.violation.property << "\n";
+  os << "inject " << mutation_name(finding.inject) << "\n";
+  os << "detail " << finding.violation.detail << "\n";
+  os << "design.name " << c.design.name << "\n";
+  os << "design.num_regs " << c.design.num_regs << "\n";
+  os << "design.num_domains " << c.design.num_domains << "\n";
+  os << "design.num_data_ports " << c.design.num_data_ports << "\n";
+  os << "design.comb_per_reg " << c.design.comb_per_reg << "\n";
+  os << "design.fanin_span " << c.design.fanin_span << "\n";
+  os << "design.scan " << (c.design.scan ? 1 : 0) << "\n";
+  os << "design.clock_gates " << (c.design.clock_gates ? 1 : 0) << "\n";
+  os << "design.seed " << c.design.seed << "\n";
+  for (size_t m = 0; m < c.mode_sdc.size(); ++m) {
+    const std::string file = "mode_" + std::to_string(m) + ".sdc";
+    os << "mode " << file << " "
+       << (m < c.mode_names.size() ? c.mode_names[m] : file) << "\n";
+    std::ofstream mf(dir + "/" + file);
+    if (!mf) throw Error("cannot write corpus mode file in " + dir);
+    mf << c.mode_sdc[m];
+  }
+  std::ofstream manifest(dir + "/manifest.txt");
+  if (!manifest) throw Error("cannot write corpus manifest in " + dir);
+  manifest << os.str();
+}
+
+Finding read_corpus_case(const std::string& dir) {
+  std::ifstream in(dir + "/manifest.txt");
+  if (!in) throw Error("cannot open corpus manifest: " + dir + "/manifest.txt");
+
+  Finding f;
+  FuzzCase& c = f.repro;
+  std::string line;
+  bool schema_ok = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream is(line);
+    std::string key;
+    is >> key;
+    if (key == "schema") {
+      std::string v;
+      is >> v;
+      schema_ok = v == "mm.fuzzcase/1";
+    } else if (key == "case_seed") {
+      is >> c.case_seed;
+    } else if (key == "property") {
+      is >> f.violation.property;
+    } else if (key == "inject") {
+      std::string v;
+      is >> v;
+      if (!parse_mutation(v, &f.inject)) {
+        throw Error("corpus manifest: unknown inject '" + v + "' in " + dir);
+      }
+    } else if (key == "detail") {
+      std::getline(is >> std::ws, f.violation.detail);
+    } else if (key == "design.name") {
+      is >> c.design.name;
+    } else if (key == "design.num_regs") {
+      is >> c.design.num_regs;
+    } else if (key == "design.num_domains") {
+      is >> c.design.num_domains;
+    } else if (key == "design.num_data_ports") {
+      is >> c.design.num_data_ports;
+    } else if (key == "design.comb_per_reg") {
+      is >> c.design.comb_per_reg;
+    } else if (key == "design.fanin_span") {
+      is >> c.design.fanin_span;
+    } else if (key == "design.scan") {
+      int v = 0;
+      is >> v;
+      c.design.scan = v != 0;
+    } else if (key == "design.clock_gates") {
+      int v = 0;
+      is >> v;
+      c.design.clock_gates = v != 0;
+    } else if (key == "design.seed") {
+      is >> c.design.seed;
+    } else if (key == "mode") {
+      std::string file, name;
+      is >> file >> name;
+      std::ifstream mf(dir + "/" + file);
+      if (!mf) throw Error("corpus mode file missing: " + dir + "/" + file);
+      std::ostringstream text;
+      text << mf.rdbuf();
+      c.mode_sdc.push_back(text.str());
+      c.mode_names.push_back(name.empty() ? file : name);
+    } else {
+      throw Error("corpus manifest: unknown key '" + key + "' in " + dir);
+    }
+  }
+  if (!schema_ok) throw Error("corpus manifest: bad or missing schema in " + dir);
+  if (c.mode_sdc.empty()) throw Error("corpus case has no modes: " + dir);
+  return f;
+}
+
+std::vector<std::string> list_corpus(const std::string& root) {
+  std::vector<std::string> dirs;
+  std::error_code ec;
+  for (const fs::directory_entry& e : fs::directory_iterator(root, ec)) {
+    if (e.is_directory() && fs::exists(e.path() / "manifest.txt")) {
+      dirs.push_back(e.path().string());
+    }
+  }
+  if (ec) throw Error("cannot list corpus root: " + root);
+  std::sort(dirs.begin(), dirs.end());
+  return dirs;
+}
+
+ReplayResult replay_corpus_case(const std::string& dir, size_t threads) {
+  ReplayResult r;
+  r.dir = dir;
+  const Finding f = read_corpus_case(dir);
+
+  FuzzOptions opt;
+  opt.threads = threads;
+  opt.minimize = false;
+
+  const CheckResult clean = check_case(f.repro, opt);
+  if (!clean.parsed) {
+    r.detail = "corpus case no longer parses: " + clean.parse_error;
+    return r;
+  }
+  r.clean_ok = clean.violations.empty();
+  if (!r.clean_ok) {
+    r.detail = "clean replay violates " + clean.violations.front().property +
+               ": " + clean.violations.front().detail;
+    return r;
+  }
+
+  if (f.inject != merge::DebugMutation::kNone) {
+    opt.inject = f.inject;
+    const CheckResult bad = check_case(f.repro, opt);
+    r.inject_caught = false;
+    for (const Violation& v : bad.violations) {
+      if (v.property == f.violation.property) r.inject_caught = true;
+    }
+    if (!r.inject_caught) {
+      r.detail = "oracle no longer catches injected '" +
+                 std::string(mutation_name(f.inject)) + "' on property " +
+                 f.violation.property;
+    }
+  }
+  return r;
+}
+
+}  // namespace mm::fuzz

@@ -1,0 +1,45 @@
+#pragma once
+// Fuzz-corpus I/O: a minimized finding is written as one directory holding
+// a `manifest.txt` (schema mm.fuzzcase/1: case seed, violated property,
+// injected mutation, design parameters) plus one .sdc file per mode. The
+// checked-in corpus under tests/fuzz_corpus/ doubles as a deterministic
+// regression suite: every case must pass all properties clean, and — when
+// it was found under an injected mutation — must still be *caught* when
+// that mutation is re-applied, so the oracle can never silently dull.
+
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz.h"
+
+namespace mm::fuzz {
+
+/// `root/case_NNN` (three digits, zero-padded).
+std::string corpus_case_dir(const std::string& root, size_t index);
+
+/// Write manifest + mode files; creates the directory. Throws mm::Error on
+/// I/O failure.
+void write_corpus_case(const std::string& dir, const Finding& finding);
+
+/// Read a case directory back. Throws mm::Error on a missing or malformed
+/// manifest.
+Finding read_corpus_case(const std::string& dir);
+
+/// All case directories under `root` (subdirectories containing a
+/// manifest.txt), sorted by name.
+std::vector<std::string> list_corpus(const std::string& root);
+
+struct ReplayResult {
+  std::string dir;
+  bool clean_ok = false;     // all properties pass with no injection
+  bool inject_caught = true; // recorded mutation still trips its property
+  std::string detail;
+  bool ok() const { return clean_ok && inject_caught; }
+};
+
+/// Replay one corpus case: clean run must be violation-free; if the
+/// manifest records an injected mutation, a second run with it applied
+/// must reproduce a violation of the recorded property.
+ReplayResult replay_corpus_case(const std::string& dir, size_t threads = 0);
+
+}  // namespace mm::fuzz

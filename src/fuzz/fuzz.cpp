@@ -1,0 +1,498 @@
+#include "fuzz/fuzz.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "fuzz/corpus.h"
+#include "merge/merger.h"
+#include "netlist/design.h"
+#include "obs/obs.h"
+#include "sdc/parser.h"
+#include "sdc/writer.h"
+#include "timing/graph.h"
+#include "util/error.h"
+#include "util/logger.h"
+#include "util/timer.h"
+
+namespace mm::fuzz {
+
+using merge::DebugMutation;
+using util::Rng;
+
+const char* mutation_name(DebugMutation m) {
+  switch (m) {
+    case DebugMutation::kNone: return "none";
+    case DebugMutation::kFalsifyMcp: return "falsify-mcp";
+    case DebugMutation::kDropExceptions: return "drop-exceptions";
+    case DebugMutation::kShuffleInterned: return "shuffle-interned";
+  }
+  return "none";
+}
+
+bool parse_mutation(const std::string& name, DebugMutation* out) {
+  for (DebugMutation m : {DebugMutation::kNone, DebugMutation::kFalsifyMcp,
+                          DebugMutation::kDropExceptions,
+                          DebugMutation::kShuffleInterned}) {
+    if (name == mutation_name(m)) {
+      *out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- case generation --------------------------------------------------------
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+/// Format a double the way the generators do (default ostream precision),
+/// so perturbed lines look like generated ones.
+std::string format_value(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string mutate_sdc_text(const std::string& text, Rng& rng) {
+  std::vector<std::string> lines = split_lines(text);
+  const size_t ops = 1 + rng.below(3);
+  for (size_t op = 0; op < ops && !lines.empty(); ++op) {
+    switch (rng.below(4)) {
+      case 0:  // drop a constraint line
+        lines.erase(lines.begin() + static_cast<long>(rng.below(lines.size())));
+        break;
+      case 1: {  // duplicate a line at a random position
+        const std::string copy = lines[rng.below(lines.size())];
+        lines.insert(lines.begin() + static_cast<long>(rng.below(lines.size() + 1)),
+                     copy);
+        break;
+      }
+      case 2: {  // reorder: swap two lines (SDC is last-entry-wins)
+        std::swap(lines[rng.below(lines.size())],
+                  lines[rng.below(lines.size())]);
+        break;
+      }
+      default: {  // perturb one numeric token of one line
+        std::string& line = lines[rng.below(lines.size())];
+        std::istringstream is(line);
+        std::vector<std::string> tokens;
+        std::string tok;
+        while (is >> tok) tokens.push_back(tok);
+        std::vector<size_t> numeric;
+        for (size_t t = 0; t < tokens.size(); ++t) {
+          char* end = nullptr;
+          std::strtod(tokens[t].c_str(), &end);
+          if (end != tokens[t].c_str() && *end == '\0') numeric.push_back(t);
+        }
+        if (!numeric.empty()) {
+          const size_t t = numeric[rng.below(numeric.size())];
+          const double scales[] = {0.5, 0.9, 1.1, 2.0};
+          const double v = std::strtod(tokens[t].c_str(), nullptr);
+          tokens[t] = format_value(v * rng.pick(scales));
+          std::string rebuilt;
+          for (size_t k = 0; k < tokens.size(); ++k) {
+            if (k) rebuilt += ' ';
+            rebuilt += tokens[k];
+          }
+          line = rebuilt;
+        }
+        break;
+      }
+    }
+  }
+  return join_lines(lines);
+}
+
+FuzzCase generate_case(const FuzzOptions& options, uint64_t case_seed) {
+  FuzzCase c;
+  c.case_seed = case_seed;
+  Rng rng(case_seed);
+
+  gen::DesignParams dp;
+  dp.name = "fuzz";
+  dp.num_regs =
+      30 + rng.below(options.max_regs > 30 ? options.max_regs - 30 : 1);
+  dp.num_domains = 2 + rng.below(3);
+  dp.num_data_ports = 3 + rng.below(4);
+  dp.comb_per_reg = 1 + rng.below(3);
+  dp.fanin_span = 4 + rng.below(8);
+  dp.scan = rng.chance(70);
+  dp.clock_gates = rng.chance(70);
+  dp.seed = rng.next();
+  c.design = dp;
+
+  gen::ModeFamilyParams mp;
+  mp.num_modes =
+      2 + rng.below(options.max_modes >= 3 ? options.max_modes - 1 : 1);
+  mp.target_groups = 1 + rng.below(mp.num_modes);
+  const double periods[] = {4.0, 8.0, 10.0, 16.0};
+  mp.base_period = rng.pick(periods);
+  mp.group_mcps = rng.below(4);
+  mp.mode_fps = rng.below(5);
+  mp.io_delay_fraction = 0.1 * static_cast<double>(1 + rng.below(4));
+  mp.group_conflict_step = rng.chance(70) ? 0.5 : 0.0;
+  mp.seed = rng.next();
+  // The widened space (see gen/mode_gen.h).
+  mp.gen_clocks = rng.below(3);
+  mp.min_max_delays = rng.below(3);
+  mp.disabled_arcs = rng.below(3);
+  mp.randomize_case = rng.chance(40);
+  mp.clock_group_style = rng.below(4);
+
+  for (const gen::GeneratedMode& gm : gen::generate_mode_family(dp, mp)) {
+    c.mode_names.push_back(gm.name);
+    std::string text = gm.sdc_text;
+    if (options.mutate_sdc && rng.chance(60)) {
+      text = mutate_sdc_text(text, rng);
+    }
+    c.mode_sdc.push_back(std::move(text));
+  }
+  return c;
+}
+
+// --- the oracle -------------------------------------------------------------
+
+namespace {
+
+merge::MergeOptions baseline_options(const FuzzOptions& options) {
+  merge::MergeOptions base;
+  base.num_threads = options.threads;
+  base.debug_mutation = options.inject;
+  return base;
+}
+
+/// The flipped configuration for P2: every must-agree execution path takes
+/// its other branch at once (string keys, cold extraction, one thread).
+/// Validation is skipped — P2 compares merge *outputs*, P1 owns validation.
+merge::MergeOptions flipped_options(const FuzzOptions& options) {
+  merge::MergeOptions alt = baseline_options(options);
+  alt.use_interned_keys = false;
+  alt.use_relationship_cache = false;
+  alt.num_threads = 1;
+  alt.validate = false;
+  return alt;
+}
+
+std::string clique_to_string(const std::vector<size_t>& clique) {
+  std::string s = "{";
+  for (size_t k = 0; k < clique.size(); ++k) {
+    if (k) s += ",";
+    s += std::to_string(clique[k]);
+  }
+  return s + "}";
+}
+
+/// P1: the paper-§2 equivalence oracle over every clique's validation
+/// report.
+void check_equiv_property(const merge::MergedModeSet& out,
+                          std::vector<Violation>& violations) {
+  for (size_t i = 0; i < out.merged.size(); ++i) {
+    const merge::ValidatedMergeResult& m = out.merged[i];
+    const merge::EquivalenceReport& eq = m.equivalence;
+    std::string where = "clique " + std::to_string(i) + " " +
+                        clique_to_string(out.cliques[i]);
+    if (eq.optimism_violations > 0) {
+      violations.push_back(
+          {"equivalence",
+           where + ": " + std::to_string(eq.optimism_violations) +
+               " optimism violation(s)" +
+               (eq.examples.empty() ? "" : "; " + eq.examples.front())});
+    } else if (eq.pessimism_keys > 0 &&
+               m.merge.stats.unresolved_pessimism == 0) {
+      violations.push_back(
+          {"equivalence",
+           where + ": " + std::to_string(eq.pessimism_keys) +
+               " unaccounted pessimism key(s)" +
+               (eq.examples.empty() ? "" : "; " + eq.examples.front())});
+    }
+  }
+}
+
+/// P2: byte-parity between the baseline and flipped configurations. On a
+/// mismatch, re-runs with each flag flipped alone to attribute the
+/// divergence.
+void check_parity_property(const timing::TimingGraph& graph,
+                           const std::vector<const sdc::Sdc*>& ptrs,
+                           const FuzzOptions& options,
+                           const merge::MergedModeSet& base_out,
+                           std::vector<Violation>& violations) {
+  const merge::MergedModeSet alt =
+      merge::merge_mode_set(graph, ptrs, flipped_options(options));
+
+  std::string mismatch;
+  if (alt.cliques != base_out.cliques) {
+    mismatch = "clique cover differs";
+  } else {
+    for (size_t i = 0; i < base_out.merged.size() && mismatch.empty(); ++i) {
+      if (sdc::write_sdc(*base_out.merged[i].merge.merged) !=
+          sdc::write_sdc(*alt.merged[i].merge.merged)) {
+        mismatch = "merged SDC bytes differ for clique " + std::to_string(i);
+      }
+    }
+  }
+  if (mismatch.empty()) return;
+
+  // Attribute: flip one flag at a time against the baseline.
+  std::string blame;
+  const char* flag_names[] = {"use_interned_keys", "use_relationship_cache",
+                              "num_threads"};
+  for (int f = 0; f < 3; ++f) {
+    merge::MergeOptions one = baseline_options(options);
+    one.validate = false;
+    if (f == 0) one.use_interned_keys = false;
+    if (f == 1) one.use_relationship_cache = false;
+    if (f == 2) one.num_threads = 1;
+    const merge::MergedModeSet run = merge::merge_mode_set(graph, ptrs, one);
+    bool differs = run.cliques != base_out.cliques;
+    for (size_t i = 0; !differs && i < base_out.merged.size(); ++i) {
+      differs = sdc::write_sdc(*base_out.merged[i].merge.merged) !=
+                sdc::write_sdc(*run.merged[i].merge.merged);
+    }
+    if (differs) {
+      if (!blame.empty()) blame += ", ";
+      blame += flag_names[f];
+    }
+  }
+  violations.push_back(
+      {"parity", mismatch + (blame.empty() ? " (cross-term only)"
+                                           : " (flags: " + blame + ")")});
+}
+
+/// The SDC text as a sorted line multiset. Refinement derives exceptions in
+/// analysis order rather than source order, so a re-merge can emit the same
+/// constraints with two lines swapped; the fixpoint property is about
+/// content, not line order, and a multiset compare still catches dropped,
+/// duplicated, or altered constraints.
+std::vector<std::string> sorted_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+/// P3: the merge is a fixpoint — re-merging a superset mode with itself
+/// reproduces its constraints.
+void check_idempotence_property(const timing::TimingGraph& graph,
+                                const FuzzOptions& options,
+                                const merge::MergedModeSet& base_out,
+                                std::vector<Violation>& violations) {
+  merge::MergeOptions re = baseline_options(options);
+  re.validate = false;
+  const size_t limit =
+      std::min(options.idempotence_cliques, base_out.merged.size());
+  for (size_t i = 0; i < limit; ++i) {
+    const sdc::Sdc& superset = *base_out.merged[i].merge.merged;
+    const merge::MergedModeSet again =
+        merge::merge_mode_set(graph, {&superset, &superset}, re);
+    if (again.cliques.size() != 1 || again.cliques[0].size() != 2) {
+      violations.push_back(
+          {"idempotence", "clique " + std::to_string(i) +
+                              ": superset mode is not mergeable with itself"});
+      continue;
+    }
+    if (sorted_lines(sdc::write_sdc(*again.merged[0].merge.merged)) !=
+        sorted_lines(sdc::write_sdc(superset))) {
+      violations.push_back(
+          {"idempotence",
+           "clique " + std::to_string(i) +
+               ": merge(S, S) produced different constraints than S"});
+    }
+  }
+}
+
+/// P4: cover validity + maximality, with every edge re-derived through the
+/// reference Sdc-pair mergeability path (so an interned/cached verdict that
+/// diverges from the reference also surfaces here).
+void check_cover_property(const std::vector<const sdc::Sdc*>& ptrs,
+                          const FuzzOptions& options,
+                          const merge::MergedModeSet& out,
+                          std::vector<Violation>& violations) {
+  const size_t n = ptrs.size();
+  merge::MergeOptions base = baseline_options(options);
+  std::vector<uint8_t> edge(n * n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    edge[i * n + i] = 1;
+    for (size_t j = i + 1; j < n; ++j) {
+      const merge::PairVerdict v = merge::check_mergeable(*ptrs[i], *ptrs[j], base);
+      edge[i * n + j] = edge[j * n + i] = v.mergeable ? 1 : 0;
+    }
+  }
+
+  // Partition: every mode in exactly one clique.
+  std::vector<size_t> seen(n, 0);
+  for (const std::vector<size_t>& clique : out.cliques) {
+    for (size_t v : clique) {
+      if (v >= n || seen[v]++) {
+        violations.push_back({"cover", "cover is not a partition of the modes"});
+        return;
+      }
+    }
+  }
+  for (size_t v = 0; v < n; ++v) {
+    if (!seen[v]) {
+      violations.push_back(
+          {"cover", "mode " + std::to_string(v) + " missing from the cover"});
+      return;
+    }
+  }
+
+  // Validity: every in-clique pair is mergeable.
+  for (size_t ci = 0; ci < out.cliques.size(); ++ci) {
+    const std::vector<size_t>& clique = out.cliques[ci];
+    for (size_t a = 0; a < clique.size(); ++a) {
+      for (size_t b = a + 1; b < clique.size(); ++b) {
+        if (!edge[clique[a] * n + clique[b]]) {
+          violations.push_back(
+              {"cover", "unmergeable pair (" + std::to_string(clique[a]) +
+                            "," + std::to_string(clique[b]) +
+                            ") inside clique " + std::to_string(ci)});
+          return;
+        }
+      }
+    }
+  }
+
+  // Maximality / monotonicity: every mergeable pair either shares a clique
+  // or each endpoint conflicts with the other's clique — concretely, a
+  // mode in a later clique must conflict with at least one member of every
+  // earlier clique, else the greedy cover left a merge on the table.
+  for (size_t earlier = 0; earlier < out.cliques.size(); ++earlier) {
+    for (size_t later = earlier + 1; later < out.cliques.size(); ++later) {
+      for (size_t v : out.cliques[later]) {
+        bool conflicts = false;
+        for (size_t u : out.cliques[earlier]) {
+          if (!edge[u * n + v]) {
+            conflicts = true;
+            break;
+          }
+        }
+        if (!conflicts) {
+          violations.push_back(
+              {"cover", "mode " + std::to_string(v) +
+                            " is mergeable with every member of earlier clique " +
+                            std::to_string(earlier) + " but was not merged"});
+          return;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+CheckResult check_case(const FuzzCase& c, const FuzzOptions& options) {
+  MM_SPAN("fuzz/check_case");
+  CheckResult result;
+
+  const netlist::Library lib = netlist::Library::builtin();
+  const netlist::Design design = gen::generate_design(lib, c.design);
+  const timing::TimingGraph graph(design);
+
+  std::vector<sdc::Sdc> modes;
+  modes.reserve(c.mode_sdc.size());
+  try {
+    for (const std::string& text : c.mode_sdc) {
+      modes.push_back(sdc::parse_sdc(text, design));
+    }
+  } catch (const Error& e) {
+    result.parse_error = e.what();
+    return result;  // rejected: the mutation stage broke the SDC
+  }
+  result.parsed = true;
+
+  std::vector<const sdc::Sdc*> ptrs;
+  for (const sdc::Sdc& m : modes) ptrs.push_back(&m);
+
+  const merge::MergedModeSet out =
+      merge::merge_mode_set(graph, ptrs, baseline_options(options));
+  result.cliques = out.cliques.size();
+
+  if (options.check_equiv) check_equiv_property(out, result.violations);
+  if (options.check_cover)
+    check_cover_property(ptrs, options, out, result.violations);
+  if (options.check_parity)
+    check_parity_property(graph, ptrs, options, out, result.violations);
+  if (options.check_idempotence)
+    check_idempotence_property(graph, options, out, result.violations);
+  return result;
+}
+
+// --- the loop ---------------------------------------------------------------
+
+FuzzReport run_fuzz(const FuzzOptions& options) {
+  MM_SPAN("fuzz/run");
+  Stopwatch timer;
+  FuzzReport report;
+
+  for (uint64_t iter = 0; iter < options.iters; ++iter) {
+    const uint64_t case_seed = case_seed_for(options.seed, iter);
+    const FuzzCase c = generate_case(options, case_seed);
+    report.modes_generated += c.mode_sdc.size();
+
+    const CheckResult res = check_case(c, options);
+    ++report.iterations;
+    MM_COUNT("fuzz/iterations", 1);
+    if (!res.parsed) {
+      ++report.rejected;
+      MM_COUNT("fuzz/rejected", 1);
+      continue;
+    }
+    report.cliques_checked += res.cliques;
+    MM_COUNT("fuzz/cliques_checked", res.cliques);
+    if (res.violations.empty()) continue;
+
+    MM_COUNT("fuzz/violations", res.violations.size());
+    Finding finding;
+    finding.violation = res.violations.front();
+    finding.inject = options.inject;
+    MM_WARN("fuzz: case_seed=%llu violates %s: %s",
+            static_cast<unsigned long long>(case_seed),
+            finding.violation.property.c_str(),
+            finding.violation.detail.c_str());
+    finding.repro = options.minimize
+                        ? minimize_case(c, options, finding.violation.property,
+                                        &finding.minimize_runs)
+                        : c;
+    MM_COUNT("fuzz/minimize_runs", finding.minimize_runs);
+    if (!options.corpus_dir.empty()) {
+      const std::string dir =
+          corpus_case_dir(options.corpus_dir, report.findings.size());
+      write_corpus_case(dir, finding);
+      MM_WARN("fuzz: minimized repro written to %s", dir.c_str());
+    }
+    report.findings.push_back(std::move(finding));
+    if (report.findings.size() >= options.max_violations) break;
+  }
+  report.seconds = timer.elapsed_seconds();
+  return report;
+}
+
+}  // namespace mm::fuzz

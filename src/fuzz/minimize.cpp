@@ -1,0 +1,173 @@
+// Delta-debugging minimizer for fuzz findings: shrink the mode family,
+// then each mode's constraint lines (classic ddmin chunk halving), then
+// the design itself — keeping every change that preserves a violation of
+// the target property. Unparsable candidates (a dropped create_clock whose
+// name is still referenced, a shrunken design whose pins a mode still
+// names) simply fail the predicate and are discarded, so the minimizer
+// never needs SDC-aware editing.
+
+#include <algorithm>
+#include <sstream>
+
+#include "fuzz/fuzz.h"
+#include "obs/obs.h"
+#include "util/logger.h"
+
+namespace mm::fuzz {
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+class Minimizer {
+ public:
+  Minimizer(const FuzzOptions& options, std::string property)
+      : options_(options), property_(std::move(property)) {
+    // Only the violated property needs re-checking while shrinking; the
+    // others just burn time.
+    options_.check_equiv = property_ == "equivalence";
+    options_.check_parity = property_ == "parity";
+    options_.check_idempotence = property_ == "idempotence";
+    options_.check_cover = property_ == "cover";
+    options_.minimize = false;
+    options_.corpus_dir.clear();
+  }
+
+  size_t runs() const { return runs_; }
+
+  /// True if the candidate still violates the target property.
+  bool violates(const FuzzCase& c) {
+    ++runs_;
+    const CheckResult res = check_case(c, options_);
+    if (!res.parsed) return false;
+    for (const Violation& v : res.violations) {
+      if (v.property == property_) return true;
+    }
+    return false;
+  }
+
+  FuzzCase shrink(FuzzCase c) {
+    shrink_modes(c);
+    for (size_t m = 0; m < c.mode_sdc.size(); ++m) shrink_lines(c, m);
+    // A second mode pass: line shrinking can make more modes droppable.
+    shrink_modes(c);
+    shrink_design(c);
+    return c;
+  }
+
+ private:
+  /// Greedily drop whole modes while the violation persists.
+  void shrink_modes(FuzzCase& c) {
+    bool progress = true;
+    while (progress && c.mode_sdc.size() > 1) {
+      progress = false;
+      for (size_t i = 0; i < c.mode_sdc.size(); ++i) {
+        FuzzCase candidate = c;
+        candidate.mode_sdc.erase(candidate.mode_sdc.begin() +
+                                 static_cast<long>(i));
+        candidate.mode_names.erase(candidate.mode_names.begin() +
+                                   static_cast<long>(i));
+        if (violates(candidate)) {
+          c = std::move(candidate);
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+
+  /// ddmin over one mode's constraint lines: remove chunks, halving the
+  /// chunk size until single lines have been tried.
+  void shrink_lines(FuzzCase& c, size_t mode) {
+    std::vector<std::string> lines = split_lines(c.mode_sdc[mode]);
+    size_t chunk = lines.size() / 2;
+    if (chunk == 0) chunk = 1;
+    while (true) {
+      bool progress = false;
+      for (size_t start = 0; start < lines.size(); start += chunk) {
+        const size_t end = std::min(start + chunk, lines.size());
+        std::vector<std::string> candidate_lines;
+        candidate_lines.insert(candidate_lines.end(), lines.begin(),
+                               lines.begin() + static_cast<long>(start));
+        candidate_lines.insert(candidate_lines.end(),
+                               lines.begin() + static_cast<long>(end),
+                               lines.end());
+        FuzzCase candidate = c;
+        candidate.mode_sdc[mode] = join_lines(candidate_lines);
+        if (violates(candidate)) {
+          lines = std::move(candidate_lines);
+          c = std::move(candidate);
+          progress = true;
+          break;
+        }
+      }
+      if (!progress) {
+        if (chunk == 1) break;
+        chunk = chunk / 2 > 0 ? chunk / 2 : 1;
+      }
+    }
+  }
+
+  /// Shrink the substrate: halve registers, drop domains and gates — the
+  /// mode texts pin the design through port/pin names, so any shrink that
+  /// breaks a reference fails the predicate and is discarded.
+  void shrink_design(FuzzCase& c) {
+    while (c.design.num_regs > 10) {
+      FuzzCase candidate = c;
+      candidate.design.num_regs = c.design.num_regs / 2;
+      if (!violates(candidate)) break;
+      c = std::move(candidate);
+    }
+    while (c.design.num_domains > 1) {
+      FuzzCase candidate = c;
+      candidate.design.num_domains = c.design.num_domains - 1;
+      if (!violates(candidate)) break;
+      c = std::move(candidate);
+    }
+    if (c.design.comb_per_reg > 1) {
+      FuzzCase candidate = c;
+      candidate.design.comb_per_reg = 1;
+      if (violates(candidate)) c = std::move(candidate);
+    }
+  }
+
+  FuzzOptions options_;
+  std::string property_;
+  size_t runs_ = 0;
+};
+
+}  // namespace
+
+FuzzCase minimize_case(const FuzzCase& c, const FuzzOptions& options,
+                       const std::string& property, size_t* runs) {
+  MM_SPAN("fuzz/minimize");
+  Minimizer mini(options, property);
+  FuzzCase out = mini.shrink(c);
+  if (runs != nullptr) *runs = mini.runs();
+  size_t lines = 0;
+  for (const std::string& text : out.mode_sdc) {
+    lines += split_lines(text).size();
+  }
+  MM_INFO("fuzz: minimized to %zu mode(s), %zu constraint line(s) in %zu runs",
+          out.mode_sdc.size(), lines, mini.runs());
+  return out;
+}
+
+}  // namespace mm::fuzz

@@ -4,26 +4,15 @@
 
 #include "netlist/builder.h"
 #include "util/error.h"
+#include "util/rng.h"
 
 namespace mm::gen {
 
 using netlist::Builder;
 using netlist::Design;
+using util::Rng;
 
 namespace {
-
-/// splitmix64: small, fast, deterministic.
-struct Rng {
-  uint64_t state;
-  explicit Rng(uint64_t seed) : state(seed + 0x9e3779b97f4a7c15ull) {}
-  uint64_t next() {
-    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    return z ^ (z >> 31);
-  }
-  size_t below(size_t n) { return n == 0 ? 0 : next() % n; }
-};
 
 const char* kCombCells[] = {"INV", "AND2", "OR2", "XOR2", "NAND2", "NOR2"};
 

@@ -1,24 +1,16 @@
 #include "gen/mode_gen.h"
 
+#include <set>
 #include <sstream>
 
 #include "util/error.h"
+#include "util/rng.h"
 
 namespace mm::gen {
 
-namespace {
+using util::Rng;
 
-struct Rng {
-  uint64_t state;
-  explicit Rng(uint64_t seed) : state(seed + 0x9e3779b97f4a7c15ull) {}
-  uint64_t next() {
-    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    return z ^ (z >> 31);
-  }
-  size_t below(size_t n) { return n == 0 ? 0 : next() % n; }
-};
+namespace {
 
 enum class Kind { kFunc, kScan, kTest };
 
@@ -36,6 +28,7 @@ class ModeWriter {
   GeneratedMode make(size_t mode_index, size_t group, size_t index_in_group,
                      size_t group_size) {
     const Kind kind = kind_of(index_in_group, group_size);
+    clock_names_.clear();
     GeneratedMode out;
     out.group = group;
     std::ostringstream os;
@@ -43,7 +36,7 @@ class ModeWriter {
       case Kind::kFunc: {
         const size_t variant = index_in_group == 0 ? 0 : index_in_group - 2;
         out.name = "func" + std::to_string(group) + "_" + std::to_string(variant);
-        write_func(os, group, variant);
+        write_func(os, mode_index, group, variant);
         break;
       }
       case Kind::kScan:
@@ -55,6 +48,8 @@ class ModeWriter {
         write_scan(os, group, /*shift=*/false);
         break;
     }
+    write_min_max_delays(os, mode_index);
+    write_disabled_arcs(os, mode_index);
     write_mode_fps(os, mode_index);
     out.sdc_text = os.str();
     return out;
@@ -63,6 +58,14 @@ class ModeWriter {
  private:
   double domain_period(size_t domain) const {
     return p_.base_period * (1.0 + 0.25 * static_cast<double>(domain));
+  }
+
+  /// Canonicalizing clock-name guard: true the first time a name is seen in
+  /// the current mode, false on a duplicate. Callers skip the duplicate
+  /// emission — two create_*clock commands with one name would abort the
+  /// parse and make the mode useless.
+  bool claim_clock_name(const std::string& name) {
+    return clock_names_.insert(name).second;
   }
 
   /// Conflict carrier: identical within a group, incompatible across groups
@@ -83,12 +86,16 @@ class ModeWriter {
        << " [get_ports do_*]\n";
   }
 
-  void write_func(std::ostringstream& os, size_t group, size_t variant) {
+  void write_func(std::ostringstream& os, size_t mode_index, size_t group,
+                  size_t variant) {
     const size_t domains = d_.num_domains;
     for (size_t d = 0; d < domains; ++d) {
-      os << "create_clock -name CLK" << d << " -period " << domain_period(d)
+      const std::string name = "CLK" + std::to_string(d);
+      if (!claim_clock_name(name)) continue;
+      os << "create_clock -name " << name << " -period " << domain_period(d)
          << " [get_ports clk" << d << "]\n";
     }
+    write_gen_clocks(os, mode_index);
     // Group-conflicting clock uncertainty on the common clock.
     os << "set_clock_uncertainty -setup "
        << 0.05 * p_.base_period +
@@ -99,25 +106,52 @@ class ModeWriter {
     os << "set_case_analysis 0 test_mode\n";
     if (d_.scan) os << "set_case_analysis 0 scan_en\n";
 
-    // Power islands: the last domain is always off in functional modes;
-    // each variant additionally gates one rotating domain.
-    const size_t always_off = domains - 1;
-    const size_t variant_off =
-        domains > 1 ? variant % (domains - 1) : always_off;
-    for (size_t d = 0; d < domains; ++d) {
-      const bool off = (d == always_off) || (d == variant_off);
-      os << "set_case_analysis " << (off ? 0 : 1) << " en" << d << "\n";
+    if (p_.randomize_case) {
+      Rng rng(Rng::mix(p_.seed * 617, mode_index));
+      for (size_t d = 0; d < domains; ++d) {
+        os << "set_case_analysis " << rng.below(2) << " en" << d << "\n";
+      }
+    } else {
+      // Power islands: the last domain is always off in functional modes;
+      // each variant additionally gates one rotating domain.
+      const size_t always_off = domains - 1;
+      const size_t variant_off =
+          domains > 1 ? variant % (domains - 1) : always_off;
+      for (size_t d = 0; d < domains; ++d) {
+        const bool off = (d == always_off) || (d == variant_off);
+        os << "set_case_analysis " << (off ? 0 : 1) << " en" << d << "\n";
+      }
     }
 
     write_io_delays(os, "CLK0", domain_period(0));
 
-    // Cross-domain clocks are asynchronous (common industrial default).
+    // Cross-domain clock-group topology (style 0 = the industrial default:
+    // everything asynchronous).
     if (domains > 1) {
-      os << "set_clock_groups -asynchronous -name func_async";
-      for (size_t d = 0; d < domains; ++d) {
-        os << " -group [get_clocks CLK" << d << "]";
+      switch (p_.clock_group_style) {
+        case 0:
+          os << "set_clock_groups -asynchronous -name func_async";
+          for (size_t d = 0; d < domains; ++d) {
+            os << " -group [get_clocks CLK" << d << "]";
+          }
+          os << "\n";
+          break;
+        case 1:
+          break;  // unrelated clocks: all cross-domain paths stay timed
+        case 2:
+          os << "set_clock_groups -logically_exclusive -name func_excl";
+          for (size_t d = 0; d < domains; ++d) {
+            os << " -group [get_clocks CLK" << d << "]";
+          }
+          os << "\n";
+          break;
+        default:
+          // CLK0 vs the rest (single-group form; the parser adds the
+          // complement group). Paths among CLK1.. stay timed.
+          os << "set_clock_groups -asynchronous -name func_async0"
+             << " -group [get_clocks CLK0]\n";
+          break;
       }
-      os << "\n";
     }
 
     // Group-common multicycle paths (identical across the group's
@@ -131,8 +165,10 @@ class ModeWriter {
   }
 
   void write_scan(std::ostringstream& os, size_t group, bool shift) {
-    os << "create_clock -name TCLK -period " << p_.base_period * 4
-       << " [get_ports tclk]\n";
+    if (claim_clock_name("TCLK")) {
+      os << "create_clock -name TCLK -period " << p_.base_period * 4
+         << " [get_ports tclk]\n";
+    }
     write_conflict_carrier(os, group);
     os << "set_case_analysis 1 test_mode\n";
     if (d_.scan) os << "set_case_analysis " << (shift ? 1 : 0) << " scan_en\n";
@@ -140,6 +176,51 @@ class ModeWriter {
       os << "set_case_analysis 1 en" << d << "\n";
     }
     write_io_delays(os, "TCLK", p_.base_period * 4);
+  }
+
+  /// Widened space: divided versions of random domain clocks, defined on
+  /// the clock-mux output so they reach the domain's registers. The rng can
+  /// pick the same (domain, divisor) twice — claim_clock_name drops the
+  /// duplicate instead of emitting an unparsable second definition.
+  void write_gen_clocks(std::ostringstream& os, size_t mode_index) {
+    if (p_.gen_clocks == 0) return;
+    Rng rng(Rng::mix(p_.seed * 271, mode_index));
+    for (size_t i = 0; i < p_.gen_clocks; ++i) {
+      const size_t d = rng.below(d_.num_domains);
+      const int div = rng.chance(50) ? 2 : 4;
+      const std::string name =
+          "GCLK" + std::to_string(d) + "x" + std::to_string(div);
+      if (!claim_clock_name(name)) continue;
+      os << "create_generated_clock -name " << name << " -source [get_ports clk"
+         << d << "] -divide_by " << div << " [get_pins cmux" << d << "/Z]\n";
+    }
+  }
+
+  /// Widened space: point min/max-delay exceptions, half the time stacked
+  /// on the same endpoint (the §2 equivalence edge case).
+  void write_min_max_delays(std::ostringstream& os, size_t mode_index) {
+    if (p_.min_max_delays == 0) return;
+    Rng rng(Rng::mix(p_.seed * 8191, mode_index));
+    for (size_t i = 0; i < p_.min_max_delays; ++i) {
+      const size_t reg = rng.below(d_.num_regs);
+      os << "set_max_delay " << 2.0 + 0.5 * static_cast<double>(rng.below(8))
+         << " -to [get_pins r" << reg << "/D]\n";
+      if (rng.chance(50)) {
+        os << "set_min_delay " << 0.1 * static_cast<double>(1 + rng.below(4))
+           << " -to [get_pins r" << reg << "/D]\n";
+      }
+    }
+  }
+
+  /// Widened space: disabled timing arcs on random gate outputs.
+  void write_disabled_arcs(std::ostringstream& os, size_t mode_index) {
+    if (p_.disabled_arcs == 0) return;
+    Rng rng(Rng::mix(p_.seed * 131, mode_index));
+    const size_t num_gates = d_.num_regs * d_.comb_per_reg;
+    for (size_t i = 0; i < p_.disabled_arcs; ++i) {
+      os << "set_disable_timing [get_pins g" << rng.below(num_gates)
+         << "/Z]\n";
+    }
   }
 
   /// Per-mode unique false paths (droppable; §3.2 refinement re-derives
@@ -167,6 +248,7 @@ class ModeWriter {
 
   const DesignParams& d_;
   const ModeFamilyParams& p_;
+  std::set<std::string> clock_names_;  // per-mode duplicate guard
 };
 
 }  // namespace

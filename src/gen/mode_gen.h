@@ -35,6 +35,27 @@ struct ModeFamilyParams {
   /// Conflict injected between groups (uncertainty / transition step).
   double group_conflict_step = 0.5;
   uint64_t seed = 7;
+
+  // --- widened space (mm::fuzz drives these; defaults reproduce the seed
+  // --- Table-5 family byte-for-byte) -------------------------------------
+  /// Generated clocks per functional mode (divided domain clocks on the
+  /// clock-mux outputs). Duplicate names are canonicalized away — the
+  /// generator never emits two create_*clock commands with one name in the
+  /// same mode (a duplicate would make the whole family trivially
+  /// unmergeable and waste fuzz budget).
+  size_t gen_clocks = 0;
+  /// set_max_delay exceptions per mode; each has a 50% chance of a paired
+  /// set_min_delay on the *same* endpoint (an equivalence edge case).
+  size_t min_max_delays = 0;
+  /// set_disable_timing on random gate output pins per mode.
+  size_t disabled_arcs = 0;
+  /// Replace the planted power-island case values with random ones (breaks
+  /// the block-diagonal mergeability structure on purpose).
+  bool randomize_case = false;
+  /// Clock-group topology: 0 = asynchronous over all domain clocks (seed
+  /// behavior), 1 = none, 2 = logically exclusive, 3 = CLK0-vs-rest
+  /// asynchronous.
+  size_t clock_group_style = 0;
 };
 
 struct GeneratedMode {

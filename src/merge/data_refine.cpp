@@ -302,7 +302,24 @@ class DataRefiner {
       }
     }
 
+    // An equivalent single-clock/single-through false path may already be
+    // present (carried over from a source mode's own refinement); adding a
+    // second copy would only differ in comment and break idempotence of
+    // re-merging a merged mode.
+    std::set<std::pair<uint32_t, uint32_t>> existing;  // (pin, clock)
+    for (const sdc::Exception& ex : merged().exceptions()) {
+      if (ex.kind != sdc::ExceptionKind::kFalsePath) continue;
+      if (ex.from.clocks.size() != 1 || !ex.from.pins.empty()) continue;
+      if (ex.throughs.size() != 1 || ex.throughs[0].pins.size() != 1 ||
+          !ex.throughs[0].clocks.empty()) {
+        continue;
+      }
+      if (!ex.to.clocks.empty() || !ex.to.pins.empty()) continue;
+      existing.emplace(ex.throughs[0].pins[0].value(),
+                       ex.from.clocks[0].value());
+    }
     for (const auto& [pin, clock] : frontier) {
+      if (existing.count({pin, clock})) continue;
       sdc::Exception ex;
       ex.kind = sdc::ExceptionKind::kFalsePath;
       ex.from.clocks.push_back(sdc::ClockId(clock));

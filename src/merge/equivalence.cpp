@@ -76,6 +76,12 @@ EquivalenceReport check_equivalence(const RefineContext& ctx,
   mprop.run(opts);
   const RelationMap& mrel = mprop.relations();
 
+  // Lost-relation keys live in the *mapped individual* clock space; a
+  // candidate that dropped a clock entirely has no name for them.
+  auto clock_name = [&](sdc::ClockId id) -> std::string {
+    if (id.index() < merged.num_clocks()) return merged.clock(id).name;
+    return "<dropped clock #" + std::to_string(id.index()) + ">";
+  };
   auto example = [&](const std::string& what, const RelationKey& key,
                      const std::string& detail) {
     if (report.examples.size() >= 10) return;
@@ -84,9 +90,8 @@ EquivalenceReport check_equivalence(const RefineContext& ctx,
     if (key.startpoint.valid()) {
       msg += " from " + std::string(graph.design().pin_name(key.startpoint));
     }
-    if (key.launch.valid()) msg += " launch=" + merged.clock(key.launch).name;
-    if (key.capture.valid())
-      msg += " capture=" + merged.clock(key.capture).name;
+    if (key.launch.valid()) msg += " launch=" + clock_name(key.launch);
+    if (key.capture.valid()) msg += " capture=" + clock_name(key.capture);
     report.examples.push_back(msg + " " + detail);
   };
 

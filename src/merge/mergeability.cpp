@@ -149,6 +149,13 @@ PairVerdict check_mergeable_interned(const ModeRelationships& a,
     const ModeRelationships::ExceptionInfo& other = *it->second;
     if (other.kind == ex.kind && other.value == ex.value) continue;
     if (!other.from_key_bits.intersects(ex.from_key_bits)) continue;
+    // Waive when both modes already carry the identical ambiguous pair:
+    // each resolves it with the same precedence, so the merge introduces
+    // no conflict that was not present in every source.
+    if (a.full_sig_ids.count(ex.full_id.id()) &&
+        b.full_sig_ids.count(other.full_id.id())) {
+      continue;
+    }
     return {false, "conflicting exception values on identical anchors"};
   }
 
@@ -225,6 +232,12 @@ PairVerdict check_mergeable(const ModeRelationships& a,
     const ModeRelationships::ExceptionInfo& other = *it->second;
     if (other.kind == ex.kind && other.value == ex.value) continue;
     if (keys_disjoint(other.from_keys, ex.from_keys)) continue;
+    // Waive when both modes already carry the identical ambiguous pair:
+    // each resolves it with the same precedence, so the merge introduces
+    // no conflict that was not present in every source.
+    if (a.full_sigs.count(ex.sig_full) && b.full_sigs.count(other.sig_full)) {
+      continue;
+    }
     return {false, "conflicting exception values on identical anchors"};
   }
 
@@ -361,6 +374,12 @@ PairVerdict check_mergeable(const Sdc& a, const Sdc& b,
   const std::set<std::string> a_keys = mode_clock_keys(a);
   const std::set<std::string> b_keys = mode_clock_keys(b);
 
+  std::set<std::string> a_sigs, b_sigs;
+  for (const sdc::Exception& ex : a.exceptions())
+    a_sigs.insert(exception_signature(a, ex, true));
+  for (const sdc::Exception& ex : b.exceptions())
+    b_sigs.insert(exception_signature(b, ex, true));
+
   // Same anchors, different kind/value: conflicting unless uniquifiable.
   std::map<std::string, std::pair<const sdc::Exception*, const Sdc*>> by_anchor;
   for (const sdc::Exception& ex : a.exceptions()) {
@@ -376,6 +395,13 @@ PairVerdict check_mergeable(const Sdc& a, const Sdc& b,
     // Conflicting values on identical anchors; uniquifiable only if the two
     // exceptions' effective launch clocks are disjoint.
     if (keys_disjoint(effective_from_keys(a, other), effective_from_keys(b, ex))) {
+      continue;
+    }
+    // Waive when both modes already carry the identical ambiguous pair:
+    // each resolves it with the same precedence, so the merge introduces
+    // no conflict that was not present in every source.
+    if (a_sigs.count(exception_signature(b, ex, /*include_value=*/true)) &&
+        b_sigs.count(exception_signature(a, other, /*include_value=*/true))) {
       continue;
     }
     return {false, "conflicting exception values on identical anchors"};
@@ -401,12 +427,6 @@ PairVerdict check_mergeable(const Sdc& a, const Sdc& b,
     }
     return {true, ""};
   };
-  std::set<std::string> a_sigs, b_sigs;
-  for (const sdc::Exception& ex : a.exceptions())
-    a_sigs.insert(exception_signature(a, ex, true));
-  for (const sdc::Exception& ex : b.exceptions())
-    b_sigs.insert(exception_signature(b, ex, true));
-
   PairVerdict v = check_one_sided(a, b_sigs, b_keys);
   if (!v.mergeable) return v;
   v = check_one_sided(b, a_sigs, a_keys);

@@ -1,5 +1,6 @@
 #include "merge/merger.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "merge/clock_refine.h"
@@ -10,6 +11,36 @@
 #include "util/timer.h"
 
 namespace mm::merge {
+
+namespace {
+
+/// Corrupt the merged mode per options.debug_mutation (fuzz-harness
+/// mutation testing; no-op for kNone). Runs after refinement and before
+/// validation so the equivalence oracle gets a chance to catch the bug.
+void apply_debug_mutation(Sdc& merged, const MergeOptions& options) {
+  switch (options.debug_mutation) {
+    case DebugMutation::kNone:
+      return;
+    case DebugMutation::kFalsifyMcp:
+      for (sdc::Exception& e : merged.exceptions()) {
+        if (e.kind == sdc::ExceptionKind::kMulticyclePath) {
+          e.kind = sdc::ExceptionKind::kFalsePath;
+          e.value = 0.0;
+        }
+      }
+      return;
+    case DebugMutation::kDropExceptions:
+      merged.exceptions().clear();
+      return;
+    case DebugMutation::kShuffleInterned:
+      if (options.use_interned_keys) {
+        std::reverse(merged.exceptions().begin(), merged.exceptions().end());
+      }
+      return;
+  }
+}
+
+}  // namespace
 
 ValidatedMergeResult merge_modes(const timing::TimingGraph& graph,
                                  const std::vector<const Sdc*>& modes,
@@ -30,6 +61,8 @@ ValidatedMergeResult merge_modes(const timing::TimingGraph& graph,
     refine_clock_network(ctx, out.merge, options);
     refine_data_network(ctx, out.merge, options);
     out.merge.stats.refinement_seconds = timer.elapsed_seconds();
+
+    apply_debug_mutation(*out.merge.merged, options);
 
     if (options.validate) {
       Stopwatch vtimer;

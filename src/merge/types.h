@@ -15,6 +15,24 @@ using sdc::Mode;
 using sdc::Sdc;
 using timing::PinId;
 
+/// Deliberate pipeline bugs, injectable for mutation-testing the fuzz
+/// harness's oracles (mm::fuzz): each one corrupts the merged mode *after*
+/// refinement and *before* validation, so a healthy oracle must flag it.
+/// Production paths always run with kNone.
+enum class DebugMutation : uint8_t {
+  kNone = 0,
+  /// Rewrite every multicycle exception in the merged mode to a false path
+  /// ("merge forgot MCP semantics") — endpoints lose their timed state, an
+  /// optimism violation.
+  kFalsifyMcp,
+  /// Drop every exception from the merged mode — paths the source modes
+  /// false-pathed become timed, pessimism the refinement never accounted.
+  kDropExceptions,
+  /// Reverse the merged exception order only when interned keys are on —
+  /// breaks byte-parity between the interned and string-keyed paths.
+  kShuffleInterned,
+};
+
 struct MergeOptions {
   /// Relative tolerance for merging clock-based / drive / load constraint
   /// values across modes (paper §3.1.2 "within a certain tolerance limit").
@@ -45,6 +63,8 @@ struct MergeOptions {
   /// setup-side. Fixes that apply to only one side are emitted with
   /// -setup / -hold qualifiers.
   bool analyze_hold = true;
+  /// Fuzz-harness mutation testing only (see DebugMutation).
+  DebugMutation debug_mutation = DebugMutation::kNone;
 };
 
 /// Two-way map between individual-mode clocks and merged-mode clocks

@@ -1,0 +1,2 @@
+create_generated_clock -name GCLK2x2 -source [get_ports clk2] -divide_by 2 [get_pins cmux2/Z]
+set_multicycle_path 1.8 -setup -through [get_pins r50/Q]

@@ -1,0 +1,2 @@
+create_clock -name CLK1 -period 10 [get_ports clk1]
+set_multicycle_path 2 -setup -through [get_pins r28/Q]

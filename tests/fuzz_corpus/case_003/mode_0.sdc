@@ -1,0 +1,2 @@
+create_clock -name CLK2 -period 24 [get_ports clk2]
+set_multicycle_path 2 -setup -through [get_pins r26/Q]

@@ -1,0 +1,3 @@
+create_clock -name CLK1 -period 10 [get_ports clk1]
+create_generated_clock -name GCLK2x4 -source [get_ports clk2] -divide_by 4 [get_pins cmux2/Z]
+set_false_path -through [get_pins g78/Z]

@@ -1,0 +1,2 @@
+create_clock -name TCLK -period 32 [get_ports tclk]
+set_false_path -from [get_pins r41/CP]

@@ -1,0 +1,2 @@
+create_clock -name CLK2 -period 12 [get_ports clk2]
+set_false_path -through [get_pins g38/Z]

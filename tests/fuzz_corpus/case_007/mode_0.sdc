@@ -1,0 +1,2 @@
+set_max_delay 4.5 -to [get_pins r2/D]
+set_false_path -through [get_pins g4/Z]

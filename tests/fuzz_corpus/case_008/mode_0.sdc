@@ -1,0 +1,2 @@
+set_false_path -through [get_pins g105/Z]
+set_false_path -through [get_pins g60/Z]

@@ -1,0 +1,2 @@
+set_max_delay 5 -to [get_pins r3/D]
+set_false_path -through [get_pins g38/Z]

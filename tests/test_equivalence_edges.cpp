@@ -1,0 +1,173 @@
+// Equivalence checker edge cases: exception precedence (false path over
+// MCP, min/max-delay over MCP), min- and max-delay stacking on one
+// endpoint, and asymmetric relationship sets (A ⊆ B but B ⊄ A) where the
+// two directions of the §2 two-sided check must disagree on purpose.
+
+#include <gtest/gtest.h>
+
+#include "gen/paper_circuit.h"
+#include "merge/equivalence.h"
+#include "merge/preliminary.h"
+#include "sdc/parser.h"
+
+namespace mm::merge {
+namespace {
+
+class EquivEdgeTest : public ::testing::Test {
+ protected:
+  netlist::Library lib = netlist::Library::builtin();
+  netlist::Design design = gen::paper_circuit(lib);
+  timing::TimingGraph graph{design};
+
+  sdc::Sdc parse(const std::string& text) {
+    return sdc::parse_sdc(text, design);
+  }
+
+  EquivalenceReport check(const sdc::Sdc& original,
+                          const sdc::Sdc& candidate) {
+    MergeResult base = preliminary_merge({&original}, {});
+    RefineContext ctx(graph, {&original});
+    return check_equivalence(ctx, candidate, base.clock_map);
+  }
+
+  static constexpr const char* kClock =
+      "create_clock -name clkA -period 10 [get_ports clk1]\n";
+};
+
+// --- MCP(n) vs false-path precedence ----------------------------------------
+
+TEST_F(EquivEdgeTest, FalsePathOverridesMcp) {
+  // SDC precedence: set_false_path beats set_multicycle_path on the same
+  // paths, so {FP, MCP} and {FP} are the same constraint state.
+  sdc::Sdc both = parse(std::string(kClock) +
+                        "set_multicycle_path 2 -to [get_pins rX/D]\n"
+                        "set_false_path -to [get_pins rX/D]\n");
+  sdc::Sdc fp_only =
+      parse(std::string(kClock) + "set_false_path -to [get_pins rX/D]\n");
+  EXPECT_TRUE(check(both, fp_only).equivalent());
+  EXPECT_TRUE(check(fp_only, both).equivalent());
+}
+
+TEST_F(EquivEdgeTest, McpDoesNotMaskLostFalsePath) {
+  // A candidate that keeps the MCP but gains the FP has lost a timed
+  // endpoint: optimism, never acceptable.
+  sdc::Sdc mcp_only =
+      parse(std::string(kClock) + "set_multicycle_path 2 -to [get_pins rX/D]\n");
+  sdc::Sdc both = parse(std::string(kClock) +
+                        "set_multicycle_path 2 -to [get_pins rX/D]\n"
+                        "set_false_path -to [get_pins rX/D]\n");
+  const EquivalenceReport r = check(mcp_only, both);
+  EXPECT_GT(r.optimism_violations, 0u);
+  EXPECT_FALSE(r.signoff_safe());
+
+  // The reverse direction merely re-times a falsed endpoint: pessimism,
+  // safe but not equivalent.
+  const EquivalenceReport rev = check(both, mcp_only);
+  EXPECT_EQ(rev.optimism_violations, 0u);
+  EXPECT_GT(rev.pessimism_keys, 0u);
+  EXPECT_TRUE(rev.signoff_safe());
+  EXPECT_FALSE(rev.equivalent());
+}
+
+TEST_F(EquivEdgeTest, McpMultiplierIsPartOfTheState) {
+  sdc::Sdc mcp2 =
+      parse(std::string(kClock) + "set_multicycle_path 2 -to [get_pins rX/D]\n");
+  sdc::Sdc mcp3 =
+      parse(std::string(kClock) + "set_multicycle_path 3 -to [get_pins rX/D]\n");
+  const EquivalenceReport r = check(mcp2, mcp3);
+  EXPECT_GT(r.state_mismatches, 0u);
+  EXPECT_FALSE(r.equivalent());
+  EXPECT_TRUE(r.signoff_safe());  // both sides still time the endpoint
+}
+
+// --- min/max-delay on the same endpoint -------------------------------------
+
+TEST_F(EquivEdgeTest, MinAndMaxDelayOnSameEndpointRoundTrip) {
+  const std::string text = std::string(kClock) +
+                           "set_max_delay 5 -to [get_pins rX/D]\n"
+                           "set_min_delay 0.2 -to [get_pins rX/D]\n";
+  sdc::Sdc a = parse(text), b = parse(text);
+  const EquivalenceReport r = check(a, b);
+  EXPECT_TRUE(r.equivalent());
+  EXPECT_GT(r.keys_compared, 0u);
+}
+
+TEST_F(EquivEdgeTest, DroppedMinDelayIsDetected) {
+  sdc::Sdc full = parse(std::string(kClock) +
+                        "set_max_delay 5 -to [get_pins rX/D]\n"
+                        "set_min_delay 0.2 -to [get_pins rX/D]\n");
+  sdc::Sdc max_only =
+      parse(std::string(kClock) + "set_max_delay 5 -to [get_pins rX/D]\n");
+  const EquivalenceReport r = check(full, max_only);
+  EXPECT_FALSE(r.equivalent());
+  EXPECT_TRUE(r.signoff_safe());  // endpoint still timed on both sides
+}
+
+TEST_F(EquivEdgeTest, MaxDelayValueIsPartOfTheState) {
+  sdc::Sdc a =
+      parse(std::string(kClock) + "set_max_delay 5 -to [get_pins rX/D]\n");
+  sdc::Sdc b =
+      parse(std::string(kClock) + "set_max_delay 4 -to [get_pins rX/D]\n");
+  const EquivalenceReport r = check(a, b);
+  EXPECT_GT(r.state_mismatches, 0u);
+  EXPECT_FALSE(r.equivalent());
+}
+
+TEST_F(EquivEdgeTest, MinMaxDelayOverridesMcp) {
+  // Precedence: set_max_delay beats set_multicycle_path, but only on the
+  // analysis side it constrains — so qualify the MCP with -setup, or the
+  // hold side would still (correctly) distinguish the two modes.
+  sdc::Sdc both = parse(std::string(kClock) +
+                        "set_multicycle_path 2 -setup -to [get_pins rX/D]\n"
+                        "set_max_delay 5 -to [get_pins rX/D]\n");
+  sdc::Sdc md_only =
+      parse(std::string(kClock) + "set_max_delay 5 -to [get_pins rX/D]\n");
+  EXPECT_TRUE(check(both, md_only).equivalent());
+  EXPECT_TRUE(check(md_only, both).equivalent());
+}
+
+// --- asymmetric relationship sets (A ⊆ B but B ⊄ A) -------------------------
+
+TEST_F(EquivEdgeTest, AsymmetricSetsFailInExactlyOneDirection) {
+  // Mode A drives only clkA; mode B additionally clocks clk2, so every
+  // gated-clock endpoint gains capture-by-clkB relationships: rel(A) is a
+  // strict subset of rel(B).
+  sdc::Sdc a = parse(kClock);
+  sdc::Sdc b = parse(std::string(kClock) +
+                     "create_clock -name clkB -period 20 [get_ports clk2]\n");
+
+  // Candidate = A against original B: the clkB relationships are lost
+  // entirely — optimism.
+  const EquivalenceReport lost = check(b, a);
+  EXPECT_GT(lost.optimism_violations, 0u);
+  EXPECT_FALSE(lost.signoff_safe());
+
+  // Candidate = B against original A: extra timed relationships the
+  // original never had — pessimism, safe but not equivalent.
+  const EquivalenceReport extra = check(a, b);
+  EXPECT_EQ(extra.optimism_violations, 0u);
+  EXPECT_GT(extra.pessimism_keys, 0u);
+  EXPECT_TRUE(extra.signoff_safe());
+  EXPECT_FALSE(extra.equivalent());
+}
+
+TEST_F(EquivEdgeTest, SubsetExceptionSetsAreNotEquivalent) {
+  // Same clocks, but A's exception set is a strict subset of B's: the
+  // shared FP matches, the extra one shows up as pessimism from A's side.
+  sdc::Sdc a = parse(std::string(kClock) +
+                     "set_false_path -to [get_pins rX/D]\n");
+  sdc::Sdc b = parse(std::string(kClock) +
+                     "set_false_path -to [get_pins rX/D]\n"
+                     "set_false_path -to [get_pins rY/D]\n");
+  // B falses rY/D which A times: candidate B loses a timed endpoint.
+  const EquivalenceReport r = check(a, b);
+  EXPECT_GT(r.optimism_violations, 0u);
+
+  // And the mirror image: candidate A re-times rY/D — pessimism only.
+  const EquivalenceReport rev = check(b, a);
+  EXPECT_EQ(rev.optimism_violations, 0u);
+  EXPECT_GT(rev.pessimism_keys, 0u);
+}
+
+}  // namespace
+}  // namespace mm::merge

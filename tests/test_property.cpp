@@ -15,22 +15,12 @@
 #include "sdc/parser.h"
 #include "sdc/writer.h"
 #include "util/glob.h"
+#include "util/rng.h"
 
 namespace mm {
 namespace {
 
-struct Rng {
-  uint64_t state;
-  explicit Rng(uint64_t seed) : state(seed + 0x9e3779b97f4a7c15ull) {}
-  uint64_t next() {
-    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    return z ^ (z >> 31);
-  }
-  size_t below(size_t n) { return n == 0 ? 0 : next() % n; }
-  bool chance(int percent) { return below(100) < static_cast<size_t>(percent); }
-};
+using util::Rng;
 
 /// A deliberately chaotic mode: random clock subsets with periods drawn
 /// from a small pool (so some clocks match across modes and some collide),

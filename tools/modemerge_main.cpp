@@ -72,6 +72,8 @@ void usage(std::FILE* to) {
       "  --report-clocks      print the clock report per merged mode\n"
       "\n"
       "observability:\n"
+      "  --seed N             deterministic run seed, printed and recorded in\n"
+      "                       stats (replay handle for fuzz/triage workflows)\n"
       "  --stats-out FILE     write machine-readable run stats JSON\n"
       "  --trace-out FILE     write Chrome trace_event JSON (chrome://tracing)\n"
       "  --profile            print the per-phase wall-time table at exit\n"
@@ -130,6 +132,7 @@ int main(int argc, char** argv) {
   bool run_sta_flag = false;
   size_t report_paths = 0;
   bool report_clocks_flag = false;
+  uint64_t seed = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -156,6 +159,8 @@ int main(int argc, char** argv) {
     else if (arg == "--no-validate") options.validate = false;
     else if (arg == "--no-hold") options.analyze_hold = false;
     else if (arg == "--no-key-intern") options.use_interned_keys = false;
+    else if (arg == "--seed")
+      seed = static_cast<uint64_t>(parse_size_arg("--seed", value()));
     else if (arg == "--stats-out") stats_out = value();
     else if (arg == "--trace-out") trace_out = value();
     else if (arg == "--profile") profile_flag = true;
@@ -181,10 +186,13 @@ int main(int argc, char** argv) {
 
   if (!trace_out.empty()) obs::Trace::set_enabled(true);
 
+  std::printf("seed: %llu\n", static_cast<unsigned long long>(seed));
+
   obs::StatsMeta meta;
   meta.strings["tool"] = kVersion;
   meta.strings["netlist"] = netlist_path;
   meta.numbers["num_input_modes"] = static_cast<double>(mode_paths.size());
+  meta.numbers["seed"] = static_cast<double>(seed);
 
   // Emit whatever observability artifacts were requested, even on the
   // error path, so failed runs stay diagnosable.
