@@ -5,7 +5,9 @@
 #include <sstream>
 
 #include "fuzz/corpus.h"
+#include "merge/mergeability.h"
 #include "merge/merger.h"
+#include "merge/session.h"
 #include "netlist/design.h"
 #include "obs/obs.h"
 #include "sdc/parser.h"
@@ -406,6 +408,121 @@ void check_cover_property(const std::vector<const sdc::Sdc*>& ptrs,
   }
 }
 
+/// Count-valued MergeStats fields (everything but the wall-clock seconds),
+/// for P5's "stats modulo timing" comparison.
+std::vector<size_t> stat_counts(const merge::MergeStats& s) {
+  return {s.clocks_union,       s.clocks_deduped,
+          s.clocks_renamed,     s.clock_constraints_merged,
+          s.clock_constraints_dropped, s.port_delays_union,
+          s.case_kept,          s.case_dropped,
+          s.disables_kept,      s.disables_dropped,
+          s.drive_load_kept,    s.drive_load_dropped,
+          s.exclusivity_constraints,   s.exceptions_common,
+          s.exceptions_uniquified,     s.exceptions_dropped,
+          s.exceptions_kept_pessimistic, s.inferred_disables,
+          s.clock_stops_added,  s.data_clock_fps_added,
+          s.pass0_pair_fixed,   s.pass1_keys,
+          s.pass1_mismatch_fixed, s.pass1_ambiguous,
+          s.pass2_keys,         s.pass2_mismatch_fixed,
+          s.pass2_ambiguous,    s.pass3_pairs,
+          s.pass3_paths_enumerated, s.pass3_fps_added,
+          s.unresolved_pessimism};
+}
+
+/// P5: incremental parity. Drive a MergeSession through a case-seeded
+/// random delta sequence (adds, removals, updates, interleaved commits)
+/// drawing decks from the case's mode pool, then compare the final commit
+/// against a from-scratch batch merge of the session's live modes: same
+/// clique cover, same mergeability edges and reason strings, same merged
+/// SDC bytes, same count-valued stats. Validation is skipped — P5 compares
+/// merge *outputs*; P1 owns validation.
+void check_incremental_property(const timing::TimingGraph& graph,
+                                const std::vector<const sdc::Sdc*>& ptrs,
+                                const FuzzCase& c, const FuzzOptions& options,
+                                std::vector<Violation>& violations) {
+  merge::MergeOptions base = baseline_options(options);
+  base.validate = false;
+
+  merge::MergeSession session(graph, base);
+  std::vector<merge::MergeSession::ModeId> live;
+  Rng rng(Rng::mix(c.case_seed, 0x5e5510));
+  size_t serial = 0;
+  auto deck = [&]() { return ptrs[rng.below(ptrs.size())]; };
+  auto add = [&]() {
+    live.push_back(session.add_mode("s" + std::to_string(serial++), deck()));
+  };
+
+  add();
+  const size_t ops = 4 + rng.below(2 * ptrs.size() + 4);
+  for (size_t op = 0; op < ops; ++op) {
+    switch (rng.below(5)) {
+      case 0:
+      case 1:
+        add();
+        break;
+      case 2:
+        if (!live.empty()) {
+          const size_t k = rng.below(live.size());
+          session.remove_mode(live[k]);
+          live.erase(live.begin() + static_cast<long>(k));
+        }
+        break;
+      case 3:
+        if (!live.empty()) {
+          session.update_mode(live[rng.below(live.size())], deck());
+        }
+        break;
+      default:
+        session.commit();
+        break;
+    }
+  }
+  if (live.empty()) add();
+  const merge::MergeSession::CommitResult& r = session.commit();
+
+  const std::vector<const sdc::Sdc*> final_live = session.live_modes();
+  const merge::MergedModeSet scratch =
+      merge::merge_mode_set(graph, final_live, base);
+
+  const std::string after =
+      " differs from batch rebuild after " + std::to_string(ops) +
+      " delta op(s) over " + std::to_string(final_live.size()) + " live modes";
+  if (r.cliques != scratch.cliques) {
+    violations.push_back({"incremental", "session clique cover" + after});
+    return;
+  }
+  for (size_t i = 0; i < r.merged.size(); ++i) {
+    if (sdc::write_sdc(*r.merged[i]->merge.merged) !=
+        sdc::write_sdc(*scratch.merged[i].merge.merged)) {
+      violations.push_back(
+          {"incremental",
+           "merged SDC bytes for clique " + std::to_string(i) + after});
+      return;
+    }
+    if (stat_counts(r.merged[i]->merge.stats) !=
+        stat_counts(scratch.merged[i].merge.stats)) {
+      violations.push_back(
+          {"incremental",
+           "count-valued stats for clique " + std::to_string(i) + after});
+      return;
+    }
+  }
+
+  merge::MergeContext ref_ctx(base);
+  const merge::MergeabilityGraph ref(final_live, ref_ctx);
+  for (size_t i = 0; i < ref.num_modes(); ++i) {
+    for (size_t j = 0; j < ref.num_modes(); ++j) {
+      if (session.graph().edge(i, j) != ref.edge(i, j) ||
+          session.graph().reason(i, j) != ref.reason(i, j)) {
+        violations.push_back(
+            {"incremental", "mergeability verdict (" + std::to_string(i) +
+                                "," + std::to_string(j) + ")" + after});
+        return;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 CheckResult check_case(const FuzzCase& c, const FuzzOptions& options) {
@@ -442,6 +559,8 @@ CheckResult check_case(const FuzzCase& c, const FuzzOptions& options) {
     check_parity_property(graph, ptrs, options, out, result.violations);
   if (options.check_idempotence)
     check_idempotence_property(graph, options, out, result.violations);
+  if (options.check_incremental)
+    check_incremental_property(graph, ptrs, c, options, result.violations);
   return result;
 }
 

@@ -52,6 +52,7 @@ struct FuzzOptions {
   bool check_parity = true;       // P2: config byte-parity
   bool check_idempotence = true;  // P3: merge(S, S) == merge(S)
   bool check_cover = true;        // P4: clique-cover validity + maximality
+  bool check_incremental = true;  // P5: MergeSession delta == batch rebuild
   /// Cliques per case put through the idempotence re-merge (cost control).
   size_t idempotence_cliques = 2;
   /// Stop after this many violations (each is minimized first).
@@ -74,7 +75,8 @@ struct FuzzCase {
 };
 
 struct Violation {
-  std::string property;  // "equivalence" | "parity" | "idempotence" | "cover"
+  std::string property;  // "equivalence" | "parity" | "idempotence" |
+                         // "cover" | "incremental"
   std::string detail;    // human-readable first finding
 };
 
@@ -131,7 +133,13 @@ std::string mutate_sdc_text(const std::string& text, util::Rng& rng);
 ///                    in-clique pair is mergeable (re-checked through the
 ///                    reference Sdc-pair path), and the cover is maximal —
 ///                    a mode in a later clique conflicts with at least one
-///                    member of every earlier clique.
+///                    member of every earlier clique;
+///   P5 incremental:  a MergeSession driven through a case-seeded random
+///                    add / remove / update sequence (with interleaved
+///                    commits) ends byte-identical to a from-scratch batch
+///                    merge of its final live modes — same clique cover,
+///                    same mergeability edges and reason strings, same
+///                    merged SDC bytes, same count-valued stats.
 CheckResult check_case(const FuzzCase& c, const FuzzOptions& options);
 
 /// Delta-debugging minimizer: greedily drop whole modes, ddmin each mode's

@@ -451,6 +451,10 @@ MergeabilityGraph::MergeabilityGraph(const std::vector<const Sdc*>& modes,
   ctx.export_stats();
 }
 
+MergeabilityGraph::MergeabilityGraph(size_t n, std::vector<uint8_t> adj,
+                                     std::vector<std::string> reasons)
+    : n_(n), adj_(std::move(adj)), reasons_(std::move(reasons)) {}
+
 void MergeabilityGraph::build(const std::vector<const Sdc*>& modes,
                               const MergeOptions& options,
                               RelationshipCache& cache, ThreadPool& pool) {
@@ -508,15 +512,24 @@ size_t MergeabilityGraph::degree(size_t i) const {
   return d;
 }
 
-std::vector<std::vector<size_t>> MergeabilityGraph::clique_cover() const {
-  MM_SPAN("merge/clique_cover");
-  std::vector<size_t> order(n_);
-  for (size_t i = 0; i < n_; ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+std::vector<std::vector<size_t>> greedy_clique_cover(
+    size_t n, const std::vector<uint8_t>& adj) {
+  auto edge = [&](size_t i, size_t j) { return adj[i * n + j] != 0; };
+  auto degree = [&](size_t i) {
+    size_t d = 0;
+    for (size_t j = 0; j < n; ++j) {
+      if (j != i && edge(i, j)) ++d;
+    }
+    return d;
+  };
+
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     return degree(a) > degree(b);
   });
 
-  std::vector<uint8_t> assigned(n_, 0);
+  std::vector<uint8_t> assigned(n, 0);
   std::vector<std::vector<size_t>> cliques;
   for (size_t seed : order) {
     if (assigned[seed]) continue;
@@ -540,6 +553,11 @@ std::vector<std::vector<size_t>> MergeabilityGraph::clique_cover() const {
     cliques.push_back(std::move(clique));
   }
   return cliques;
+}
+
+std::vector<std::vector<size_t>> MergeabilityGraph::clique_cover() const {
+  MM_SPAN("merge/clique_cover");
+  return greedy_clique_cover(n_, adj_);
 }
 
 }  // namespace mm::merge

@@ -50,6 +50,16 @@ PairVerdict check_mergeable(const ModeRelationships& a,
                             const ModeRelationships& b,
                             const MergeOptions& options);
 
+/// The greedy clique cover over an n-by-n adjacency matrix (row-major,
+/// nonzero = edge, diagonal set): seeds cliques in descending-degree order
+/// (stable-sorted, so ties break by index) and grows each with every
+/// still-unassigned compatible mode. This is the single cover
+/// implementation — MergeabilityGraph::clique_cover and the incremental
+/// MergeSession both call it, which is what makes an incremental commit's
+/// cover bit-identical to a from-scratch build over the same verdicts.
+std::vector<std::vector<size_t>> greedy_clique_cover(
+    size_t n, const std::vector<uint8_t>& adj);
+
 class MergeabilityGraph {
  public:
   /// Build the graph over `modes`. Per-mode relationship sets are fetched
@@ -66,6 +76,12 @@ class MergeabilityGraph {
   /// ctx.keys() when ctx.options().use_interned_keys) and the pair checks
   /// run on ctx.pool(). Same determinism guarantee as above.
   MergeabilityGraph(const std::vector<const Sdc*>& modes, MergeContext& ctx);
+
+  /// Assemble from precomputed verdicts (the incremental MergeSession path:
+  /// only dirty pairs were re-checked, clean verdicts were carried over).
+  /// `adj` and `reasons` are row-major n*n with the diagonal set.
+  MergeabilityGraph(size_t n, std::vector<uint8_t> adj,
+                    std::vector<std::string> reasons);
 
   size_t num_modes() const { return n_; }
   bool edge(size_t i, size_t j) const { return adj_[i * n_ + j] != 0; }

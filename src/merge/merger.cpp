@@ -6,6 +6,7 @@
 #include "merge/clock_refine.h"
 #include "merge/data_refine.h"
 #include "merge/preliminary.h"
+#include "merge/session.h"
 #include "obs/obs.h"
 #include "util/logger.h"
 #include "util/timer.h"
@@ -96,23 +97,17 @@ MergedModeSet merge_mode_set(const timing::TimingGraph& graph,
 
 MergedModeSet merge_mode_set(const timing::TimingGraph& graph,
                              const std::vector<const Sdc*>& modes,
-                             MergeContext& session) {
+                             MergeContext& ctx) {
+  // The batch flow is now the degenerate session: add every mode, commit
+  // once, hand the results over. Verdicts, cover, merged SDC bytes, and
+  // count-valued stats are identical to the historical direct pipeline —
+  // commit() shares the pair-check and greedy-cover code with it.
   Stopwatch timer;
-  MergedModeSet out;
-  out.num_input_modes = modes.size();
-
-  MergeabilityGraph mgraph(modes, session);
-  out.cliques = mgraph.clique_cover();
-  MM_COUNT("merge/cliques", out.cliques.size());
-
-  for (const std::vector<size_t>& clique : out.cliques) {
-    std::vector<const Sdc*> members;
-    members.reserve(clique.size());
-    for (size_t idx : clique) members.push_back(modes[idx]);
-    out.merged.push_back(merge_modes(graph, members, session));
-  }
+  MergeSession session(graph, ctx);
+  for (const Sdc* mode : modes) session.add_mode("", mode);
+  session.commit();
+  MergedModeSet out = session.release_batch();
   out.total_seconds = timer.elapsed_seconds();
-  session.export_stats();
   return out;
 }
 

@@ -137,10 +137,27 @@ RelationshipCache::RelationshipCache(CanonicalKeyTable* table,
 uint64_t RelationshipCache::content_key(const Sdc& sdc) {
   uint64_t h = 14695981039346656037ull;
   h = fnv1a(h, sdc::write_sdc(sdc));
-  h = fnv1a(h, sdc.design().name());
-  const uint64_t pins = sdc.design().num_pins();
-  h = fnv1a(h, reinterpret_cast<const char*>(&pins), sizeof(pins));
+  // Netlist identity: extraction output depends on the design the SDC was
+  // parsed against (clock keys and signatures embed port/pin names, query
+  // expansion follows connectivity). Counts alone are too weak — two
+  // different blocks can agree on name and pin count — so fold in every
+  // port name as well.
+  const netlist::Design& design = sdc.design();
+  h = fnv1a(h, design.name());
+  const uint64_t shape[] = {design.num_pins(), design.num_ports(),
+                            design.num_nets(), design.num_instances()};
+  h = fnv1a(h, reinterpret_cast<const char*>(shape), sizeof(shape));
+  for (size_t p = 0; p < design.num_ports(); ++p) {
+    const std::string_view name = design.port_name(netlist::PortId(p));
+    h = fnv1a(h, name.data(), name.size());
+  }
   return h;
+}
+
+void RelationshipCache::invalidate(const Sdc& sdc) {
+  const uint64_t key = content_key(sdc);
+  std::lock_guard<std::mutex> lock(mutex_);
+  map_.erase(key);
 }
 
 std::shared_ptr<const ModeRelationships> RelationshipCache::get(

@@ -122,8 +122,17 @@ class RelationshipCache {
   std::shared_ptr<const ModeRelationships> get(const Sdc& sdc);
 
   /// The key get() uses: FNV-1a of write_sdc(sdc) mixed with the design's
-  /// name and pin count. Exposed so tests can assert invalidation.
+  /// structural identity — name, pin/port/net/instance counts, and every
+  /// port name — so two distinct designs never alias an entry just because
+  /// their name and pin count agree. Exposed so tests can assert
+  /// invalidation.
   static uint64_t content_key(const Sdc& sdc);
+
+  /// Drop the entry for this mode's current content, if present. Used by
+  /// MergeSession::update_mode so a long-lived session does not accumulate
+  /// entries for constraint decks nothing can reach anymore. (Content
+  /// addressing already prevents *stale hits*; this bounds growth.)
+  void invalidate(const Sdc& sdc);
 
   void clear();
   size_t size() const;

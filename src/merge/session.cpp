@@ -1,0 +1,242 @@
+#include "merge/session.h"
+
+#include <algorithm>
+
+#include "obs/obs.h"
+#include "util/error.h"
+#include "util/logger.h"
+#include "util/timer.h"
+
+namespace mm::merge {
+
+MergeSession::MergeSession(const timing::TimingGraph& graph, MergeContext& ctx)
+    : timing_graph_(graph), ctx_(&ctx) {}
+
+MergeSession::MergeSession(const timing::TimingGraph& graph,
+                           MergeOptions options)
+    : timing_graph_(graph),
+      owned_ctx_(std::make_unique<MergeContext>(options)),
+      ctx_(owned_ctx_.get()) {}
+
+MergeSession::~MergeSession() = default;
+
+uint64_t MergeSession::pair_key(ModeId a, ModeId b) {
+  if (a > b) std::swap(a, b);
+  return (a << 32) | b;
+}
+
+size_t MergeSession::position_of(ModeId id) const {
+  for (size_t i = 0; i < modes_.size(); ++i) {
+    if (modes_[i].id == id) return i;
+  }
+  throw Error("MergeSession: unknown mode id " + std::to_string(id));
+}
+
+bool MergeSession::has_mode(ModeId id) const {
+  for (const Entry& e : modes_) {
+    if (e.id == id) return true;
+  }
+  return false;
+}
+
+const std::string& MergeSession::mode_name(ModeId id) const {
+  return modes_[position_of(id)].name;
+}
+
+std::vector<const Sdc*> MergeSession::live_modes() const {
+  std::vector<const Sdc*> out;
+  out.reserve(modes_.size());
+  for (const Entry& e : modes_) out.push_back(e.sdc);
+  return out;
+}
+
+void MergeSession::mark_dirty(ModeId id) { dirty_.insert(id); }
+
+MergeSession::ModeId MergeSession::add_mode(std::string name, const Sdc* sdc) {
+  MM_ASSERT(sdc != nullptr);
+  // pair_key packs two ids into one uint64.
+  MM_ASSERT(next_id_ < (uint64_t{1} << 32));
+  Entry e;
+  e.id = next_id_++;
+  e.name = std::move(name);
+  e.sdc = sdc;
+  modes_.push_back(std::move(e));
+  mark_dirty(modes_.back().id);
+  MM_COUNT("session/modes_added", 1);
+  return modes_.back().id;
+}
+
+void MergeSession::remove_mode(ModeId id) {
+  const size_t pos = position_of(id);
+  modes_.erase(modes_.begin() + static_cast<long>(pos));
+  dirty_.erase(id);
+  // Drop the mode's verdict row; surviving pairs stay clean — only cliques
+  // that contained the mode will re-merge (their member-id key changes).
+  for (auto it = verdicts_.begin(); it != verdicts_.end();) {
+    const uint64_t key = it->first;
+    if ((key >> 32) == id || (key & 0xffffffffu) == id) {
+      it = verdicts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  MM_COUNT("session/modes_removed", 1);
+}
+
+void MergeSession::update_mode(ModeId id, const Sdc* sdc) {
+  MM_ASSERT(sdc != nullptr);
+  Entry& e = modes_[position_of(id)];
+  // The old content's cache entry is now stale for this session: evict it
+  // eagerly so the cache only holds decks the session can still reach.
+  if (ctx_->options().use_relationship_cache && e.sdc != nullptr) {
+    ctx_->cache().invalidate(*e.sdc);
+  }
+  e.sdc = sdc;
+  e.rels.reset();
+  mark_dirty(id);
+  MM_COUNT("session/modes_updated", 1);
+}
+
+const MergeSession::CommitResult& MergeSession::commit() {
+  MM_SPAN("session/commit");
+  Stopwatch timer;
+  const MergeOptions& options = ctx_->options();
+  const size_t n = modes_.size();
+
+  CommitResult out;
+  out.num_input_modes = n;
+
+  // Refresh relationship sets for modes that lost theirs (new or updated),
+  // fanned over the pool like the batch build. Clean modes keep the
+  // shared_ptr they already hold — zero cache probes, zero extractions.
+  if (options.use_relationship_cache) {
+    std::vector<Entry*> need;
+    for (Entry& e : modes_) {
+      if (!e.rels) need.push_back(&e);
+    }
+    ctx_->pool().parallel_for(need.size(), [&](size_t k) {
+      need[k]->rels = ctx_->relationships(*need[k]->sdc);
+    });
+  }
+
+  // Re-check exactly the pairs with a dirty endpoint. Verdicts land in
+  // their own slot and are folded into the map in index order, keeping the
+  // adjacency fill deterministic.
+  std::vector<std::pair<uint32_t, uint32_t>> dirty_pairs;
+  for (uint32_t i = 0; i + 1 < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      if (dirty_.count(modes_[i].id) || dirty_.count(modes_[j].id)) {
+        dirty_pairs.emplace_back(i, j);
+      }
+    }
+  }
+  std::vector<PairVerdict> fresh(dirty_pairs.size());
+  ctx_->pool().parallel_for(
+      dirty_pairs.size(), /*min_grain=*/16, [&](size_t p) {
+        const auto [i, j] = dirty_pairs[p];
+        // With the cache off this is the reference Sdc-pair path (re-derives
+        // per pair), exactly like the batch build under the same options.
+        fresh[p] = options.use_relationship_cache
+                       ? check_mergeable(*modes_[i].rels, *modes_[j].rels,
+                                         options)
+                       : check_mergeable(*modes_[i].sdc, *modes_[j].sdc,
+                                         options);
+      });
+  for (size_t p = 0; p < dirty_pairs.size(); ++p) {
+    const auto [i, j] = dirty_pairs[p];
+    verdicts_[pair_key(modes_[i].id, modes_[j].id)] = std::move(fresh[p]);
+  }
+  const size_t total_pairs = n < 2 ? 0 : n * (n - 1) / 2;
+  out.pairs_rechecked = dirty_pairs.size();
+  out.pairs_skipped_clean = total_pairs - dirty_pairs.size();
+  MM_COUNT("merge/mergeability_pairs", dirty_pairs.size());
+  MM_COUNT("session/pairs_rechecked", out.pairs_rechecked);
+  MM_COUNT("session/pairs_skipped_clean", out.pairs_skipped_clean);
+
+  // Assemble the full graph from the verdict matrix and run the shared
+  // greedy cover — bit-identical to a from-scratch build over these modes.
+  std::vector<uint8_t> adj(n * n, 0);
+  std::vector<std::string> reasons(n * n);
+  for (size_t i = 0; i < n; ++i) adj[i * n + i] = 1;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const PairVerdict& v =
+          verdicts_.at(pair_key(modes_[i].id, modes_[j].id));
+      adj[i * n + j] = adj[j * n + i] = v.mergeable ? 1 : 0;
+      if (!v.mergeable) {
+        reasons[i * n + j] = reasons[j * n + i] = v.reason;
+      }
+    }
+  }
+  graph_ = MergeabilityGraph(n, std::move(adj), std::move(reasons));
+  out.cliques = graph_.clique_cover();
+  MM_COUNT("merge/cliques", out.cliques.size());
+
+  // Merge dirty cliques; hand back the previous result for untouched ones.
+  std::unordered_map<std::string, std::shared_ptr<ValidatedMergeResult>>
+      next_results;
+  for (const std::vector<size_t>& clique : out.cliques) {
+    std::vector<ModeId> ids;
+    std::string key;
+    bool any_dirty = false;
+    for (size_t pos : clique) {
+      const ModeId id = modes_[pos].id;
+      ids.push_back(id);
+      key += std::to_string(id);
+      key += ',';
+      any_dirty = any_dirty || dirty_.count(id) != 0;
+    }
+    std::shared_ptr<ValidatedMergeResult> result;
+    auto prev = clique_results_.find(key);
+    const bool reuse =
+        !any_dirty && results_valid_ && prev != clique_results_.end();
+    if (reuse) {
+      result = prev->second;
+      ++out.cliques_reused;
+    } else {
+      std::vector<const Sdc*> members;
+      members.reserve(clique.size());
+      for (size_t pos : clique) members.push_back(modes_[pos].sdc);
+      result = std::make_shared<ValidatedMergeResult>(
+          merge_modes(timing_graph_, members, *ctx_));
+      ++out.cliques_merged;
+    }
+    next_results.emplace(std::move(key), result);
+    out.merged.push_back(result);
+    out.clique_ids.push_back(std::move(ids));
+    out.reused.push_back(reuse);
+  }
+  clique_results_ = std::move(next_results);
+  results_valid_ = true;
+  dirty_.clear();
+
+  MM_COUNT("session/commits", 1);
+  MM_COUNT("session/cliques_dirty", out.cliques_merged);
+  MM_COUNT("session/cliques_reused", out.cliques_reused);
+  MM_GAUGE_SET("session/modes", n);
+  ctx_->export_stats();
+
+  out.total_seconds = timer.elapsed_seconds();
+  last_ = std::move(out);
+  return last_;
+}
+
+MergedModeSet MergeSession::release_batch() {
+  MergedModeSet out;
+  out.num_input_modes = last_.num_input_modes;
+  out.cliques = last_.cliques;
+  out.total_seconds = last_.total_seconds;
+  out.merged.reserve(last_.merged.size());
+  for (const std::shared_ptr<const ValidatedMergeResult>& r : last_.merged) {
+    // Move the payload out of the shared object. The reuse cache is cleared
+    // below, so no later commit can observe the hollowed-out results.
+    out.merged.push_back(
+        std::move(*std::const_pointer_cast<ValidatedMergeResult>(r)));
+  }
+  last_ = CommitResult{};
+  clique_results_.clear();
+  results_valid_ = false;
+  return out;
+}
+
+}  // namespace mm::merge

@@ -42,7 +42,9 @@ struct MergeOptions {
   double waveform_tolerance = 1e-9;
   /// Path-enumeration cap per (startpoint, endpoint) pair in pass 3.
   size_t max_enumerated_paths = 4096;
-  /// Threads for per-mode propagation and pairwise mergeability analysis
+  /// Worker threads for the whole merge pipeline: the MergeContext pool
+  /// sized by this value runs relationship extraction, pairwise
+  /// mergeability checks, refinement passes, and equivalence validation
   /// (0 = hardware concurrency).
   size_t num_threads = 0;
   /// Memoize per-mode relationship extraction (merge/relationship_cache.h)

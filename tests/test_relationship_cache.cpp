@@ -94,6 +94,55 @@ TEST_F(RelationshipCacheTest, KeyIncludesNetlistIdentity) {
             RelationshipCache::content_key(on_b));
 }
 
+// Regression for the weak-identity hazard: two distinct designs that agree
+// on name AND every shape count must still get distinct content keys,
+// because port names differ. Before content_key folded port names, these
+// aliased one cache slot and the second design silently reused the first's
+// extraction.
+TEST_F(RelationshipCacheTest, EqualNameAndCountsDesignsDoNotCollide) {
+  netlist::Design da("twin", &lib);
+  da.add_port("clkA", netlist::PinDir::kInput);
+  netlist::Design db("twin", &lib);
+  db.add_port("clkB", netlist::PinDir::kInput);
+  ASSERT_EQ(da.num_ports(), db.num_ports());
+  ASSERT_EQ(da.num_pins(), db.num_pins());
+
+  sdc::Sdc on_a = sdc::parse_sdc("", da);
+  sdc::Sdc on_b = sdc::parse_sdc("", db);
+  EXPECT_NE(RelationshipCache::content_key(on_a),
+            RelationshipCache::content_key(on_b));
+
+  RelationshipCache cache;
+  cache.get(on_a);
+  cache.get(on_b);
+  EXPECT_EQ(cache.stats().misses, 2u);  // no alias, no stale hit
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+// Explicit invalidation (the MergeSession::update_mode path): dropping a
+// mode's current content removes exactly that entry; the next get()
+// re-extracts. Invalidating absent content is a no-op.
+TEST_F(RelationshipCacheTest, InvalidateDropsEntry) {
+  RelationshipCache cache;
+  sdc::Sdc a = parse("create_clock -name c -period 10 [get_ports clk1]\n");
+  sdc::Sdc b = parse("create_clock -name c2 -period 20 [get_ports clk2]\n");
+  cache.get(a);
+  cache.get(b);
+  ASSERT_EQ(cache.size(), 2u);
+
+  cache.invalidate(a);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.invalidate(a);  // already gone: no-op
+  EXPECT_EQ(cache.size(), 1u);
+
+  cache.get(b);  // untouched entry still hits
+  EXPECT_EQ(cache.stats().hits, 1u);
+  cache.get(a);  // dropped entry re-extracts
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
 TEST_F(RelationshipCacheTest, EvictionBoundsEntries) {
   RelationshipCache cache(/*max_entries=*/2);
   for (int period = 1; period <= 5; ++period) {

@@ -36,7 +36,9 @@ void usage(std::FILE* to) {
       "  --iters N            iterations (default 100)\n"
       "  --max-modes N        modes per generated family, 2..N (default 6)\n"
       "  --max-regs N         design size cap in registers (default 90)\n"
-      "  --threads N          merge threads for the baseline config (0 = hw)\n"
+      "  --threads N          worker threads for the baseline config's whole\n"
+      "                       merge pipeline (extraction, pair checks,\n"
+      "                       refinement, validation; 0 = hardware)\n"
       "  --max-violations N   stop after N minimized findings (default 1)\n"
       "  --corpus-dir DIR     write minimized repros under DIR\n"
       "  --no-mutate          skip the SDC text-mutation stage\n"
@@ -47,6 +49,7 @@ void usage(std::FILE* to) {
       "  --no-parity          skip P2 config byte-parity\n"
       "  --no-idempotence     skip P3 merge(S,S) fixpoint\n"
       "  --no-cover           skip P4 clique-cover validity/maximality\n"
+      "  --no-incremental     skip P5 MergeSession delta-vs-batch parity\n"
       "\n"
       "oracle mutation testing:\n"
       "  --inject KIND        none | falsify-mcp | drop-exceptions |\n"
@@ -142,6 +145,7 @@ int main(int argc, char** argv) {
     else if (arg == "--no-parity") opt.check_parity = false;
     else if (arg == "--no-idempotence") opt.check_idempotence = false;
     else if (arg == "--no-cover") opt.check_cover = false;
+    else if (arg == "--no-incremental") opt.check_incremental = false;
     else if (arg == "--inject") {
       const char* name = value();
       if (!fuzz::parse_mutation(name, &opt.inject)) {

@@ -4,6 +4,7 @@
 //             [--out DIR] [--tolerance X] [--threads N] [--sta]
 //             [--no-refine] [--no-validate] [--no-hold]
 //             [--stats-out FILE.json] [--trace-out FILE.json] [--profile]
+//   modemerge --netlist design.v --script deltas.txt [--out DIR] ...
 //
 // Reads a structural Verilog netlist (built-in cell library) and N SDC mode
 // decks, runs mergeability analysis + clique cover + per-clique merging,
@@ -12,6 +13,13 @@
 // and reports the runtime reduction and slack conformity. Exit status is
 // non-zero if any merged mode fails sign-off validation; bad command-line
 // input exits 2.
+//
+// --script drives the incremental MergeSession instead of the one-shot
+// batch: the file holds one command per line (add NAME FILE.sdc /
+// update NAME FILE.sdc / remove NAME / commit, '#' comments), relative
+// SDC paths resolve against the script's directory, each commit prints a
+// delta summary (pairs re-checked, cliques reused vs re-merged), and the
+// final commit's merged_<k>.sdc files are written to --out.
 //
 // Observability: --stats-out dumps the mm::obs metrics registry (per-phase
 // wall time, peak RSS, counters) as JSON, --trace-out writes a Chrome
@@ -24,9 +32,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <sstream>
 
 #include "merge/merger.h"
+#include "merge/session.h"
 #include "netlist/liberty.h"
 #include "netlist/verilog.h"
 #include "obs/obs.h"
@@ -54,11 +65,19 @@ void usage(std::FILE* to) {
       to,
       "usage: modemerge --netlist FILE.v [--liberty FILE.lib] --mode FILE.sdc "
       "[--mode FILE.sdc ...]\n"
+      "       modemerge --netlist FILE.v --script FILE [--out DIR]\n"
       "\n"
       "merging:\n"
       "  --out DIR            output directory for merged_<k>.sdc (default .)\n"
+      "  --script FILE        incremental session driver: one command per\n"
+      "                       line (add NAME FILE.sdc | update NAME FILE.sdc\n"
+      "                       | remove NAME | commit); relative SDC paths\n"
+      "                       resolve against the script's directory\n"
       "  --tolerance X        relative constraint-value merge tolerance (>= 0)\n"
-      "  --threads N          refinement/validation threads (0 = hardware)\n"
+      "  --threads N          worker threads for the whole merge pipeline:\n"
+      "                       relationship extraction, pair mergeability\n"
+      "                       checks, refinement, and validation all share\n"
+      "                       one pool (0 = hardware concurrency)\n"
       "  --no-refine          preliminary merge only (skip 3-pass refinement)\n"
       "  --no-validate        skip the final equivalence validation\n"
       "  --no-hold            setup-side analysis only\n"
@@ -116,6 +135,130 @@ size_t parse_size_arg(const char* flag, const char* text) {
   return static_cast<size_t>(v);
 }
 
+/// Execute a --script delta file against a long-lived MergeSession.
+/// Returns the process exit status. Script syntax errors exit 2 directly
+/// (same contract as bad command-line input).
+int run_script(const std::string& script_path,
+               const mm::timing::TimingGraph& graph,
+               const mm::netlist::Design& design,
+               const mm::merge::MergeOptions& options,
+               const std::string& out_dir, mm::obs::StatsMeta& meta) {
+  using namespace mm;
+
+  const std::string text = read_file(script_path);
+  const size_t slash = script_path.find_last_of('/');
+  const std::string script_dir =
+      slash == std::string::npos ? "" : script_path.substr(0, slash + 1);
+  auto resolve = [&](const std::string& p) {
+    return (!p.empty() && p.front() == '/') ? p : script_dir + p;
+  };
+
+  merge::MergeSession session(graph, options);
+  struct LiveMode {
+    merge::MergeSession::ModeId id;
+    std::unique_ptr<sdc::Sdc> sdc;  // session borrows; must outlive the entry
+  };
+  std::map<std::string, LiveMode> live;
+  size_t commits = 0;
+  bool safe = true;
+
+  std::istringstream is(text);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string cmd, name, path;
+    ls >> cmd;
+    if (cmd.empty()) continue;
+    auto fail = [&](const char* msg) {
+      std::fprintf(stderr, "modemerge: %s:%zu: %s\n", script_path.c_str(),
+                   lineno, msg);
+      std::exit(2);
+    };
+
+    if (cmd == "add" || cmd == "update") {
+      ls >> name >> path;
+      if (name.empty() || path.empty()) {
+        fail("expected: add|update NAME FILE.sdc");
+      }
+      auto sdc = std::make_unique<sdc::Sdc>(
+          sdc::parse_sdc(read_file(resolve(path)), design));
+      std::printf("%s %-20s: %zu clocks, %zu exceptions\n", cmd.c_str(),
+                  name.c_str(), sdc->num_clocks(), sdc->exceptions().size());
+      if (cmd == "add") {
+        if (live.count(name)) fail("mode name already live");
+        const merge::MergeSession::ModeId id = session.add_mode(name, sdc.get());
+        live.emplace(name, LiveMode{id, std::move(sdc)});
+      } else {
+        auto it = live.find(name);
+        if (it == live.end()) fail("update of unknown mode name");
+        session.update_mode(it->second.id, sdc.get());
+        it->second.sdc = std::move(sdc);
+      }
+    } else if (cmd == "remove") {
+      ls >> name;
+      auto it = live.find(name);
+      if (it == live.end()) fail("remove of unknown mode name");
+      session.remove_mode(it->second.id);
+      live.erase(it);
+      std::printf("remove %s\n", name.c_str());
+    } else if (cmd == "commit") {
+      const merge::MergeSession::CommitResult& r = session.commit();
+      ++commits;
+      std::printf(
+          "commit %zu: %zu modes -> %zu merged (%zu reused, %zu re-merged), "
+          "%zu pairs re-checked, %zu clean, %.3fs\n",
+          commits, r.num_input_modes, r.num_merged_modes(), r.cliques_reused,
+          r.cliques_merged, r.pairs_rechecked, r.pairs_skipped_clean,
+          r.total_seconds);
+    } else {
+      fail("unknown command (expected add/update/remove/commit)");
+    }
+  }
+
+  // A trailing commit is implied so every script yields output; with no
+  // deltas since the last explicit commit this reuses everything.
+  const merge::MergeSession::CommitResult& out = session.commit();
+  ++commits;
+  std::printf("\nfinal: %zu modes -> %zu merged (%.1f%% reduction), "
+              "%zu commits\n",
+              out.num_input_modes, out.num_merged_modes(),
+              out.reduction_percent(), commits);
+  meta.numbers["num_input_modes"] = static_cast<double>(out.num_input_modes);
+  meta.numbers["num_merged_modes"] =
+      static_cast<double>(out.num_merged_modes());
+  meta.numbers["reduction_percent"] = out.reduction_percent();
+  meta.numbers["session_commits"] = static_cast<double>(commits);
+
+  for (size_t c = 0; c < out.merged.size(); ++c) {
+    const merge::ValidatedMergeResult& m = *out.merged[c];
+    std::printf("\n--- merged mode %zu <- {", c);
+    for (size_t k = 0; k < out.clique_ids[c].size(); ++k) {
+      std::printf("%s%s", k ? ", " : "",
+                  session.mode_name(out.clique_ids[c][k]).c_str());
+    }
+    std::printf("} ---\n%s",
+                merge::report_merge(m.merge, m.equivalence).c_str());
+    safe &= !options.validate || m.equivalence.signoff_safe();
+
+    const std::string out_path =
+        out_dir + "/merged_" + std::to_string(c) + ".sdc";
+    std::ofstream file(out_path);
+    file << sdc::write_sdc(*m.merge.merged);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+
+  if (!safe) {
+    std::fprintf(stderr,
+                 "\nFAIL: at least one merged mode is not sign-off safe\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -124,6 +267,7 @@ int main(int argc, char** argv) {
   std::string netlist_path;
   std::string liberty_path;
   std::vector<std::string> mode_paths;
+  std::string script_path;
   std::string out_dir = ".";
   std::string stats_out;
   std::string trace_out;
@@ -146,6 +290,7 @@ int main(int argc, char** argv) {
     if (arg == "--netlist") netlist_path = value();
     else if (arg == "--liberty") liberty_path = value();
     else if (arg == "--mode") mode_paths.push_back(value());
+    else if (arg == "--script") script_path = value();
     else if (arg == "--out") out_dir = value();
     else if (arg == "--tolerance")
       options.value_tolerance = parse_double_arg("--tolerance", value());
@@ -179,7 +324,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (netlist_path.empty() || mode_paths.empty()) {
+  if (netlist_path.empty() || (mode_paths.empty() == script_path.empty())) {
     usage(stderr);
     return 2;
   }
@@ -240,6 +385,13 @@ int main(int argc, char** argv) {
                 design.num_nets(), design.num_ports());
 
     const timing::TimingGraph graph(design);
+
+    if (!script_path.empty()) {
+      const int status =
+          run_script(script_path, graph, design, options, out_dir, meta);
+      const bool artifacts_ok = emit_observability();
+      return status != 0 ? status : (artifacts_ok ? 0 : 1);
+    }
 
     std::vector<sdc::Sdc> modes;
     std::vector<const sdc::Sdc*> ptrs;
