@@ -6,6 +6,7 @@
 
 #include "fuzz/corpus.h"
 #include "merge/mergeability.h"
+#include "obs/journal.h"
 #include "merge/merger.h"
 #include "merge/session.h"
 #include "netlist/design.h"
@@ -605,6 +606,16 @@ FuzzReport run_fuzz(const FuzzOptions& options) {
       const std::string dir =
           corpus_case_dir(options.corpus_dir, report.findings.size());
       write_corpus_case(dir, finding);
+      // Ship the repro with its decision trail: replay the minimized case
+      // once with the mm.journal/1 journal aimed into the corpus dir, so
+      // triage starts from `mmreport explain` instead of a cold re-run.
+      // Skipped when the caller already has a process journal open
+      // (--journal-out), which is capturing the whole run anyway.
+      if (!obs::Journal::enabled() &&
+          obs::Journal::open(dir + "/journal.jsonl")) {
+        check_case(finding.repro, options);
+        obs::Journal::close();
+      }
       MM_WARN("fuzz: minimized repro written to %s", dir.c_str());
     }
     report.findings.push_back(std::move(finding));

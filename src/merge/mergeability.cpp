@@ -29,6 +29,15 @@ bool within_tolerance(double a, double b, double rel_tol) {
 std::optional<PairVerdict> clock_window_conflict(
     const ModeRelationships::ClockInfo& ca,
     const ModeRelationships::ClockInfo& cb, const MergeOptions& options) {
+  auto conflict = [&ca](const char* category, std::string reason) {
+    PairVerdict v;
+    v.mergeable = false;
+    v.reason = std::move(reason);
+    v.category = category;
+    v.subject = ca.key;
+    v.subject_key_id = ca.key_id.id();
+    return v;
+  };
   for (size_t source = 0; source < 2; ++source) {
       for (size_t max_side = 0; max_side < 2; ++max_side) {
         if (ca.latency_present[source][max_side] &&
@@ -36,11 +45,11 @@ std::optional<PairVerdict> clock_window_conflict(
             !within_tolerance(ca.latency[source][max_side],
                               cb.latency[source][max_side],
                               options.value_tolerance)) {
-          return PairVerdict{
-              false, "clock latency mismatch on matching clock (" +
-                         std::to_string(ca.latency[source][max_side]) +
-                         " vs " +
-                         std::to_string(cb.latency[source][max_side]) + ")"};
+          return conflict(
+              "clock_latency",
+              "clock latency mismatch on matching clock (" +
+                  std::to_string(ca.latency[source][max_side]) + " vs " +
+                  std::to_string(cb.latency[source][max_side]) + ")");
         }
       }
     }
@@ -48,19 +57,61 @@ std::optional<PairVerdict> clock_window_conflict(
       if (ca.uncertainty_present[setup] && cb.uncertainty_present[setup] &&
           !within_tolerance(ca.uncertainty[setup], cb.uncertainty[setup],
                             options.value_tolerance)) {
-        return PairVerdict{false,
-                           "clock uncertainty mismatch on matching clock"};
+        return conflict("clock_uncertainty",
+                        "clock uncertainty mismatch on matching clock");
       }
     }
     for (size_t max_side : {size_t{1}, size_t{0}}) {
       if (ca.transition_present[max_side] && cb.transition_present[max_side] &&
           !within_tolerance(ca.transition[max_side], cb.transition[max_side],
                             options.value_tolerance)) {
-        return PairVerdict{false,
-                           "clock transition mismatch on matching clock"};
+        return conflict("clock_transition",
+                        "clock transition mismatch on matching clock");
       }
     }
   return std::nullopt;
+}
+
+/// Shared constructors for the non-clock first-conflict verdicts, so every
+/// check path fills identical category/subject provenance.
+PairVerdict drive_conflict(PinId port_pin) {
+  PairVerdict v;
+  v.mergeable = false;
+  v.reason = "drive/transition value mismatch on port";
+  v.category = "drive";
+  v.subject = "pin#" + std::to_string(port_pin.index());
+  return v;
+}
+
+PairVerdict load_conflict(PinId port_pin) {
+  PairVerdict v;
+  v.mergeable = false;
+  v.reason = "load value mismatch on port";
+  v.category = "load";
+  v.subject = "pin#" + std::to_string(port_pin.index());
+  return v;
+}
+
+PairVerdict exception_conflict(std::string anchor_sig, uint32_t anchor_key) {
+  PairVerdict v;
+  v.mergeable = false;
+  v.reason = "conflicting exception values on identical anchors";
+  v.category = "exception_conflict";
+  v.subject = std::move(anchor_sig);
+  v.subject_key_id = anchor_key;
+  return v;
+}
+
+PairVerdict one_sided_conflict(std::string full_sig, uint32_t full_key) {
+  PairVerdict v;
+  v.mergeable = false;
+  v.reason =
+      "non-false-path exception unique to one mode cannot be "
+      "uniquified by clock restriction";
+  v.category = "exception_one_sided";
+  v.subject = std::move(full_sig);
+  v.subject_key_id = full_key;
+  return v;
 }
 
 // Clock-conflict pre-screen over pre-extracted per-clock windows. Returns
@@ -122,7 +173,7 @@ PairVerdict check_mergeable_interned(const ModeRelationships& a,
       if (!(da.minmax.min && db.minmax.min) && !(da.minmax.max && db.minmax.max))
         continue;
       if (!within_tolerance(da.value, db.value, options.value_tolerance)) {
-        return {false, "drive/transition value mismatch on port"};
+        return drive_conflict(da.port_pin);
       }
     }
   }
@@ -130,7 +181,7 @@ PairVerdict check_mergeable_interned(const ModeRelationships& a,
     for (const sdc::LoadConstraint& lb : b.loads) {
       if (la.port_pin != lb.port_pin) continue;
       if (!within_tolerance(la.value, lb.value, options.value_tolerance)) {
-        return {false, "load value mismatch on port"};
+        return load_conflict(la.port_pin);
       }
     }
   }
@@ -156,7 +207,7 @@ PairVerdict check_mergeable_interned(const ModeRelationships& a,
         b.full_sig_ids.count(other.full_id.id())) {
       continue;
     }
-    return {false, "conflicting exception values on identical anchors"};
+    return exception_conflict(ex.sig_anchor, ex.anchor_id.id());
   }
 
   // Non-false-path exception present in one mode only and not uniquifiable.
@@ -166,9 +217,7 @@ PairVerdict check_mergeable_interned(const ModeRelationships& a,
       if (ex.kind == sdc::ExceptionKind::kFalsePath) continue;  // droppable
       if (other.full_sig_ids.count(ex.full_id.id())) continue;  // common
       if (ex.from_key_bits.intersects(other.clock_key_bits)) {
-        return {false,
-                "non-false-path exception unique to one mode cannot be "
-                "uniquified by clock restriction"};
+        return one_sided_conflict(ex.sig_full, ex.full_id.id());
       }
     }
     return {true, ""};
@@ -206,7 +255,7 @@ PairVerdict check_mergeable(const ModeRelationships& a,
       if (!(da.minmax.min && db.minmax.min) && !(da.minmax.max && db.minmax.max))
         continue;
       if (!within_tolerance(da.value, db.value, options.value_tolerance)) {
-        return {false, "drive/transition value mismatch on port"};
+        return drive_conflict(da.port_pin);
       }
     }
   }
@@ -214,7 +263,7 @@ PairVerdict check_mergeable(const ModeRelationships& a,
     for (const sdc::LoadConstraint& lb : b.loads) {
       if (la.port_pin != lb.port_pin) continue;
       if (!within_tolerance(la.value, lb.value, options.value_tolerance)) {
-        return {false, "load value mismatch on port"};
+        return load_conflict(la.port_pin);
       }
     }
   }
@@ -238,7 +287,7 @@ PairVerdict check_mergeable(const ModeRelationships& a,
     if (a.full_sigs.count(ex.sig_full) && b.full_sigs.count(other.sig_full)) {
       continue;
     }
-    return {false, "conflicting exception values on identical anchors"};
+    return exception_conflict(ex.sig_anchor, ex.anchor_id.id());
   }
 
   // Non-false-path exception present in one mode only and not uniquifiable.
@@ -248,9 +297,7 @@ PairVerdict check_mergeable(const ModeRelationships& a,
       if (ex.kind == sdc::ExceptionKind::kFalsePath) continue;  // droppable
       if (other.full_sigs.count(ex.sig_full)) continue;  // common exception
       if (!keys_disjoint(ex.from_keys, other.clock_keys)) {
-        return {false,
-                "non-false-path exception unique to one mode cannot be "
-                "uniquified by clock restriction"};
+        return one_sided_conflict(ex.sig_full, ex.full_id.id());
       }
     }
     return {true, ""};
@@ -277,6 +324,14 @@ PairVerdict check_mergeable(const Sdc& a, const Sdc& b,
     auto it = b_clocks.find(key);
     if (it == b_clocks.end()) continue;
     const ClockId cb = it->second;
+    auto conflict = [&key](const char* category, std::string reason) {
+      PairVerdict v;
+      v.mergeable = false;
+      v.reason = std::move(reason);
+      v.category = category;
+      v.subject = key;
+      return v;
+    };
 
     // Latencies (per source flag + flavor).
     auto latency = [](const Sdc& sdc, ClockId c, bool source, bool max_side,
@@ -297,9 +352,10 @@ PairVerdict check_mergeable(const Sdc& a, const Sdc& b,
         const double va = latency(a, ca, source, max_side, pa);
         const double vb = latency(b, cb, source, max_side, pb);
         if (pa && pb && !within_tolerance(va, vb, options.value_tolerance)) {
-          return {false, "clock latency mismatch on matching clock (" +
-                             std::to_string(va) + " vs " + std::to_string(vb) +
-                             ")"};
+          return conflict("clock_latency",
+                          "clock latency mismatch on matching clock (" +
+                              std::to_string(va) + " vs " +
+                              std::to_string(vb) + ")");
         }
       }
     }
@@ -322,7 +378,8 @@ PairVerdict check_mergeable(const Sdc& a, const Sdc& b,
       const double va = uncertainty(a, ca, setup, pa);
       const double vb = uncertainty(b, cb, setup, pb);
       if (pa && pb && !within_tolerance(va, vb, options.value_tolerance)) {
-        return {false, "clock uncertainty mismatch on matching clock"};
+        return conflict("clock_uncertainty",
+                        "clock uncertainty mismatch on matching clock");
       }
     }
 
@@ -344,7 +401,8 @@ PairVerdict check_mergeable(const Sdc& a, const Sdc& b,
       const double va = transition(a, ca, max_side, pa);
       const double vb = transition(b, cb, max_side, pb);
       if (pa && pb && !within_tolerance(va, vb, options.value_tolerance)) {
-        return {false, "clock transition mismatch on matching clock"};
+        return conflict("clock_transition",
+                        "clock transition mismatch on matching clock");
       }
     }
   }
@@ -357,7 +415,7 @@ PairVerdict check_mergeable(const Sdc& a, const Sdc& b,
       if (!(da.minmax.min && db.minmax.min) && !(da.minmax.max && db.minmax.max))
         continue;
       if (!within_tolerance(da.value, db.value, options.value_tolerance)) {
-        return {false, "drive/transition value mismatch on port"};
+        return drive_conflict(da.port_pin);
       }
     }
   }
@@ -365,7 +423,7 @@ PairVerdict check_mergeable(const Sdc& a, const Sdc& b,
     for (const sdc::LoadConstraint& lb : b.loads()) {
       if (la.port_pin != lb.port_pin) continue;
       if (!within_tolerance(la.value, lb.value, options.value_tolerance)) {
-        return {false, "load value mismatch on port"};
+        return load_conflict(la.port_pin);
       }
     }
   }
@@ -404,7 +462,7 @@ PairVerdict check_mergeable(const Sdc& a, const Sdc& b,
         b_sigs.count(exception_signature(a, other, /*include_value=*/true))) {
       continue;
     }
-    return {false, "conflicting exception values on identical anchors"};
+    return exception_conflict(sig, 0);
   }
 
   // Non-false-path exception present in one mode only and not uniquifiable:
@@ -420,9 +478,7 @@ PairVerdict check_mergeable(const Sdc& a, const Sdc& b,
           exception_signature(holder, ex, /*include_value=*/true);
       if (holder_sigs_other.count(sig)) continue;  // common exception
       if (!keys_disjoint(effective_from_keys(holder, ex), other_keys)) {
-        return {false,
-                "non-false-path exception unique to one mode cannot be "
-                "uniquified by clock restriction"};
+        return one_sided_conflict(sig, 0);
       }
     }
     return {true, ""};

@@ -19,9 +19,22 @@ namespace mm::merge {
 class MergeContext;
 
 /// Why a pair of modes cannot merge (empty reason == mergeable).
+///
+/// `category` and `subject` are the first conflict's provenance for the
+/// mm.journal/1 pair_verdict event: a machine-readable reason class
+/// (clock_latency, clock_uncertainty, clock_transition, drive, load,
+/// exception_conflict, exception_one_sided) and the canonical subject it
+/// fired on (clock key, "pin#N", or exception anchor signature). Like
+/// `reason`, both are byte-identical across the Sdc-level, string-keyed,
+/// and interned check paths. `subject_key_id` is the interned id of the
+/// subject when the interned path produced the verdict (0 otherwise) —
+/// extra provenance only, NOT part of the determinism contract.
 struct PairVerdict {
   bool mergeable = true;
   std::string reason;
+  std::string category;
+  std::string subject;
+  uint64_t subject_key_id = 0;
 };
 
 /// Pairwise mergeability: a mock preliminary merge checking for

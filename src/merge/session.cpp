@@ -1,22 +1,51 @@
 #include "merge/session.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
 
+#include "obs/journal.h"
 #include "obs/obs.h"
+#include "sdc/writer.h"
 #include "util/error.h"
 #include "util/logger.h"
 #include "util/timer.h"
 
 namespace mm::merge {
 
+namespace {
+
+uint64_t next_session_journal_id() {
+  static std::atomic<uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+/// Content keys are 64-bit hashes; emit as hex strings so readers never
+/// round them through a double.
+std::string hex_key(uint64_t key) {
+  char buf[2 + 16 + 1];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+/// Journal display name for a mode: batch adapters register modes with
+/// name "", which would make explain --pair unusable.
+std::string journal_name(const std::string& name, MergeSession::ModeId id) {
+  return name.empty() ? "mode" + std::to_string(id) : name;
+}
+
+}  // namespace
+
 MergeSession::MergeSession(const timing::TimingGraph& graph, MergeContext& ctx)
-    : timing_graph_(graph), ctx_(&ctx) {}
+    : timing_graph_(graph), ctx_(&ctx), journal_id_(next_session_journal_id()) {}
 
 MergeSession::MergeSession(const timing::TimingGraph& graph,
                            MergeOptions options)
     : timing_graph_(graph),
       owned_ctx_(std::make_unique<MergeContext>(options)),
-      ctx_(owned_ctx_.get()) {}
+      ctx_(owned_ctx_.get()),
+      journal_id_(next_session_journal_id()) {}
 
 MergeSession::~MergeSession() = default;
 
@@ -63,11 +92,24 @@ MergeSession::ModeId MergeSession::add_mode(std::string name, const Sdc* sdc) {
   modes_.push_back(std::move(e));
   mark_dirty(modes_.back().id);
   MM_COUNT("session/modes_added", 1);
+  if (obs::Journal::enabled()) {
+    obs::JournalEvent ev("mode_add");
+    ev.field("session", journal_id_)
+        .field("mode_id", modes_.back().id)
+        .field("name", journal_name(modes_.back().name, modes_.back().id))
+        .field("content_key", hex_key(RelationshipCache::content_key(*sdc)));
+  }
   return modes_.back().id;
 }
 
 void MergeSession::remove_mode(ModeId id) {
   const size_t pos = position_of(id);
+  if (obs::Journal::enabled()) {
+    obs::JournalEvent ev("mode_remove");
+    ev.field("session", journal_id_)
+        .field("mode_id", id)
+        .field("name", journal_name(modes_[pos].name, id));
+  }
   modes_.erase(modes_.begin() + static_cast<long>(pos));
   dirty_.erase(id);
   // Drop the mode's verdict row; surviving pairs stay clean — only cliques
@@ -95,6 +137,13 @@ void MergeSession::update_mode(ModeId id, const Sdc* sdc) {
   e.rels.reset();
   mark_dirty(id);
   MM_COUNT("session/modes_updated", 1);
+  if (obs::Journal::enabled()) {
+    obs::JournalEvent ev("mode_update");
+    ev.field("session", journal_id_)
+        .field("mode_id", id)
+        .field("name", journal_name(e.name, id))
+        .field("content_key", hex_key(RelationshipCache::content_key(*sdc)));
+  }
 }
 
 const MergeSession::CommitResult& MergeSession::commit() {
@@ -105,6 +154,15 @@ const MergeSession::CommitResult& MergeSession::commit() {
 
   CommitResult out;
   out.num_input_modes = n;
+
+  ++commit_seq_;
+  if (obs::Journal::enabled()) {
+    obs::JournalEvent ev("commit_begin");
+    ev.field("session", journal_id_)
+        .field("commit", commit_seq_)
+        .field("modes", static_cast<uint64_t>(n))
+        .field("dirty_modes", static_cast<uint64_t>(dirty_.size()));
+  }
 
   // Refresh relationship sets for modes that lost theirs (new or updated),
   // fanned over the pool like the batch build. Clean modes keep the
@@ -146,6 +204,35 @@ const MergeSession::CommitResult& MergeSession::commit() {
     const auto [i, j] = dirty_pairs[p];
     verdicts_[pair_key(modes_[i].id, modes_[j].id)] = std::move(fresh[p]);
   }
+  // One pair_verdict event per re-checked pair, emitted serially in pair
+  // index order from this thread — the journal's byte-stability across
+  // num_threads rests on keeping emission out of the parallel loop above.
+  // An endpoint is "fresh" when this commit (re-)extracted its relationship
+  // set (added/updated mode); the other endpoint was a cache carry-over.
+  if (obs::Journal::enabled()) {
+    for (size_t p = 0; p < dirty_pairs.size(); ++p) {
+      const auto [i, j] = dirty_pairs[p];
+      const PairVerdict& v = verdicts_.at(pair_key(modes_[i].id, modes_[j].id));
+      obs::JournalEvent ev("pair_verdict");
+      ev.field("session", journal_id_)
+          .field("commit", commit_seq_)
+          .field("a", journal_name(modes_[i].name, modes_[i].id))
+          .field("b", journal_name(modes_[j].name, modes_[j].id))
+          .field("a_id", modes_[i].id)
+          .field("b_id", modes_[j].id)
+          .field("a_rels_fresh", dirty_.count(modes_[i].id) != 0)
+          .field("b_rels_fresh", dirty_.count(modes_[j].id) != 0)
+          .field("mergeable", v.mergeable);
+      if (!v.mergeable) {
+        ev.field("category", v.category)
+            .field("subject", v.subject)
+            .field("reason", v.reason);
+        // Interned-path provenance only: the id depends on interning order
+        // across threads, so readers must not render it in stable output.
+        if (v.subject_key_id != 0) ev.field("key_id", v.subject_key_id);
+      }
+    }
+  }
   const size_t total_pairs = n < 2 ? 0 : n * (n - 1) / 2;
   out.pairs_rechecked = dirty_pairs.size();
   out.pairs_skipped_clean = total_pairs - dirty_pairs.size();
@@ -175,6 +262,7 @@ const MergeSession::CommitResult& MergeSession::commit() {
   // Merge dirty cliques; hand back the previous result for untouched ones.
   std::unordered_map<std::string, std::shared_ptr<ValidatedMergeResult>>
       next_results;
+  size_t clique_index = 0;
   for (const std::vector<size_t>& clique : out.cliques) {
     std::vector<ModeId> ids;
     std::string key;
@@ -188,8 +276,8 @@ const MergeSession::CommitResult& MergeSession::commit() {
     }
     std::shared_ptr<ValidatedMergeResult> result;
     auto prev = clique_results_.find(key);
-    const bool reuse =
-        !any_dirty && results_valid_ && prev != clique_results_.end();
+    const bool had_prev = results_valid_ && prev != clique_results_.end();
+    const bool reuse = !any_dirty && had_prev;
     if (reuse) {
       result = prev->second;
       ++out.cliques_reused;
@@ -201,10 +289,69 @@ const MergeSession::CommitResult& MergeSession::commit() {
           merge_modes(timing_graph_, members, *ctx_));
       ++out.cliques_merged;
     }
+    if (obs::Journal::enabled()) {
+      std::vector<std::string> names;
+      names.reserve(clique.size());
+      for (size_t pos : clique) {
+        names.push_back(journal_name(modes_[pos].name, modes_[pos].id));
+      }
+      // Each builder appends its line at end of scope; keep the scopes
+      // disjoint so the clique/refine/equivalence lines land in that order
+      // (seq is assigned at construction, the append at destruction).
+      {
+        obs::JournalEvent ev("clique");
+        ev.field("session", journal_id_)
+            .field("commit", commit_seq_)
+            .field("clique", static_cast<uint64_t>(clique_index))
+            .field("action",
+                   reuse ? "reused" : (had_prev ? "remerged" : "formed"));
+        ev.string_array("members", names);
+        ev.id_array("member_ids", ids);
+        // Bytes of the merged deck this clique (re)produced; reused cliques
+        // changed nothing, which is what the timeline wants to show.
+        ev.field("sdc_bytes",
+                 reuse ? uint64_t{0}
+                       : static_cast<uint64_t>(
+                             sdc::write_sdc(*result->merge.merged).size()));
+      }
+      if (!reuse) {
+        const MergeStats& s = result->merge.stats;
+        {
+          obs::JournalEvent rev("refine");
+          rev.field("session", journal_id_)
+              .field("commit", commit_seq_)
+              .field("clique", static_cast<uint64_t>(clique_index))
+              .field("inferred_disables", s.inferred_disables)
+              .field("clock_stops_added", s.clock_stops_added)
+              .field("data_clock_fps_added", s.data_clock_fps_added)
+              .field("pass0_pair_fixed", s.pass0_pair_fixed)
+              .field("pass1_mismatch_fixed", s.pass1_mismatch_fixed)
+              .field("pass1_ambiguous", s.pass1_ambiguous)
+              .field("pass2_mismatch_fixed", s.pass2_mismatch_fixed)
+              .field("pass2_ambiguous", s.pass2_ambiguous)
+              .field("pass3_pairs", s.pass3_pairs)
+              .field("pass3_fps_added", s.pass3_fps_added)
+              .field("unresolved_pessimism", s.unresolved_pessimism);
+        }
+        const EquivalenceReport& eq = result->equivalence;
+        obs::JournalEvent eev("equivalence");
+        eev.field("session", journal_id_)
+            .field("commit", commit_seq_)
+            .field("clique", static_cast<uint64_t>(clique_index))
+            .field("equivalent", eq.equivalent())
+            .field("signoff_safe", eq.signoff_safe())
+            .field("keys_compared", eq.keys_compared)
+            .field("matches", eq.matches)
+            .field("optimism_violations", eq.optimism_violations)
+            .field("pessimism_keys", eq.pessimism_keys)
+            .field("state_mismatches", eq.state_mismatches);
+      }
+    }
     next_results.emplace(std::move(key), result);
     out.merged.push_back(result);
     out.clique_ids.push_back(std::move(ids));
     out.reused.push_back(reuse);
+    ++clique_index;
   }
   clique_results_ = std::move(next_results);
   results_valid_ = true;
@@ -217,6 +364,20 @@ const MergeSession::CommitResult& MergeSession::commit() {
   ctx_->export_stats();
 
   out.total_seconds = timer.elapsed_seconds();
+  if (obs::Journal::enabled()) {
+    obs::JournalEvent ev("commit_end");
+    ev.field("session", journal_id_)
+        .field("commit", commit_seq_)
+        .field("modes", static_cast<uint64_t>(n))
+        .field("pairs_rechecked", out.pairs_rechecked)
+        .field("pairs_skipped_clean", out.pairs_skipped_clean)
+        .field("cliques", static_cast<uint64_t>(out.cliques.size()))
+        .field("cliques_merged", out.cliques_merged)
+        .field("cliques_reused", out.cliques_reused);
+  }
+  // A commit is a phase boundary: push everything buffered to the file so
+  // a crash or a reader mid-session sees whole segments.
+  obs::Journal::drain();
   last_ = std::move(out);
   return last_;
 }

@@ -38,6 +38,12 @@
 // Observability: each commit bumps session/* counters — modes_added,
 // modes_removed, modes_updated, commits, pairs_rechecked,
 // pairs_skipped_clean, cliques_dirty, cliques_reused (docs/OBSERVABILITY.md).
+// When the mm.journal/1 decision journal is open (obs/journal.h), every
+// delta, pair re-check verdict, clique-cover decision, refinement pass, and
+// equivalence outcome is appended as a structured event; commit() drains
+// the journal buffers once at the end (a phase boundary). All events are
+// emitted from the committing thread in deterministic order, so a journal
+// is byte-identical across num_threads values.
 
 #include <cstdint>
 #include <memory>
@@ -153,6 +159,11 @@ class MergeSession {
   const timing::TimingGraph& timing_graph_;
   std::unique_ptr<MergeContext> owned_ctx_;  // set iff constructed w/ options
   MergeContext* ctx_ = nullptr;
+
+  /// Process-unique id tying this session's journal events together, and
+  /// the 1-based commit counter scoping each journal segment.
+  uint64_t journal_id_ = 0;
+  uint64_t commit_seq_ = 0;
 
   ModeId next_id_ = 1;
   std::vector<Entry> modes_;  // live modes, insertion order

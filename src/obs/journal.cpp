@@ -1,0 +1,138 @@
+#include "obs/journal.h"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace mm::obs {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<uint64_t> g_seq{0};
+std::atomic<uint64_t> g_appended{0};
+
+// Per-thread line buffers, mirroring the obs/trace.cpp collector: each
+// buffer has its own mutex so drain() can read while the owning thread
+// appends; the append lock is uncontended on the hot path. Lines from
+// exited threads are retired into the collector.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<std::string> lines;
+};
+
+struct Collector {
+  std::mutex mutex;  // guards live/retired AND the sink file
+  std::vector<ThreadBuffer*> live;
+  std::vector<std::string> retired;
+  std::unique_ptr<std::ofstream> sink;
+};
+
+Collector& collector() {
+  static Collector* c = new Collector();  // never destroyed
+  return *c;
+}
+
+struct ThreadBufferOwner {
+  std::shared_ptr<ThreadBuffer> buf = std::make_shared<ThreadBuffer>();
+
+  ThreadBufferOwner() {
+    Collector& c = collector();
+    std::lock_guard<std::mutex> lock(c.mutex);
+    c.live.push_back(buf.get());
+  }
+  ~ThreadBufferOwner() {
+    Collector& c = collector();
+    std::lock_guard<std::mutex> lock(c.mutex);
+    c.live.erase(std::remove(c.live.begin(), c.live.end(), buf.get()),
+                 c.live.end());
+    std::lock_guard<std::mutex> block(buf->mutex);
+    for (std::string& line : buf->lines) c.retired.push_back(std::move(line));
+  }
+};
+
+ThreadBuffer& thread_buffer() {
+  thread_local ThreadBufferOwner owner;
+  return *owner.buf;
+}
+
+/// Write out everything buffered. Caller holds c.mutex.
+void drain_locked(Collector& c) {
+  if (!c.sink) {
+    c.retired.clear();
+    for (ThreadBuffer* b : c.live) {
+      std::lock_guard<std::mutex> block(b->mutex);
+      b->lines.clear();
+    }
+    return;
+  }
+  for (std::string& line : c.retired) *c.sink << line << '\n';
+  c.retired.clear();
+  for (ThreadBuffer* b : c.live) {
+    std::lock_guard<std::mutex> block(b->mutex);
+    for (const std::string& line : b->lines) *c.sink << line << '\n';
+    b->lines.clear();
+  }
+  c.sink->flush();
+}
+
+}  // namespace
+
+bool Journal::enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+bool Journal::open(const std::string& path) {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  auto sink = std::make_unique<std::ofstream>(path, std::ios::binary);
+  if (!*sink) return false;
+  // Discard events buffered while disabled or aimed at a previous file.
+  c.retired.clear();
+  for (ThreadBuffer* b : c.live) {
+    std::lock_guard<std::mutex> block(b->mutex);
+    b->lines.clear();
+  }
+  c.sink = std::move(sink);
+  JsonWriter w;
+  w.begin_object();
+  w.key("ev").value("header");
+  w.key("schema").value(kJournalSchema);
+  w.end_object();
+  *c.sink << w.str() << '\n';
+  c.sink->flush();
+  g_enabled.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void Journal::close() {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  g_enabled.store(false, std::memory_order_relaxed);
+  drain_locked(c);
+  c.sink.reset();
+}
+
+void Journal::drain() {
+  if (!enabled()) return;
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  drain_locked(c);
+}
+
+void Journal::append_line(std::string line) {
+  ThreadBuffer& b = thread_buffer();
+  std::lock_guard<std::mutex> lock(b.mutex);
+  b.lines.push_back(std::move(line));
+  g_appended.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t Journal::next_seq() {
+  return g_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+uint64_t Journal::events_appended() {
+  return g_appended.load(std::memory_order_relaxed);
+}
+
+}  // namespace mm::obs

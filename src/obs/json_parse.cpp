@@ -1,0 +1,241 @@
+#include "obs/json_parse.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace mm::obs {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+
+  [[noreturn]] void fail(const std::string& what) {
+    size_t n = std::min<size_t>(24, text_.size() - std::min(pos_, text_.size()));
+    std::string excerpt(text_.substr(std::min(pos_, text_.size()), n));
+    for (char& c : excerpt) {
+      if (c == '\n' || c == '\r' || c == '\t') c = ' ';
+    }
+    throw Error("JSON parse error at offset " + std::to_string(pos_) + ": " +
+                what + " near \"" + excerpt + "\"");
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    if (++depth_ > 64) fail("nesting too deep");
+    JsonValue v;
+    char c = peek();
+    switch (c) {
+      case '{':
+        v = parse_object();
+        break;
+      case '[':
+        v = parse_array();
+        break;
+      case '"':
+        v.kind = JsonValue::Kind::kString;
+        v.str_v = parse_string();
+        break;
+      case 't':
+        if (!consume_literal("true")) fail("invalid literal");
+        v.kind = JsonValue::Kind::kBool;
+        v.bool_v = true;
+        break;
+      case 'f':
+        if (!consume_literal("false")) fail("invalid literal");
+        v.kind = JsonValue::Kind::kBool;
+        v.bool_v = false;
+        break;
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        v.kind = JsonValue::Kind::kNull;
+        break;
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) {
+          v.kind = JsonValue::Kind::kNumber;
+          v.num_v = parse_number();
+        } else {
+          fail("unexpected character");
+        }
+    }
+    --depth_;
+    return v;
+  }
+
+  JsonValue parse_object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected string key");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.obj.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return v;
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.arr.push_back(parse_value());
+      skip_ws();
+      char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return v;
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          // Validate 4 hex digits; keep the escape verbatim (mm emitters
+          // only write ASCII, so decoding is never needed to round-trip).
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              fail("invalid \\u escape");
+            }
+          }
+          out.append("\\u");
+          out.append(text_.substr(pos_, 4));
+          pos_ += 4;
+          break;
+        }
+        default:
+          fail("invalid escape character");
+      }
+    }
+  }
+
+  double parse_number() {
+    size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (pos_ >= text_.size()) fail("truncated number");
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else if (text_[pos_] >= '1' && text_[pos_] <= '9') {
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    } else {
+      fail("invalid number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("invalid number fraction");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("invalid number exponent");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    std::string num(text_.substr(start, pos_ - start));
+    return std::strtod(num.c_str(), nullptr);
+  }
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace mm::obs

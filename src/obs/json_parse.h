@@ -1,0 +1,73 @@
+#pragma once
+// Minimal strict JSON parser — the read-side counterpart of obs/json.h.
+// Used by the journal reader (mm.journal/1 JSONL) and the mmreport profile
+// command (Chrome trace_event files). No external dependencies.
+//
+// Accepts exactly the JSON grammar (RFC 8259) minus surrogate-pair
+// decoding: \uXXXX escapes are validated and copied through verbatim as
+// "\uXXXX" text, which round-trips fine for the ASCII-only documents the
+// mm serializers emit. Numbers parse as double. Object key order is
+// preserved. Errors throw mm::Error with a byte offset and a short
+// excerpt, so malformed-journal failures are diagnosable.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace mm::obs {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_v = false;
+  double num_v = 0.0;
+  std::string str_v;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;  // insertion order
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  /// Typed accessors with defaults (journal fields are all optional to a
+  /// reader — missing means "emitter predates the field").
+  std::string str(std::string_view key, std::string def = "") const {
+    const JsonValue* v = find(key);
+    return v && v->kind == Kind::kString ? v->str_v : std::move(def);
+  }
+  double num(std::string_view key, double def = 0.0) const {
+    const JsonValue* v = find(key);
+    return v && v->kind == Kind::kNumber ? v->num_v : def;
+  }
+  uint64_t uint(std::string_view key, uint64_t def = 0) const {
+    const JsonValue* v = find(key);
+    return v && v->kind == Kind::kNumber ? static_cast<uint64_t>(v->num_v)
+                                         : def;
+  }
+  bool boolean(std::string_view key, bool def = false) const {
+    const JsonValue* v = find(key);
+    return v && v->kind == Kind::kBool ? v->bool_v : def;
+  }
+};
+
+/// Parse one complete JSON document. Throws mm::Error on any syntax error
+/// or trailing garbage.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace mm::obs

@@ -13,6 +13,7 @@
 // function-local statics (see obs.h macros) so the name lookup happens once
 // per site per process.
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstdint>
@@ -222,6 +223,36 @@ struct HistogramSnapshot {
   std::array<uint64_t, kNumHistBuckets> buckets{};
 
   double total_seconds() const { return static_cast<double>(sum_us) * 1e-6; }
+
+  /// Quantile estimate (q in [0,1]) from the log2-us buckets: find the
+  /// bucket holding the q-th sample and interpolate linearly inside its
+  /// [2^(b-1), 2^b) range. Resolution is the bucket width (a factor of 2),
+  /// clamped to the recorded min/max so p50 of a single value is exact.
+  uint64_t percentile_us(double q) const {
+    if (count == 0) return 0;
+    if (q < 0) q = 0;
+    if (q > 1) q = 1;
+    // Rank of the target sample, 1-based; q=1 maps to the last sample.
+    const uint64_t rank =
+        std::max<uint64_t>(1, static_cast<uint64_t>(q * count + 0.5));
+    uint64_t seen = 0;
+    for (size_t b = 0; b < kNumHistBuckets; ++b) {
+      if (buckets[b] == 0) continue;
+      if (seen + buckets[b] < rank) {
+        seen += buckets[b];
+        continue;
+      }
+      const uint64_t lo = b == 0 ? 0 : uint64_t{1} << (b - 1);
+      const uint64_t hi = uint64_t{1} << b;
+      const double frac =
+          static_cast<double>(rank - seen) / static_cast<double>(buckets[b]);
+      uint64_t v = lo + static_cast<uint64_t>(frac * (hi - lo));
+      if (v < min_us) v = min_us;
+      if (max_us > 0 && v > max_us) v = max_us;
+      return v;
+    }
+    return max_us;
+  }
 };
 
 /// Point-in-time aggregate of every registered metric, each section sorted

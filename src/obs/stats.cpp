@@ -78,6 +78,13 @@ std::string stats_json(const StatsMeta& meta) {
     w.key("total_seconds").value(h.total_seconds());
     w.key("min_seconds").value(static_cast<double>(h.min_us) * 1e-6);
     w.key("max_seconds").value(static_cast<double>(h.max_us) * 1e-6);
+    // Tail latency from the log2-us buckets (factor-of-2 resolution).
+    w.key("p50_seconds")
+        .value(static_cast<double>(h.percentile_us(0.50)) * 1e-6);
+    w.key("p95_seconds")
+        .value(static_cast<double>(h.percentile_us(0.95)) * 1e-6);
+    w.key("p99_seconds")
+        .value(static_cast<double>(h.percentile_us(0.99)) * 1e-6);
     // Hot spans (MM_SPAN_HOT) never sample RSS; omit the field rather
     // than report a bogus 0-byte peak.
     auto it = phase_rss.find(phase);
@@ -129,13 +136,20 @@ std::string profile_table() {
     std::string name;
     uint64_t calls;
     double seconds;
+    double p50;
+    double p95;
+    double p99;
   };
   std::vector<Row> rows;
   double max_seconds = 0.0;
   for (const HistogramSnapshot& h : snap.histograms) {
     if (!has_prefix(h.name, kPhasePrefix) || h.count == 0) continue;
-    Row r{h.name.substr(std::string(kPhasePrefix).size()), h.count,
-          h.total_seconds()};
+    Row r{h.name.substr(std::string(kPhasePrefix).size()),
+          h.count,
+          h.total_seconds(),
+          static_cast<double>(h.percentile_us(0.50)) * 1e-6,
+          static_cast<double>(h.percentile_us(0.95)) * 1e-6,
+          static_cast<double>(h.percentile_us(0.99)) * 1e-6};
     max_seconds = std::max(max_seconds, r.seconds);
     rows.push_back(std::move(r));
   }
@@ -143,17 +157,19 @@ std::string profile_table() {
             [](const Row& a, const Row& b) { return a.seconds > b.seconds; });
 
   std::ostringstream os;
-  char buf[160];
-  std::snprintf(buf, sizeof(buf), "%-36s %10s %12s  %s\n", "phase", "calls",
-                "total(s)", "share");
+  char buf[200];
+  std::snprintf(buf, sizeof(buf), "%-36s %10s %12s %9s %9s %9s  %s\n", "phase",
+                "calls", "total(s)", "p50(s)", "p95(s)", "p99(s)", "share");
   os << buf;
-  os << std::string(72, '-') << '\n';
+  os << std::string(102, '-') << '\n';
   for (const Row& r : rows) {
     const double share = max_seconds > 0 ? r.seconds / max_seconds : 0.0;
     const int bars = static_cast<int>(share * 20 + 0.5);
-    std::snprintf(buf, sizeof(buf), "%-36s %10llu %12.4f  %.*s\n",
+    std::snprintf(buf, sizeof(buf),
+                  "%-36s %10llu %12.4f %9.4f %9.4f %9.4f  %.*s\n",
                   r.name.c_str(), static_cast<unsigned long long>(r.calls),
-                  r.seconds, bars, "####################");
+                  r.seconds, r.p50, r.p95, r.p99, bars,
+                  "####################");
     os << buf;
   }
   return os.str();

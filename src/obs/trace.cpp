@@ -9,12 +9,21 @@
 #include <mutex>
 
 #include "obs/json.h"
+#include "obs/obs.h"
 #include "obs/stats.h"
+#include "util/logger.h"
 
 namespace mm::obs {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+// Per-thread buffer cap (see Trace::set_buffer_cap). A span event is ~64
+// bytes, so the default bounds each thread near 64 MiB on runaway sessions.
+constexpr size_t kDefaultBufferCap = 1u << 20;
+std::atomic<size_t> g_buffer_cap{kDefaultBufferCap};
+std::atomic<uint64_t> g_dropped{0};
+std::atomic<bool> g_drop_warned{false};
 
 Clock::time_point anchor() {
   static const Clock::time_point t0 = Clock::now();
@@ -73,6 +82,17 @@ ThreadBuffer& thread_buffer() {
 void append_event(const std::string& name, double ts_us, double dur_us) {
   ThreadBuffer& b = thread_buffer();
   std::lock_guard<std::mutex> lock(b.mutex);
+  if (b.events.size() >= g_buffer_cap.load(std::memory_order_relaxed)) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    MM_COUNT("obs/trace_events_dropped", 1);
+    if (!g_drop_warned.exchange(true, std::memory_order_relaxed)) {
+      MM_WARN(
+          "trace buffer cap (%zu events/thread) reached; further trace "
+          "events are dropped (phase histograms still record)",
+          g_buffer_cap.load(std::memory_order_relaxed));
+    }
+    return;
+  }
   b.events.push_back(TraceEvent{name, ts_us, dur_us, b.tid});
 }
 
@@ -103,6 +123,21 @@ void Trace::clear() {
     b->events.clear();
   }
   c.retired.clear();
+  g_dropped.store(0, std::memory_order_relaxed);
+  g_drop_warned.store(false, std::memory_order_relaxed);
+}
+
+size_t Trace::buffer_cap() {
+  return g_buffer_cap.load(std::memory_order_relaxed);
+}
+
+void Trace::set_buffer_cap(size_t cap) {
+  g_buffer_cap.store(cap == 0 ? kDefaultBufferCap : cap,
+                     std::memory_order_relaxed);
+}
+
+uint64_t Trace::events_dropped() {
+  return g_dropped.load(std::memory_order_relaxed);
 }
 
 std::vector<TraceEvent> Trace::collect() {

@@ -33,6 +33,14 @@ class Trace {
   static void set_enabled(bool on);
   /// Drop all buffered events (does not change enabled state).
   static void clear();
+  /// Per-thread buffer cap: once a thread holds this many events, further
+  /// spans on it are counted in obs/trace_events_dropped (with a one-shot
+  /// warning) instead of growing the buffer without bound on long
+  /// --trace-out sessions. clear() re-arms dropping and the warning.
+  static size_t buffer_cap();
+  static void set_buffer_cap(size_t cap);
+  /// Events dropped by the cap since the last clear().
+  static uint64_t events_dropped();
   /// Copy out all events recorded so far, sorted by (ts, tid).
   static std::vector<TraceEvent> collect();
   /// Chrome trace_event JSON ({"traceEvents":[...]}) of collect().

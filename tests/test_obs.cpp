@@ -195,6 +195,38 @@ TEST(Metrics, HistogramBuckets) {
   EXPECT_EQ(HistogramImpl::bucket_of(UINT64_MAX), kNumHistBuckets - 1);
 }
 
+TEST(Metrics, HistogramPercentilesFromBuckets) {
+  Histogram h = MetricsRegistry::global().histogram("test/obs/hist_pct");
+  // 100 samples spread over two buckets: 50 at 10 us, 50 at 1000 us.
+  for (int i = 0; i < 50; ++i) h.record_us(10);
+  for (int i = 0; i < 50; ++i) h.record_us(1000);
+  HistogramSnapshot snap;
+  for (const HistogramSnapshot& s : MetricsRegistry::global().snapshot().histograms) {
+    if (s.name == "test/obs/hist_pct") snap = s;
+  }
+  ASSERT_EQ(snap.count, 100u);
+  // p50 lands in the low bucket, p95/p99 in the high one; factor-of-2
+  // bucket resolution, clamped to the recorded min/max.
+  EXPECT_LE(snap.percentile_us(0.50), 16u);
+  EXPECT_GE(snap.percentile_us(0.50), 8u);
+  EXPECT_GT(snap.percentile_us(0.95), 500u);
+  EXPECT_LE(snap.percentile_us(0.95), 1000u);
+  EXPECT_LE(snap.percentile_us(0.99), 1000u);
+  EXPECT_EQ(snap.percentile_us(1.0), 1000u);  // clamped to max
+
+  // Degenerate cases: empty -> 0, single value -> exactly that value.
+  HistogramSnapshot empty;
+  EXPECT_EQ(empty.percentile_us(0.5), 0u);
+  Histogram one = MetricsRegistry::global().histogram("test/obs/hist_one");
+  one.record_us(77);
+  for (const HistogramSnapshot& s : MetricsRegistry::global().snapshot().histograms) {
+    if (s.name == "test/obs/hist_one") {
+      EXPECT_EQ(s.percentile_us(0.5), 77u);
+      EXPECT_EQ(s.percentile_us(0.99), 77u);
+    }
+  }
+}
+
 TEST(Metrics, GaugeSetAndMax) {
   Gauge g = MetricsRegistry::global().gauge("test/obs/gauge");
   g.set(10);
@@ -317,6 +349,36 @@ TEST(Trace, SpansUnderParallelForCarryThreadIds) {
   EXPECT_TRUE(JsonChecker(Trace::chrome_json()).valid());
 }
 
+TEST(Trace, BufferCapDropsEventsAndCounts) {
+  Trace::clear();
+  Trace::set_buffer_cap(8);
+  const uint64_t counter_before =
+      MetricsRegistry::global().counter("obs/trace_events_dropped").value();
+  const LogLevel prev = Logger::level();
+  Logger::set_level(LogLevel::kSilent);  // the one-shot warning stays quiet
+  Trace::set_enabled(true);
+  for (int i = 0; i < 100; ++i) {
+    TraceSpan s(std::string("cap/span"));
+  }
+  Trace::set_enabled(false);
+  Logger::set_level(prev);
+
+  EXPECT_EQ(Trace::events_dropped(), 92u);
+  EXPECT_EQ(Trace::collect().size(), 8u);
+  EXPECT_EQ(MetricsRegistry::global()
+                .counter("obs/trace_events_dropped")
+                .value() -
+                counter_before,
+            92u);
+
+  // clear() re-arms both the cap accounting and the one-shot warning.
+  Trace::clear();
+  EXPECT_EQ(Trace::events_dropped(), 0u);
+  EXPECT_EQ(Trace::buffer_cap(), 8u);
+  Trace::set_buffer_cap(0);  // restore the default for later tests
+  EXPECT_GT(Trace::buffer_cap(), 8u);
+}
+
 TEST(Stats, PhasesAndLogCountsInJson) {
   { TraceSpan s(std::string("statstest/phase")); }
   Logger::reset_counts();
@@ -334,6 +396,10 @@ TEST(Stats, PhasesAndLogCountsInJson) {
   EXPECT_TRUE(JsonChecker(json).valid()) << json;
   EXPECT_NE(json.find("\"schema\":\"mm.stats/1\""), std::string::npos);
   EXPECT_NE(json.find("\"statstest/phase\":{\"calls\":"), std::string::npos);
+  for (const char* key :
+       {"\"p50_seconds\":", "\"p95_seconds\":", "\"p99_seconds\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
   EXPECT_NE(json.find("\"warnings\":2"), std::string::npos);
   EXPECT_NE(json.find("\"run\":\"unit-test\""), std::string::npos);
   EXPECT_NE(json.find("\"peak_rss_bytes\":"), std::string::npos);
@@ -345,6 +411,9 @@ TEST(Stats, ProfileTableListsPhases) {
   const std::string table = profile_table();
   EXPECT_NE(table.find("profiletest/phase"), std::string::npos);
   EXPECT_NE(table.find("calls"), std::string::npos);
+  for (const char* col : {"p50(s)", "p95(s)", "p99(s)"}) {
+    EXPECT_NE(table.find(col), std::string::npos) << col;
+  }
 }
 
 TEST(Stats, PeakRssPositive) { EXPECT_GT(peak_rss_bytes(), 0); }

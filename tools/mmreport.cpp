@@ -1,0 +1,135 @@
+// mmreport — query mm observability artifacts offline.
+//
+//   mmreport explain --pair A B [--journal FILE]   why these modes (don't)
+//                                                  merge, commit by commit
+//   mmreport timeline [--journal FILE]             per-commit session history
+//   mmreport profile --trace FILE [--top N]        top-N self-time table from
+//                                                  a Chrome trace_event file
+//
+// The journal is the mm.journal/1 JSONL written by `modemerge --journal-out`
+// (default path: journal.jsonl); the trace is the --trace-out output. Exit
+// status: 0 on success, 1 on missing/malformed input or unknown mode names,
+// 2 on bad command-line usage — the same contract as modemerge.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/journal_reader.h"
+#include "util/error.h"
+
+namespace {
+
+constexpr const char* kVersion = "mmreport 1.0.0";
+
+void usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: mmreport explain --pair A B [--journal FILE.jsonl]\n"
+      "       mmreport timeline [--journal FILE.jsonl]\n"
+      "       mmreport profile --trace FILE.json [--top N]\n"
+      "\n"
+      "  explain    render the merge-decision chain for one mode pair:\n"
+      "             every re-check verdict with first-conflict provenance\n"
+      "             (category, subject, reason) and clique placement\n"
+      "  timeline   per-commit history: deltas -> pairs rechecked ->\n"
+      "             cliques dirtied -> merged-SDC bytes rewritten\n"
+      "  profile    aggregate Chrome trace spans into a self-time table\n"
+      "\n"
+      "  --journal FILE   mm.journal/1 file (default journal.jsonl)\n"
+      "  --trace FILE     Chrome trace_event file (--trace-out output)\n"
+      "  --pair A B       the two mode names to explain\n"
+      "  --top N          rows in the profile table (default 20)\n"
+      "  --help, -h       this help (exit 0)\n"
+      "  --version        print version (exit 0)\n");
+}
+
+[[noreturn]] void bad_usage(const char* msg) {
+  std::fprintf(stderr, "mmreport: %s\n", msg);
+  usage(stderr);
+  std::exit(2);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw mm::Error("cannot open: " + path);
+  std::ostringstream os;
+  os << file.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string command;
+  std::string journal_path = "journal.jsonl";
+  std::string trace_path;
+  std::string pair_a, pair_b;
+  size_t top_k = 20;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) bad_usage((arg + " requires a value").c_str());
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    } else if (arg == "--version") {
+      std::printf("%s\n", kVersion);
+      return 0;
+    } else if (arg == "--journal") {
+      journal_path = value();
+    } else if (arg == "--trace") {
+      trace_path = value();
+    } else if (arg == "--top") {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(value(), &end, 10);
+      if (end == nullptr || *end != '\0' || v == 0) {
+        bad_usage("--top expects a positive integer");
+      }
+      top_k = static_cast<size_t>(v);
+    } else if (arg == "--pair") {
+      if (i + 2 >= argc) bad_usage("--pair requires two mode names");
+      pair_a = argv[++i];
+      pair_b = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      bad_usage(("unknown option: " + arg).c_str());
+    } else if (command.empty()) {
+      command = arg;
+    } else {
+      bad_usage(("unexpected argument: " + arg).c_str());
+    }
+  }
+
+  if (command.empty()) bad_usage("missing command");
+
+  try {
+    if (command == "explain") {
+      if (pair_a.empty() || pair_b.empty()) {
+        bad_usage("explain requires --pair A B");
+      }
+      const mm::obs::JournalData journal = mm::obs::read_journal(journal_path);
+      std::fputs(mm::obs::explain_pair(journal, pair_a, pair_b).c_str(),
+                 stdout);
+    } else if (command == "timeline") {
+      const mm::obs::JournalData journal = mm::obs::read_journal(journal_path);
+      std::fputs(mm::obs::render_timeline(journal).c_str(), stdout);
+    } else if (command == "profile") {
+      if (trace_path.empty()) bad_usage("profile requires --trace FILE");
+      std::fputs(
+          mm::obs::profile_report(read_file(trace_path), top_k).c_str(),
+          stdout);
+    } else {
+      bad_usage(("unknown command: " + command).c_str());
+    }
+  } catch (const mm::Error& e) {
+    std::fprintf(stderr, "mmreport: error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -20,6 +20,7 @@
 
 #include "fuzz/corpus.h"
 #include "fuzz/fuzz.h"
+#include "obs/journal.h"
 #include "obs/obs.h"
 #include "util/error.h"
 #include "util/logger.h"
@@ -63,6 +64,8 @@ void usage(std::FILE* to) {
       "\n"
       "observability:\n"
       "  --stats-out FILE     write machine-readable run stats JSON\n"
+      "  --journal-out FILE   write the mm.journal/1 decision journal for the\n"
+      "                       whole run (per-repro journals are skipped)\n"
       "  --verbose            log at info level\n"
       "  --help, -h           this help (exit 0)\n");
 }
@@ -113,6 +116,7 @@ int main(int argc, char** argv) {
   fuzz::FuzzOptions opt;
   std::string replay_dir;
   std::string stats_out;
+  std::string journal_out;
   uint64_t case_seed = 0;
   bool have_case_seed = false;
 
@@ -157,6 +161,7 @@ int main(int argc, char** argv) {
       have_case_seed = true;
     } else if (arg == "--replay") replay_dir = value();
     else if (arg == "--stats-out") stats_out = value();
+    else if (arg == "--journal-out") journal_out = value();
     else if (arg == "--verbose") Logger::set_level(LogLevel::kInfo);
     else if (arg == "--help" || arg == "-h") {
       usage(stdout);
@@ -168,9 +173,23 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!journal_out.empty() && !obs::Journal::open(journal_out)) {
+    std::fprintf(stderr, "error: cannot write %s\n", journal_out.c_str());
+    return 1;
+  }
+
   obs::StatsMeta meta;
   meta.strings["tool"] = "modemerge_fuzz";
+  // Runs on every exit path (including caught errors) so failed runs keep
+  // their decision trail.
   auto emit_stats = [&]() {
+    if (!journal_out.empty()) {
+      obs::Journal::close();
+      std::fprintf(stderr, "wrote journal to %s (%llu events)\n",
+                   journal_out.c_str(),
+                   static_cast<unsigned long long>(
+                       obs::Journal::events_appended()));
+    }
     if (stats_out.empty()) return;
     if (obs::write_stats_json(stats_out, meta)) {
       std::fprintf(stderr, "wrote stats to %s\n", stats_out.c_str());

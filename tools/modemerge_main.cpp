@@ -40,6 +40,7 @@
 #include "merge/session.h"
 #include "netlist/liberty.h"
 #include "netlist/verilog.h"
+#include "obs/journal.h"
 #include "obs/obs.h"
 #include "sdc/parser.h"
 #include "sdc/writer.h"
@@ -95,6 +96,9 @@ void usage(std::FILE* to) {
       "                       stats (replay handle for fuzz/triage workflows)\n"
       "  --stats-out FILE     write machine-readable run stats JSON\n"
       "  --trace-out FILE     write Chrome trace_event JSON (chrome://tracing)\n"
+      "  --journal-out FILE   write the mm.journal/1 merge decision journal\n"
+      "                       (JSONL; query with mmreport explain/timeline);\n"
+      "                       with --script, one segment per commit\n"
       "  --profile            print the per-phase wall-time table at exit\n"
       "  --verbose            log at info level\n"
       "  --log-timestamps     prefix log lines with wall clock + thread id\n"
@@ -271,6 +275,7 @@ int main(int argc, char** argv) {
   std::string out_dir = ".";
   std::string stats_out;
   std::string trace_out;
+  std::string journal_out;
   bool profile_flag = false;
   merge::MergeOptions options;
   bool run_sta_flag = false;
@@ -308,6 +313,7 @@ int main(int argc, char** argv) {
       seed = static_cast<uint64_t>(parse_size_arg("--seed", value()));
     else if (arg == "--stats-out") stats_out = value();
     else if (arg == "--trace-out") trace_out = value();
+    else if (arg == "--journal-out") journal_out = value();
     else if (arg == "--profile") profile_flag = true;
     else if (arg == "--verbose") Logger::set_level(LogLevel::kInfo);
     else if (arg == "--log-timestamps")
@@ -330,6 +336,10 @@ int main(int argc, char** argv) {
   }
 
   if (!trace_out.empty()) obs::Trace::set_enabled(true);
+  if (!journal_out.empty() && !obs::Journal::open(journal_out)) {
+    std::fprintf(stderr, "error: cannot write %s\n", journal_out.c_str());
+    return 1;
+  }
 
   std::printf("seed: %llu\n", static_cast<unsigned long long>(seed));
 
@@ -344,6 +354,15 @@ int main(int argc, char** argv) {
   // Returns false if a requested artifact could not be written.
   auto emit_observability = [&]() {
     bool ok = true;
+    if (!journal_out.empty()) {
+      // Flushes every buffered event — the error path keeps its decision
+      // trail up to the point of failure.
+      obs::Journal::close();
+      std::fprintf(stderr, "wrote journal to %s (%llu events)\n",
+                   journal_out.c_str(),
+                   static_cast<unsigned long long>(
+                       obs::Journal::events_appended()));
+    }
     if (!stats_out.empty()) {
       if (obs::write_stats_json(stats_out, meta)) {
         std::fprintf(stderr, "wrote stats to %s\n", stats_out.c_str());
