@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Fail on broken relative links in README.md and docs/*.md.
+"""Fail on broken relative links in the top-level markdown docs and docs/*.md.
 
 Usage: check_links.py [repo_root]
 
@@ -37,7 +37,9 @@ def check_file(md: Path, root: Path) -> list[str]:
 
 def main() -> int:
     root = Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
-    files = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+    files = [root / name for name in
+             ("README.md", "DESIGN.md", "EXPERIMENTS.md")]
+    files += sorted((root / "docs").glob("*.md"))
     errors = []
     checked = 0
     for md in files:

@@ -32,9 +32,17 @@ struct EquivalenceReport {
 /// timing-relationship granularity (per endpoint, launch, capture). With
 /// `startpoint_level` the comparison runs per (startpoint, endpoint, ...)
 /// instead — slower, finer.
+///
+/// `use_batched_sta` (the default) propagates the whole clique — every
+/// member mode plus the merged deck — as lanes of one batched levelized
+/// graph walk (timing/sta_batch.h). `false` runs the serial per-mode
+/// engine, kept as the byte-parity reference (same discipline as
+/// MergeOptions::use_interned_keys); report counters are identical either
+/// way, only `examples` ordering may differ.
 EquivalenceReport check_equivalence(const RefineContext& ctx,
                                     const Sdc& merged, const ClockMap& map,
                                     bool startpoint_level = false,
-                                    size_t num_threads = 0);
+                                    size_t num_threads = 0,
+                                    bool use_batched_sta = true);
 
 }  // namespace mm::merge

@@ -344,7 +344,12 @@ const MergeSession::CommitResult& MergeSession::commit() {
             .field("matches", eq.matches)
             .field("optimism_violations", eq.optimism_violations)
             .field("pessimism_keys", eq.pessimism_keys)
-            .field("state_mismatches", eq.state_mismatches);
+            .field("state_mismatches", eq.state_mismatches)
+            // Wall-clock of the clique's batched validation walk; rounded
+            // to whole ms (renderers ignore it — it is for jq-level
+            // profiling of commit cost, see docs/OBSERVABILITY.md).
+            .field("validate_ms",
+                   static_cast<uint64_t>(s.validate_seconds * 1000.0));
       }
     }
     next_results.emplace(std::move(key), result);

@@ -56,6 +56,12 @@ struct MergeOptions {
   /// the string-keyed reference path (--no-key-intern), kept for one release
   /// as the parity baseline; both paths produce byte-identical output.
   bool use_interned_keys = true;
+  /// Validate cliques through the batched level-parallel STA engine
+  /// (timing/sta_batch.h): all member modes + the merged deck propagate as
+  /// lanes of one levelized graph walk. Off = one serial propagation per
+  /// mode (--no-batched-sta), kept as the byte-parity reference — both
+  /// paths produce identical reports and merged output.
+  bool use_batched_sta = true;
   /// Run §3.2 refinement (clock + data + 3-pass). Disabling yields the
   /// preliminary merged mode only — used by benchmarks and ablations.
   bool run_refinement = true;

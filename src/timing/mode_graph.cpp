@@ -251,6 +251,13 @@ void ModeGraph::find_active_points() {
 
 std::vector<ClockArrival> ModeGraph::capture_clocks_at(PinId endpoint) const {
   std::vector<ClockArrival> out;
+  capture_clocks_at(endpoint, out);
+  return out;
+}
+
+void ModeGraph::capture_clocks_at(PinId endpoint,
+                                  std::vector<ClockArrival>& out) const {
+  out.clear();
   const Design& d = graph_->design();
   if (d.pin(endpoint).is_port()) {
     // Output port: capture clocks come from set_output_delay -clock.
@@ -260,7 +267,7 @@ std::vector<ClockArrival> ModeGraph::capture_clocks_at(PinId endpoint) const {
       for (const ClockArrival& ca : out) seen |= (ca.clock == pd.clock);
       if (!seen) out.push_back({pd.clock, 0.0});
     }
-    return out;
+    return;
   }
   for (uint32_t ci : graph_->checks_at(endpoint)) {
     const Check& check = graph_->checks()[ci];
@@ -270,7 +277,6 @@ std::vector<ClockArrival> ModeGraph::capture_clocks_at(PinId endpoint) const {
       if (!seen) out.push_back(ca);
     }
   }
-  return out;
 }
 
 double ModeGraph::source_latency(ClockId clock) const {

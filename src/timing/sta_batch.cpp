@@ -1,0 +1,854 @@
+#include "timing/sta_batch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "obs/obs.h"
+#include "util/logger.h"
+
+namespace mm::timing {
+
+namespace {
+
+// Clock-relation math identical to the serial Propagator (relationships.cpp);
+// shared here as free functions of the lane's Sdc.
+
+double setup_relation(const Sdc& sdc, ClockId launch, ClockId capture,
+                      double mcp_mult) {
+  constexpr double kEps = 1e-9;
+  const sdc::Clock& cap = sdc.clock(capture);
+  const double cap_edge = cap.waveform.empty() ? 0.0 : cap.waveform[0];
+  double launch_edge = 0.0;
+  if (launch.valid()) {
+    const sdc::Clock& l = sdc.clock(launch);
+    launch_edge = l.waveform.empty() ? 0.0 : l.waveform[0];
+  }
+  double k = std::floor((launch_edge - cap_edge) / cap.period + kEps) + 1.0;
+  if (k < 0) k = std::ceil(-(cap_edge - launch_edge) / cap.period);
+  double tc = cap_edge + k * cap.period;
+  if (tc <= launch_edge + kEps) tc += cap.period;
+  if (mcp_mult > 1.0) tc += (mcp_mult - 1.0) * cap.period;
+  return tc - launch_edge;
+}
+
+double hold_relation(const Sdc& sdc, ClockId launch, ClockId capture,
+                     double mcp_shift) {
+  constexpr double kEps = 1e-9;
+  const sdc::Clock& cap = sdc.clock(capture);
+  const double cap_edge = cap.waveform.empty() ? 0.0 : cap.waveform[0];
+  double launch_edge = 0.0;
+  if (launch.valid()) {
+    const sdc::Clock& l = sdc.clock(launch);
+    launch_edge = l.waveform.empty() ? 0.0 : l.waveform[0];
+  }
+  const double k = std::floor((launch_edge - cap_edge) / cap.period + kEps);
+  double tc = cap_edge + k * cap.period;
+  if (mcp_shift > 0.0) tc -= mcp_shift * cap.period;
+  return tc - launch_edge;
+}
+
+/// The tracked-exception *shape* of one lane: for every tracked slot in
+/// order, the ordered list of its -through pin sets (each sorted). Lanes
+/// with equal signatures run identical progress machinery — same slot
+/// layout, same advancement at every pin — so their tags can share one
+/// progress table and one mask. -from pins/clocks are deliberately NOT part
+/// of the signature: they only act at seed time (initial_progress, computed
+/// per lane) and at endpoint resolution (per lane), never during the walk.
+using TrackedSignature = std::vector<std::vector<std::vector<uint32_t>>>;
+
+TrackedSignature tracked_signature(const CompiledExceptions& exc) {
+  TrackedSignature sig;
+  for (const CompiledException& e : exc.all()) {
+    if (!e.tracked) continue;
+    MM_ASSERT_MSG(e.track_slot == sig.size(), "track slots not in order");
+    std::vector<std::vector<uint32_t>> sets;
+    sets.reserve(e.throughs.size());
+    for (const auto& t : e.throughs) {
+      std::vector<uint32_t> pins(t.begin(), t.end());
+      std::sort(pins.begin(), pins.end());
+      sets.push_back(std::move(pins));
+    }
+    sig.push_back(std::move(sets));
+  }
+  return sig;
+}
+
+}  // namespace
+
+BatchPropagator::BatchPropagator(const TimingGraph& graph,
+                                 std::vector<StaLane> lanes)
+    : graph_(&graph), lanes_(std::move(lanes)) {
+  MM_ASSERT_MSG(!lanes_.empty() && lanes_.size() <= kMaxBatchLanes,
+                "lane count out of range");
+  for (const StaLane& lane : lanes_) {
+    MM_ASSERT_MSG(lane.mode && lane.exceptions, "lane missing mode/exceptions");
+    MM_ASSERT_MSG(&lane.mode->graph() == graph_, "lane built on another graph");
+  }
+  slots_.resize(graph_->num_nodes());
+  results_.resize(lanes_.size());
+  lane_result_.resize(lanes_.size());
+  for (size_t l = 0; l < lanes_.size(); ++l) {
+    lane_result_[l] = static_cast<uint32_t>(l);
+  }
+  build_classes();
+  build_arc_groups();
+}
+
+BatchPropagator::~BatchPropagator() = default;
+
+void BatchPropagator::build_classes() {
+  lane_class_.resize(lanes_.size());
+  std::vector<TrackedSignature> sigs;
+  for (size_t l = 0; l < lanes_.size(); ++l) {
+    TrackedSignature sig = tracked_signature(*lanes_[l].exceptions);
+    size_t cls = sigs.size();
+    for (size_t c = 0; c < sigs.size(); ++c) {
+      if (sigs[c] == sig) {
+        cls = c;
+        break;
+      }
+    }
+    if (cls == sigs.size()) {
+      sigs.push_back(std::move(sig));
+      auto ec = std::make_unique<ExceptionClass>();
+      ec->rep = lanes_[l].exceptions;
+      ec->num_tracked = lanes_[l].exceptions->num_tracked();
+      ec->table = std::make_unique<ProgressTable>(ec->num_tracked);
+      classes_.push_back(std::move(ec));
+    }
+    lane_class_[l] = static_cast<uint16_t>(cls);
+  }
+}
+
+void BatchPropagator::build_arc_groups() {
+  const size_t num_arcs = graph_->num_arcs();
+  arc_group_begin_.assign(num_arcs + 1, 0);
+  arc_groups_.reserve(num_arcs);
+  std::vector<ArcGroup> local;
+  for (size_t ai = 0; ai < num_arcs; ++ai) {
+    const ArcId aid(ai);
+    const Arc& arc = graph_->arc(aid);
+    const double closed =
+        arc.kind == ArcKind::kNet
+            ? arc.intrinsic
+            : arc.intrinsic + arc.resistance * graph_->load_on(arc.to);
+    local.clear();
+    for (size_t l = 0; l < lanes_.size(); ++l) {
+      if (!lanes_[l].mode->arc_enabled(aid)) continue;
+      const double d =
+          lanes_[l].arc_delays ? (*lanes_[l].arc_delays)[ai] : closed;
+      const double dm =
+          lanes_[l].arc_delays_min ? (*lanes_[l].arc_delays_min)[ai] : d;
+      bool placed = false;
+      for (ArcGroup& g : local) {
+        if (g.delay == d && g.delay_min == dm) {
+          g.mask.set(l);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        ArcGroup g;
+        g.mask.set(l);
+        g.delay = d;
+        g.delay_min = dm;
+        local.push_back(g);
+      }
+    }
+    arc_group_begin_[ai] = static_cast<uint32_t>(arc_groups_.size());
+    arc_groups_.insert(arc_groups_.end(), local.begin(), local.end());
+  }
+  arc_group_begin_[num_arcs] = static_cast<uint32_t>(arc_groups_.size());
+}
+
+void BatchPropagator::run(const BatchOptions& options) {
+  MM_ASSERT_MSG(!ran_, "BatchPropagator::run is single-shot");
+  ran_ = true;
+  track_startpoints_ = options.track_startpoints;
+
+  MM_SPAN_HOT("sta/batch_propagation");
+
+  // Seeds first (serial; the per-lane singleton masks coalesce on their own
+  // wherever lanes agree), then the level-major walk, then per-lane
+  // resolution off the settled shared slots.
+  {
+    MM_SPAN_HOT("sta/batch_seed");
+    for (size_t l = 0; l < lanes_.size(); ++l) seed_lane(l, options);
+  }
+
+  size_t nodes_propagated = 0;
+  {
+    MM_SPAN_HOT("sta/batch_walk");
+    for (const std::vector<PinId>& level : graph_->levels()) {
+      if (options.pool && level.size() > 1) {
+        options.pool->parallel_for(level.size(), options.min_grain,
+                                   [&](size_t i) { pull_node(level[i]); });
+      } else {
+        for (PinId pin : level) pull_node(pin);
+      }
+      for (PinId pin : level) {
+        if (!slots_[pin.index()].empty()) ++nodes_propagated;
+      }
+    }
+  }
+
+  {
+    MM_SPAN_HOT("sta/batch_resolve");
+    // Per-lane slack output (arrivals or tracked startpoints) needs one map
+    // per lane; the validation configuration resolves per resolution block.
+    if (options.track_startpoints || options.compute_arrivals) {
+      if (options.pool && lanes_.size() > 1) {
+        options.pool->parallel_for(lanes_.size(),
+                                   [&](size_t l) { resolve_lane(l, options); });
+      } else {
+        for (size_t l = 0; l < lanes_.size(); ++l) resolve_lane(l, options);
+      }
+    } else {
+      resolve_shared(options);
+    }
+  }
+
+  if (options.compute_arrivals) fill_soa_lanes(options);
+
+  stat_groups_ = 0;
+  stat_lane_tags_ = 0;
+  for (const auto& slot : slots_) {
+    stat_groups_ += slot.size();
+    for (const BTag& t : slot) stat_lane_tags_ += t.mask.count();
+  }
+  MM_COUNT("sta/levels", graph_->num_levels());
+  MM_COUNT("sta/lanes", lanes_.size());
+  MM_COUNT("sta/nodes_propagated", nodes_propagated);
+  MM_COUNT("sta/tag_groups", stat_groups_);
+  MM_COUNT("sta/lane_tags", stat_lane_tags_);
+  MM_COUNT("sta/resolution_blocks", results_.size());
+  MM_COUNT("sta/batch_propagations", 1);
+}
+
+void BatchPropagator::seed_lane(size_t lane, const BatchOptions& options) {
+  const StaLane& ln = lanes_[lane];
+  const ModeGraph& mode = *ln.mode;
+  const Sdc& sdc = mode.sdc();
+  const netlist::Design& d = graph_->design();
+  const uint16_t cls = lane_class_[lane];
+  ProgressTable& table = *classes_[cls]->table;
+  LaneMask mask;
+  mask.set(lane);
+
+  // Pins anchored by a tracked exception (-from pins or any -through set).
+  // A startpoint outside this set gets a progress vector that depends only
+  // on the launch clock, so its interned id is cached per clock instead of
+  // recomputed per (startpoint, clock).
+  std::unordered_set<uint32_t> anchored;
+  for (const CompiledException& e : ln.exceptions->all()) {
+    if (!e.tracked) continue;
+    for (uint32_t p : e.from_pins) anchored.insert(p);
+    for (const auto& t : e.throughs) anchored.insert(t.begin(), t.end());
+  }
+  std::vector<std::pair<ClockId, uint32_t>> base;
+  auto seed_progress = [&](PinId sp, ClockId clock) -> uint32_t {
+    if (anchored.count(sp.value())) {
+      return table.intern(ln.exceptions->initial_progress(sp, clock));
+    }
+    for (const auto& [c, id] : base) {
+      if (c == clock) return id;
+    }
+    const uint32_t id = table.intern(ln.exceptions->initial_progress(sp, clock));
+    base.emplace_back(clock, id);
+    return id;
+  };
+
+  for (PinId sp : mode.active_startpoints()) {
+    const PinId tracked_sp = options.track_startpoints ? sp : PinId();
+    if (d.pin(sp).is_port()) {
+      // Input port: one tag per set_input_delay entry.
+      for (const sdc::PortDelay& pd : sdc.port_delays()) {
+        if (!pd.is_input || pd.port_pin != sp) continue;
+        double edge = 0.0;
+        if (pd.clock.valid()) {
+          const sdc::Clock& c = sdc.clock(pd.clock);
+          edge = pd.clock_fall && c.waveform.size() > 1 ? c.waveform[1]
+                 : c.waveform.empty()                   ? 0.0
+                                                        : c.waveform[0];
+        }
+        const float arrival = static_cast<float>(edge + pd.value);
+        const uint32_t prog = seed_progress(sp, pd.clock);
+        insert(slots_[sp.index()], cls, pd.clock, tracked_sp, prog, arrival,
+               arrival, mask);
+      }
+      continue;
+    }
+
+    // Register clock pin: one tag per arriving clock.
+    for (const ClockArrival& ca : mode.clocks_on(sp)) {
+      const sdc::Clock& clock = sdc.clock(ca.clock);
+      const double latency =
+          mode.source_latency(ca.clock) +
+          (clock.propagated ? ca.latency : mode.ideal_network_latency(ca.clock));
+      const double edge = clock.waveform.empty() ? 0.0 : clock.waveform[0];
+      const float arrival = static_cast<float>(latency + edge);
+      const uint32_t prog = seed_progress(sp, ca.clock);
+      insert(slots_[sp.index()], cls, ca.clock, tracked_sp, prog, arrival,
+             arrival, mask);
+    }
+  }
+}
+
+uint32_t BatchPropagator::advance_progress(uint16_t cls, uint32_t progress,
+                                           PinId node) {
+  ExceptionClass& ec = *classes_[cls];
+  if (ec.num_tracked == 0) return progress;
+  if (ec.rep->throughs_at(node).empty()) return progress;
+  std::lock_guard<std::mutex> lock(ec.mutex);
+  std::vector<uint8_t> vec = ec.table->get(progress);
+  if (ec.rep->advance(vec, node)) return ec.table->intern(vec);
+  return progress;
+}
+
+void BatchPropagator::pull_node(PinId node) {
+  std::vector<BTag>& slot = slots_[node.index()];
+  for (ArcId aid : graph_->fanin(node)) {
+    const uint32_t gb = arc_group_begin_[aid.index()];
+    const uint32_t ge = arc_group_begin_[aid.index() + 1];
+    if (gb == ge) continue;  // arc enabled in no lane
+    const Arc& arc = graph_->arc(aid);
+    // Register CP pins carry tags only into their launch arcs (the clock
+    // becomes data at Q) — mode-independent, precomputed on the graph.
+    if (graph_->has_launch_fanout(arc.from) && arc.kind != ArcKind::kLaunch)
+      continue;
+    const std::vector<BTag>& src = slots_[arc.from.index()];
+    // `src` is settled: arc.from sits on a strictly lower level, finished
+    // before this level's barrier. Only `slot` (our own) is written here.
+    for (const BTag& tag : src) {
+      for (uint32_t gi = gb; gi < ge; ++gi) {
+        const ArcGroup& g = arc_groups_[gi];
+        const LaneMask m = tag.mask & g.mask;
+        if (!m.any()) continue;
+        const uint32_t prog = advance_progress(tag.cls, tag.progress, node);
+        insert(slot, tag.cls, tag.launch, tag.startpoint, prog,
+               tag.amin + static_cast<float>(g.delay_min),
+               tag.amax + static_cast<float>(g.delay), m);
+      }
+    }
+  }
+}
+
+void BatchPropagator::insert(std::vector<BTag>& slot, uint16_t cls,
+                             sdc::ClockId launch, PinId startpoint,
+                             uint32_t progress, float amin, float amax,
+                             LaneMask mask) {
+  // Per-lane this must behave exactly like the serial insert_tag: each lane
+  // of `mask` min/max-merges into its (cls, launch, progress, startpoint)
+  // entry, or starts one. The invariant is that a lane sits in at most one
+  // entry per key, so entries *split* when only part of their lanes absorb
+  // a new arrival window, and split-off / unmatched pieces *coalesce* with
+  // any entry holding bit-identical windows.
+  struct Piece {
+    LaneMask mask;
+    float amin;
+    float amax;
+  };
+  Piece pending[kMaxBatchLanes + 1];  // <=1 piece per overlapped entry + rest
+  size_t num_pending = 0;
+  LaneMask remaining = mask;
+
+  const size_t existing = slot.size();
+  for (size_t i = 0; i < existing && remaining.any(); ++i) {
+    BTag& e = slot[i];
+    if (e.cls != cls || e.launch != launch || e.progress != progress ||
+        e.startpoint != startpoint) {
+      continue;
+    }
+    const LaneMask ov = e.mask & remaining;
+    if (!ov.any()) continue;
+    const float namin = std::min(e.amin, amin);
+    const float namax = std::max(e.amax, amax);
+    if (namin == e.amin && namax == e.amax) {
+      // Entry already covers the new window: overlap lanes are done.
+    } else if (ov == e.mask) {
+      // Every lane of the entry takes the merged window: update in place.
+      e.amin = namin;
+      e.amax = namax;
+    } else {
+      // Only some of the entry's lanes merge: they leave the entry and
+      // re-home into an entry with exactly the merged window.
+      e.mask &= ~ov;
+      pending[num_pending++] = {ov, namin, namax};
+    }
+    remaining &= ~ov;
+  }
+  if (remaining.any()) pending[num_pending++] = {remaining, amin, amax};
+
+  for (size_t p = 0; p < num_pending; ++p) {
+    const Piece& piece = pending[p];
+    bool placed = false;
+    for (size_t i = 0; i < slot.size(); ++i) {
+      BTag& e = slot[i];
+      if (e.cls == cls && e.launch == launch && e.progress == progress &&
+          e.startpoint == startpoint && e.amin == piece.amin &&
+          e.amax == piece.amax) {
+        e.mask |= piece.mask;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      BTag t;
+      t.launch = launch;
+      t.startpoint = startpoint;
+      t.progress = progress;
+      t.cls = cls;
+      t.amin = piece.amin;
+      t.amax = piece.amax;
+      t.mask = piece.mask;
+      slot.push_back(t);
+    }
+  }
+}
+
+void BatchPropagator::resolve_lane(size_t lane, const BatchOptions& options) {
+  // Verbatim port of the serial resolve_endpoint, reading this lane's tags
+  // out of the shared slots (entries whose mask has our bit). The class
+  // progress tables are frozen after the walk, so get() is lock-free here.
+  const StaLane& ln = lanes_[lane];
+  const ModeGraph& mode = *ln.mode;
+  const Sdc& sdc = mode.sdc();
+  const netlist::Design& d = graph_->design();
+  const ProgressTable& table = *classes_[lane_class_[lane]]->table;
+  RelationMap& relations = results_[lane];
+
+  // Per-(endpoint, capture) resolution memo: split arrival windows leave
+  // several slot entries with the same (progress, launch), which resolve to
+  // the same state pair — one exception scan covers them all.
+  struct Resolved {
+    uint32_t progress;
+    sdc::ClockId launch;
+    PathState setup;
+    PathState hold;
+  };
+  std::vector<const BTag*> own;
+  std::vector<Resolved> memo;
+  std::vector<ClockArrival> captures;
+  relations.reserve(mode.active_endpoints().size());
+
+  // Capture-side clock constants are linear scans of the mode's sdc lists;
+  // hoist them out of the endpoint loop (one lookup per clock per lane).
+  const size_t num_clocks = sdc.num_clocks();
+  std::vector<double> src_lat(num_clocks), ideal_lat(num_clocks),
+      setup_unc(num_clocks), hold_unc_of(num_clocks);
+  for (size_t c = 0; c < num_clocks; ++c) {
+    const ClockId id(static_cast<uint32_t>(c));
+    src_lat[c] = mode.source_latency(id);
+    ideal_lat[c] = mode.ideal_network_latency(id);
+    setup_unc[c] = mode.uncertainty(id);
+    hold_unc_of[c] = mode.hold_uncertainty(id);
+  }
+
+  for (PinId endpoint : mode.active_endpoints()) {
+    const std::vector<BTag>& slot = slots_[endpoint.index()];
+    if (slot.empty()) continue;
+    own.clear();
+    for (const BTag& tag : slot) {
+      if (tag.mask.test(lane)) own.push_back(&tag);
+    }
+    if (own.empty()) continue;
+
+    const bool is_port = d.pin(endpoint).is_port();
+    double setup_time = 0.0;
+    double hold_time = 0.0;
+    if (!is_port) {
+      for (uint32_t ci : graph_->checks_at(endpoint)) {
+        setup_time = std::max(setup_time, graph_->checks()[ci].setup);
+        hold_time = std::max(hold_time, graph_->checks()[ci].hold);
+      }
+    }
+
+    mode.capture_clocks_at(endpoint, captures);
+    for (const ClockArrival& cap : captures) {
+      const sdc::Clock& cap_clock = sdc.clock(cap.clock);
+      const double cap_lat =
+          src_lat[cap.clock.index()] +
+          (cap_clock.propagated ? cap.latency : ideal_lat[cap.clock.index()]);
+      const double unc = setup_unc[cap.clock.index()];
+
+      double output_delay = 0.0;
+      if (is_port) {
+        for (const sdc::PortDelay& pd : sdc.port_delays()) {
+          if (!pd.is_input && pd.port_pin == endpoint &&
+              pd.clock == cap.clock && pd.minmax.max) {
+            output_delay = std::max(output_delay, pd.value);
+          }
+        }
+      }
+
+      memo.clear();
+      for (const BTag* tagp : own) {
+        const BTag& tag = *tagp;
+        PathState state;
+        PathState hold_state;
+        bool memoized = false;
+        for (const Resolved& r : memo) {
+          if (r.progress == tag.progress && r.launch == tag.launch) {
+            state = r.setup;
+            hold_state = r.hold;
+            memoized = true;
+            break;
+          }
+        }
+        if (!memoized) {
+          const bool exclusive =
+              tag.launch.valid() &&
+              (sdc.clocks_exclusive(tag.launch, cap.clock) ||
+               sdc.clocks_async(tag.launch, cap.clock));
+          if (exclusive) {
+            state = PathState::false_path();
+            hold_state = PathState::false_path();
+          } else {
+            ln.exceptions->resolve_both(table.get(tag.progress), tag.launch,
+                                        endpoint, cap.clock, &state,
+                                        &hold_state);
+          }
+          memo.push_back({tag.progress, tag.launch, state, hold_state});
+        }
+
+        RelationKey key;
+        key.endpoint = endpoint;
+        key.startpoint = tag.startpoint;
+        key.launch = tag.launch;
+        key.capture = cap.clock;
+        RelationData& data = relations[key];
+        data.states.insert(state);
+
+        if (options.analyze_hold) {
+          data.hold_states.insert(hold_state);
+          if (options.compute_arrivals && hold_state.is_timed()) {
+            const double hold_unc = hold_unc_of[cap.clock.index()];
+            double slack;
+            if (hold_state.kind == StateKind::kMinDelay) {
+              slack = tag.amin - hold_state.value;
+            } else {
+              const double shift =
+                  hold_state.kind == StateKind::kMcp ? hold_state.value : 0.0;
+              const double tc =
+                  hold_relation(sdc, tag.launch, cap.clock, shift);
+              double launch_edge = 0.0;
+              if (tag.launch.valid()) {
+                const sdc::Clock& l = sdc.clock(tag.launch);
+                launch_edge = l.waveform.empty() ? 0.0 : l.waveform[0];
+              }
+              const double required =
+                  launch_edge + tc + cap_lat + hold_unc + hold_time;
+              slack = tag.amin - required;
+            }
+            data.worst_hold_slack =
+                std::min(data.worst_hold_slack, static_cast<float>(slack));
+          }
+        }
+
+        if (options.compute_arrivals && state.is_timed()) {
+          double slack;
+          if (state.kind == StateKind::kMaxDelay) {
+            slack = state.value - tag.amax;
+          } else {
+            const double mult =
+                state.kind == StateKind::kMcp ? state.value : 1.0;
+            const double tc = setup_relation(sdc, tag.launch, cap.clock, mult);
+            double launch_edge = 0.0;
+            if (tag.launch.valid()) {
+              const sdc::Clock& l = sdc.clock(tag.launch);
+              launch_edge = l.waveform.empty() ? 0.0 : l.waveform[0];
+            }
+            const double required =
+                launch_edge + tc + cap_lat - unc - setup_time - output_delay;
+            slack = required - tag.amax;
+          }
+          if (slack < data.worst_slack) {
+            data.worst_slack = static_cast<float>(slack);
+            data.worst_capture = cap.clock;
+          }
+          data.worst_arrival = std::max(data.worst_arrival, tag.amax);
+        }
+      }
+    }
+  }
+}
+
+void BatchPropagator::resolve_shared(const BatchOptions& options) {
+  // Validation-configuration resolver. Relation content here is state sets
+  // only, which depend on (endpoint, capture clock, launch clock, progress,
+  // exception list, clock exclusivity) — never on arrival windows or
+  // per-lane clock latencies. Lanes with identical resolution inputs
+  // therefore produce byte-identical relation maps, so the sweep builds one
+  // map per *resolution block* of lanes instead of one per lane; a clique
+  // of near-identical modes — the validate workload — resolves once.
+  //
+  // Lanes are first grouped statically by (exception class, exception-list
+  // content, clock-exclusivity matrix, active-endpoint list). During the
+  // endpoint sweep a block splits copy-on-write wherever its lanes diverge
+  // dynamically: a tag entry covering only part of the block, or capture
+  // clocks that differ at an endpoint. Worst case (no two lanes ever agree)
+  // degenerates to per-lane maps, i.e. the resolve_lane cost.
+  const size_t L = lanes_.size();
+
+  // Launch x capture forced-false-path matrix per lane (set_clock_groups
+  // -logically_exclusive / -asynchronous), the only exclusivity input the
+  // per-tag resolution reads.
+  std::vector<std::vector<uint8_t>> excl(L);
+  for (size_t l = 0; l < L; ++l) {
+    const Sdc& sdc = lanes_[l].mode->sdc();
+    const size_t n = sdc.num_clocks();
+    excl[l].assign(n * n, 0);
+    for (size_t a = 0; a < n; ++a) {
+      const ClockId ca(static_cast<uint32_t>(a));
+      for (size_t b = 0; b < n; ++b) {
+        const ClockId cb(static_cast<uint32_t>(b));
+        excl[l][a * n + b] =
+            sdc.clocks_exclusive(ca, cb) || sdc.clocks_async(ca, cb);
+      }
+    }
+  }
+
+  struct Block {
+    LaneMask mask;
+    size_t rep = 0;  // lowest lane in mask
+    RelationMap map;
+    std::vector<ClockArrival> captures;  // rep's captures, current endpoint
+  };
+  std::vector<std::vector<std::unique_ptr<Block>>> groups;
+  std::vector<size_t> group_rep;
+  for (size_t l = 0; l < L; ++l) {
+    size_t g = groups.size();
+    for (size_t i = 0; i < groups.size(); ++i) {
+      const size_t r = group_rep[i];
+      if (lane_class_[l] == lane_class_[r] && excl[l] == excl[r] &&
+          lanes_[l].mode->active_endpoints() ==
+              lanes_[r].mode->active_endpoints() &&
+          lanes_[l].exceptions->all() == lanes_[r].exceptions->all()) {
+        g = i;
+        break;
+      }
+    }
+    if (g == groups.size()) {
+      groups.emplace_back();
+      auto blk = std::make_unique<Block>();
+      blk->rep = l;
+      groups.back().push_back(std::move(blk));
+      group_rep.push_back(l);
+    }
+    groups[g].front()->mask.set(l);
+  }
+
+  auto first_lane = [](const LaneMask& m) -> size_t {
+    for (size_t w = 0; w < LaneMask::kWords; ++w) {
+      if (m.w[w]) return w * 64 + static_cast<size_t>(__builtin_ctzll(m.w[w]));
+    }
+    return 0;
+  };
+  auto same_capture_clocks = [](const std::vector<ClockArrival>& a,
+                                const std::vector<ClockArrival>& b) {
+    // Latencies are slack-side inputs; only the clock id sequence matters
+    // for state sets.
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].clock != b[i].clock) return false;
+    }
+    return true;
+  };
+
+  auto sweep = [&](size_t g) {
+    std::vector<std::unique_ptr<Block>>& blocks = groups[g];
+    const size_t rep = group_rep[g];
+    // The whole group shares one resolution context (checked statically);
+    // splits change tag/capture membership, never this context.
+    const std::vector<PinId>& endpoints = lanes_[rep].mode->active_endpoints();
+    const CompiledExceptions& exc = *lanes_[rep].exceptions;
+    const ProgressTable& table = *classes_[lane_class_[rep]]->table;
+    const std::vector<uint8_t>& excl_rep = excl[rep];
+    const size_t num_clocks = lanes_[rep].mode->sdc().num_clocks();
+
+    struct Resolved {
+      uint32_t progress;
+      sdc::ClockId launch;
+    };
+    std::vector<Resolved> memo;
+    std::vector<const BTag*> own;
+    std::vector<ClockArrival> caps;
+    blocks.front()->map.reserve(endpoints.size());
+
+    for (PinId endpoint : endpoints) {
+      const std::vector<BTag>& slot = slots_[endpoint.index()];
+      if (slot.empty()) continue;
+
+      // 1. Split blocks until each is fully inside or outside every entry.
+      // A piece split off before any of this endpoint's inserts copies a
+      // map identical to its sibling's up to the previous endpoint.
+      for (const BTag& tag : slot) {
+        for (size_t b = 0, nb = blocks.size(); b < nb; ++b) {
+          Block& blk = *blocks[b];
+          const LaneMask in = blk.mask & tag.mask;
+          if (!in.any() || in == blk.mask) continue;
+          auto out = std::make_unique<Block>();
+          out->mask = blk.mask & ~tag.mask;
+          out->rep = first_lane(out->mask);
+          out->map = blk.map;
+          blk.mask = in;
+          blk.rep = first_lane(in);
+          blocks.push_back(std::move(out));
+        }
+      }
+
+      // 2. Split blocks whose lanes disagree on the capture-clock sequence
+      // at this endpoint; splinters with pairwise-equal captures regroup.
+      for (size_t b = 0, nb = blocks.size(); b < nb; ++b) {
+        Block& blk = *blocks[b];
+        lanes_[blk.rep].mode->capture_clocks_at(endpoint, blk.captures);
+        if (blk.mask.count() == 1) continue;
+        const size_t splinter_begin = blocks.size();
+        for (size_t l = blk.rep + 1; l < L; ++l) {
+          if (!blk.mask.test(l)) continue;
+          lanes_[l].mode->capture_clocks_at(endpoint, caps);
+          if (same_capture_clocks(caps, blk.captures)) continue;
+          Block* home = nullptr;
+          for (size_t s = splinter_begin; s < blocks.size(); ++s) {
+            if (same_capture_clocks(caps, blocks[s]->captures)) {
+              home = blocks[s].get();
+              break;
+            }
+          }
+          if (!home) {
+            auto nb2 = std::make_unique<Block>();
+            nb2->rep = l;
+            nb2->map = blk.map;
+            nb2->captures = caps;
+            blocks.push_back(std::move(nb2));
+            home = blocks.back().get();
+          }
+          home->mask.set(l);
+          blk.mask.clear(l);
+        }
+      }
+
+      // 3. One resolution + one map write per block.
+      for (auto& blkp : blocks) {
+        Block& blk = *blkp;
+        own.clear();
+        for (const BTag& tag : slot) {
+          if (tag.mask.test(blk.rep)) own.push_back(&tag);
+        }
+        if (own.empty()) continue;
+        for (const ClockArrival& cap : blk.captures) {
+          memo.clear();
+          for (const BTag* tagp : own) {
+            const BTag& tag = *tagp;
+            // Startpoints are untracked here, so the relation key and the
+            // inserted states are functions of (launch, progress) alone —
+            // a repeat is a no-op.
+            bool seen = false;
+            for (const Resolved& r : memo) {
+              if (r.progress == tag.progress && r.launch == tag.launch) {
+                seen = true;
+                break;
+              }
+            }
+            if (seen) continue;
+            memo.push_back({tag.progress, tag.launch});
+
+            PathState state;
+            PathState hold_state;
+            const bool exclusive =
+                tag.launch.valid() &&
+                excl_rep[tag.launch.index() * num_clocks +
+                         cap.clock.index()] != 0;
+            if (exclusive) {
+              state = PathState::false_path();
+              hold_state = PathState::false_path();
+            } else {
+              exc.resolve_both(table.get(tag.progress), tag.launch, endpoint,
+                               cap.clock, &state, &hold_state);
+            }
+
+            RelationKey key;
+            key.endpoint = endpoint;
+            key.startpoint = tag.startpoint;
+            key.launch = tag.launch;
+            key.capture = cap.clock;
+            RelationData& data = blk.map[key];
+            data.states.insert(state);
+            if (options.analyze_hold) data.hold_states.insert(hold_state);
+          }
+        }
+      }
+    }
+  };
+
+  if (options.pool && groups.size() > 1) {
+    options.pool->parallel_for(groups.size(), [&](size_t g) { sweep(g); });
+  } else {
+    for (size_t g = 0; g < groups.size(); ++g) sweep(g);
+  }
+
+  results_.clear();
+  for (auto& g : groups) {
+    for (auto& blkp : g) {
+      const uint32_t idx = static_cast<uint32_t>(results_.size());
+      for (size_t l = 0; l < L; ++l) {
+        if (blkp->mask.test(l)) lane_result_[l] = idx;
+      }
+      results_.push_back(std::move(blkp->map));
+    }
+  }
+}
+
+void BatchPropagator::fill_soa_lanes(const BatchOptions& options) {
+  const std::vector<PinId>& eps = graph_->endpoints();
+  const size_t L = lanes_.size();
+  slack_.assign(eps.size() * L, kNoSlack);
+  hold_slack_.assign(options.analyze_hold ? eps.size() * L : 0, kNoSlack);
+  arrival_.assign(eps.size() * L, kNoArrival);
+
+  std::unordered_map<uint32_t, size_t> index;
+  index.reserve(eps.size());
+  for (size_t i = 0; i < eps.size(); ++i) index.emplace(eps[i].value(), i);
+
+  for (size_t l = 0; l < L; ++l) {
+    for (const auto& [key, data] : relations(l)) {
+      const size_t i = index.at(key.endpoint.value());
+      const size_t at = i * L + l;
+      if (data.worst_slack < 1e29f) {
+        slack_[at] = std::min(slack_[at], data.worst_slack);
+      }
+      if (options.analyze_hold && data.worst_hold_slack < 1e29f) {
+        hold_slack_[at] = std::min(hold_slack_[at], data.worst_hold_slack);
+      }
+      if (data.worst_arrival > -1e29f) {
+        arrival_[at] = std::max(arrival_[at], data.worst_arrival);
+      }
+    }
+  }
+}
+
+std::unordered_map<uint32_t, float> BatchPropagator::worst_slack_by_endpoint(
+    size_t lane) const {
+  std::unordered_map<uint32_t, float> out;
+  for (const auto& [key, data] : relations(lane)) {
+    if (data.worst_slack >= 1e29f) continue;
+    auto [it, inserted] = out.emplace(key.endpoint.value(), data.worst_slack);
+    if (!inserted) it->second = std::min(it->second, data.worst_slack);
+  }
+  return out;
+}
+
+std::unordered_map<uint32_t, float>
+BatchPropagator::worst_hold_slack_by_endpoint(size_t lane) const {
+  std::unordered_map<uint32_t, float> out;
+  for (const auto& [key, data] : relations(lane)) {
+    if (data.worst_hold_slack >= 1e29f) continue;
+    auto [it, inserted] =
+        out.emplace(key.endpoint.value(), data.worst_hold_slack);
+    if (!inserted) it->second = std::min(it->second, data.worst_hold_slack);
+  }
+  return out;
+}
+
+}  // namespace mm::timing

@@ -31,6 +31,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -85,6 +86,10 @@ void usage(std::FILE* to) {
       "  --no-key-intern      string-keyed canonical identity (parity\n"
       "                       reference for the interned-key fast path;\n"
       "                       output is byte-identical either way)\n"
+      "  --no-batched-sta     validate each clique with one serial STA run\n"
+      "                       per mode instead of the batched multi-lane\n"
+      "                       walk (parity reference; output is\n"
+      "                       byte-identical either way)\n"
       "\n"
       "analysis / reports:\n"
       "  --sta                run STA individual-vs-merged and report reduction\n"
@@ -139,6 +144,26 @@ size_t parse_size_arg(const char* flag, const char* text) {
   return static_cast<size_t>(v);
 }
 
+/// Write one merged deck to `out_dir` (created if missing). Returns false
+/// with a stderr message when the file cannot be written — "wrote" is only
+/// ever printed for bytes actually on disk.
+bool write_merged(const std::string& out_dir, size_t clique,
+                  const mm::sdc::Sdc& merged) {
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  const std::string out_path =
+      out_dir + "/merged_" + std::to_string(clique) + ".sdc";
+  std::ofstream file(out_path);
+  file << mm::sdc::write_sdc(merged);
+  file.close();
+  if (!file) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return false;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return true;
+}
+
 /// Execute a --script delta file against a long-lived MergeSession.
 /// Returns the process exit status. Script syntax errors exit 2 directly
 /// (same contract as bad command-line input).
@@ -165,6 +190,7 @@ int run_script(const std::string& script_path,
   std::map<std::string, LiveMode> live;
   size_t commits = 0;
   bool safe = true;
+  bool wrote_ok = true;
 
   std::istringstream is(text);
   std::string line;
@@ -248,11 +274,7 @@ int run_script(const std::string& script_path,
                 merge::report_merge(m.merge, m.equivalence).c_str());
     safe &= !options.validate || m.equivalence.signoff_safe();
 
-    const std::string out_path =
-        out_dir + "/merged_" + std::to_string(c) + ".sdc";
-    std::ofstream file(out_path);
-    file << sdc::write_sdc(*m.merge.merged);
-    std::printf("wrote %s\n", out_path.c_str());
+    wrote_ok &= write_merged(out_dir, c, *m.merge.merged);
   }
 
   if (!safe) {
@@ -260,7 +282,7 @@ int run_script(const std::string& script_path,
                  "\nFAIL: at least one merged mode is not sign-off safe\n");
     return 1;
   }
-  return 0;
+  return wrote_ok ? 0 : 1;
 }
 
 }  // namespace
@@ -309,6 +331,7 @@ int main(int argc, char** argv) {
     else if (arg == "--no-validate") options.validate = false;
     else if (arg == "--no-hold") options.analyze_hold = false;
     else if (arg == "--no-key-intern") options.use_interned_keys = false;
+    else if (arg == "--no-batched-sta") options.use_batched_sta = false;
     else if (arg == "--seed")
       seed = static_cast<uint64_t>(parse_size_arg("--seed", value()));
     else if (arg == "--stats-out") stats_out = value();
@@ -435,6 +458,7 @@ int main(int argc, char** argv) {
     meta.numbers["merge_seconds"] = out.total_seconds;
 
     bool safe = true;
+    bool wrote_ok = true;
     for (size_t c = 0; c < out.merged.size(); ++c) {
       const merge::ValidatedMergeResult& m = out.merged[c];
       std::printf("\n--- merged mode %zu <- {", c);
@@ -445,11 +469,7 @@ int main(int argc, char** argv) {
       std::printf("} ---\n%s", report_merge(m.merge, m.equivalence).c_str());
       safe &= !options.validate || m.equivalence.signoff_safe();
 
-      const std::string path =
-          out_dir + "/merged_" + std::to_string(c) + ".sdc";
-      std::ofstream file(path);
-      file << sdc::write_sdc(*m.merge.merged);
-      std::printf("wrote %s\n", path.c_str());
+      wrote_ok &= write_merged(out_dir, c, *m.merge.merged);
     }
 
     for (size_t c = 0; c < out.merged.size(); ++c) {
@@ -495,7 +515,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "\nFAIL: at least one merged mode is not sign-off safe\n");
       return 1;
     }
-    return artifacts_ok ? 0 : 1;
+    return artifacts_ok && wrote_ok ? 0 : 1;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     meta.strings["error"] = e.what();
