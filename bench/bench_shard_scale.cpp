@@ -1,0 +1,241 @@
+// Hierarchical sharded merging across shard counts (docs/SHARDING.md): a
+// 64-mode family on a block-structured design through ShardedMergeSession
+// at K in {1, 2, 4, 8}. Per K the bench records
+//
+//   commit_ms          — add-all + commit wall time (validation off; the
+//                        stitch path end to end, best of three),
+//   max_block_check_ms — the slowest single block's pair-check phase,
+//                        driven directly over the shard-projected views
+//                        (the wall time a distributed runner would pay per
+//                        block; at K=1 this is the flat pair loop),
+//   boundary_check_ms  — the boundary shard's pair loop,
+//
+// plus the stitch accounting (pairs local / boundary-skipped / descended).
+// Every K > 1 must be byte-identical to K=1 on clique cover and merged
+// SDC (exit 1 otherwise), and the descended ratio is printed so the
+// < 20%-of-pairs acceptance bar is visible in CI logs. Results land in
+// BENCH_shard_scale.json (mm.bench/1, gated by scripts/bench_compare.py).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "merge/mergeability.h"
+#include "merge/sharded_session.h"
+#include "obs/obs.h"
+#include "sdc/writer.h"
+#include "util/timer.h"
+#include "workloads.h"
+
+namespace {
+
+using namespace mm;
+using namespace mm::bench;
+
+struct Family {
+  std::vector<std::unique_ptr<sdc::Sdc>> modes;
+  std::vector<std::string> names;
+};
+
+struct RunResult {
+  std::vector<std::vector<size_t>> cliques;
+  std::vector<std::string> merged_sdc;
+  merge::ShardedMergeSession::StitchStats stitch;
+  double commit_ms = 0.0;
+  double max_block_check_ms = 0.0;
+  double boundary_check_ms = 0.0;
+  size_t boundary_pins = 0;
+  size_t crossing_nets = 0;
+};
+
+/// Time the per-block check phase: every mode pair through check_mergeable
+/// on one shard's projected views (what a per-block runner executes).
+double time_shard_pairs(const merge::ShardedMergeSession& session,
+                        const std::vector<const sdc::Sdc*>& ptrs,
+                        size_t shard, const merge::MergeOptions& opts) {
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    Stopwatch timer;
+    for (size_t i = 0; i < ptrs.size(); ++i) {
+      for (size_t j = i + 1; j < ptrs.size(); ++j) {
+        (void)merge::check_mergeable(session.shard_view(ptrs[i], shard),
+                                     session.shard_view(ptrs[j], shard),
+                                     opts);
+      }
+    }
+    const double ms = timer.elapsed_ms();
+    best = rep == 0 ? ms : std::min(best, ms);
+  }
+  if (std::getenv("MM_SHARD_DEBUG")) {
+    std::fprintf(stderr, "  shard %zu: %.3f ms\n", shard, best);
+  }
+  return best;
+}
+
+RunResult run_at(const timing::TimingGraph& graph, const Family& family,
+                 size_t num_shards) {
+  merge::MergeOptions opt;
+  opt.num_shards = num_shards;
+  opt.validate = false;
+
+  RunResult out;
+  for (int rep = 0; rep < 3; ++rep) {
+    merge::ShardedMergeSession session(graph, opt);
+    std::vector<const sdc::Sdc*> ptrs;
+    Stopwatch timer;
+    for (size_t i = 0; i < family.modes.size(); ++i) {
+      session.add_mode(family.names[i], family.modes[i].get());
+      ptrs.push_back(family.modes[i].get());
+    }
+    const merge::ShardedMergeSession::CommitResult& r = session.commit();
+    const double ms = timer.elapsed_ms();
+    out.commit_ms = rep == 0 ? ms : std::min(out.commit_ms, ms);
+    if (rep > 0) continue;
+
+    out.cliques = r.cliques;
+    for (const auto& m : r.merged) {
+      out.merged_sdc.push_back(sdc::write_sdc(*m->merge.merged));
+    }
+    out.stitch = session.last_stitch();
+    out.boundary_pins = session.partition().boundary_pins().size();
+    out.crossing_nets = session.partition().num_crossing_nets();
+
+    if (num_shards > 1) {
+      for (size_t b = 0; b < session.num_blocks(); ++b) {
+        out.max_block_check_ms = std::max(
+            out.max_block_check_ms,
+            time_shard_pairs(session, ptrs, b,
+                             session.block_context(b).options()));
+      }
+      out.boundary_check_ms = time_shard_pairs(
+          session, ptrs, session.num_blocks(), session.context().options());
+    } else {
+      // K=1 reference: the flat pair loop over the full relationship sets.
+      merge::MergeContext& ctx = session.context();
+      std::vector<std::shared_ptr<const merge::ModeRelationships>> rels;
+      for (const sdc::Sdc* m : ptrs) rels.push_back(ctx.relationships(*m));
+      for (int frep = 0; frep < 3; ++frep) {
+        Stopwatch flat;
+        for (size_t i = 0; i < ptrs.size(); ++i) {
+          for (size_t j = i + 1; j < ptrs.size(); ++j) {
+            (void)merge::check_mergeable(*rels[i], *rels[j], ctx.options());
+          }
+        }
+        const double ms = flat.elapsed_ms();
+        out.max_block_check_ms =
+            frep == 0 ? ms : std::min(out.max_block_check_ms, ms);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint64_t seed = bench_seed(argc, argv);
+  const netlist::Library lib = netlist::Library::builtin();
+  const double scale = size_scale();
+
+  gen::DesignParams dp;
+  dp.name = "shard_scale";
+  dp.num_regs = std::max<size_t>(
+      64, static_cast<size_t>(0.2 * 1e6 * scale / 4.0));
+  dp.num_domains = 8;  // spread the clock roots over the blocks
+  dp.num_blocks = 8;   // block-structured: thin cuts for the partitioner
+  dp.seed = seed;
+  const netlist::Design design = gen::generate_design(lib, dp);
+  const timing::TimingGraph graph(design);
+
+  gen::ModeFamilyParams mp;
+  mp.seed = seed;
+  mp.num_modes = 64;
+  mp.target_groups = 8;
+  // Constraint-heavy decks: the pair-check cost must be dominated by
+  // relationship volume (clocks, MCPs, false paths spread over the
+  // blocks), not per-call overhead, or the K-sweep measures noise.
+  mp.group_mcps = 12;
+  mp.mode_fps = 32;
+  mp.min_max_delays = 12;
+  mp.gen_clocks = 6;
+  Family family;
+  for (const auto& gm : gen::generate_mode_family(dp, mp)) {
+    family.modes.push_back(
+        std::make_unique<sdc::Sdc>(sdc::parse_sdc(gm.sdc_text, design)));
+    family.names.push_back(gm.name);
+  }
+
+  std::printf("Sharded merge K-sweep: %zu cells, %zu modes "
+              "(scale %.3f, %u hardware thread(s))\n",
+              design.num_instances(), family.modes.size(), scale,
+              std::thread::hardware_concurrency());
+  std::printf("%7s %11s %15s %14s %8s %9s %9s %10s\n", "shards",
+              "commit(ms)", "max_block(ms)", "boundary(ms)", "local",
+              "bnd-skip", "descend", "desc-ratio");
+
+  obs::JsonWriter json;
+  json.begin_object();
+  json.key("schema").value("mm.bench/1");
+  json.key("bench").value("shard_scale");
+  json.key("scale").value(scale);
+  json.key("seed").value(seed);
+  json.key("hardware_threads")
+      .value(static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  json.key("rows").begin_array();
+
+  bool ok = true;
+  RunResult base;
+  for (const size_t k : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+    RunResult r = run_at(graph, family, k);
+
+    bool parity = true;
+    if (k == 1) {
+      base = r;
+    } else {
+      parity = r.cliques == base.cliques && r.merged_sdc == base.merged_sdc;
+      ok = ok && parity;
+    }
+    const double ratio =
+        r.stitch.pairs_checked > 0
+            ? static_cast<double>(r.stitch.pairs_descended) /
+                  static_cast<double>(r.stitch.pairs_checked)
+            : 0.0;
+
+    std::printf("%7zu %11.2f %15.2f %14.2f %8zu %9zu %9zu %9.1f%%%s\n", k,
+                r.commit_ms, r.max_block_check_ms, r.boundary_check_ms,
+                r.stitch.pairs_local, r.stitch.boundary_skips,
+                r.stitch.pairs_descended, ratio * 100.0,
+                parity ? "" : "  PARITY MISMATCH");
+
+    json.begin_object();
+    json.key("cells").value(design.num_instances());
+    json.key("modes").value(family.modes.size());
+    json.key("shards").value(k);
+    json.key("commit_ms").value(r.commit_ms);
+    json.key("max_block_check_ms").value(r.max_block_check_ms);
+    json.key("boundary_check_ms").value(r.boundary_check_ms);
+    json.key("cliques").value(r.cliques.size());
+    json.key("pairs_checked").value(r.stitch.pairs_checked);
+    json.key("pairs_local").value(r.stitch.pairs_local);
+    json.key("boundary_skips").value(r.stitch.boundary_skips);
+    json.key("pairs_descended").value(r.stitch.pairs_descended);
+    json.key("descended_ratio").value(ratio);
+    json.key("boundary_pins").value(r.boundary_pins);
+    json.key("crossing_nets").value(r.crossing_nets);
+    json.key("parity").value(parity);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("stats").raw(obs::stats_json());
+  json.end_object();
+
+  std::ofstream("BENCH_shard_scale.json") << json.str() << '\n';
+  std::printf("wrote BENCH_shard_scale.json (parity %s)\n",
+              ok ? "ok" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -5,9 +5,13 @@ Usage: bench_compare.py CURRENT_DIR [--baselines DIR] [--threshold PCT]
                         [--min-ms MS] [--inject-slowdown FRAC]
 
 Every BENCH_*.json under the baseline directory must have a same-named
-current file under CURRENT_DIR. Rows are matched positionally and their
-identity keys (modes, threads) must agree; then every wall-time field
-(any numeric key ending in _ms, at the top level or per row) is compared.
+current file under CURRENT_DIR. Rows are joined by their identity keys
+(cells, modes, threads, shards — whichever a row carries), so a sweep can
+gain rows (a new thread count, a new shard count) without breaking the
+gate: every baseline row must still find its identity twin in the current
+run, extra current rows are ignored. Duplicate identities pair up in file
+order. Then every wall-time field (any numeric key ending in _ms, at the
+top level or per row) is compared.
 A field regresses when it is BOTH more than --threshold percent slower
 AND more than --min-ms milliseconds slower than the baseline — the
 absolute floor keeps sub-millisecond rows from tripping the gate on
@@ -26,7 +30,12 @@ import json
 import sys
 from pathlib import Path
 
-IDENTITY_KEYS = ("modes", "threads")
+IDENTITY_KEYS = ("cells", "modes", "threads", "shards")
+
+
+def row_identity(row):
+    """Hashable identity of a row: the identity keys it carries, in order."""
+    return tuple((k, row[k]) for k in IDENTITY_KEYS if k in row)
 
 
 def timing_items(obj):
@@ -75,25 +84,25 @@ def compare_file(base_doc, cur_doc, name, args, table, problems):
 
     base_rows = base_doc.get("rows", [])
     cur_rows = cur_doc.get("rows", [])
-    if len(base_rows) != len(cur_rows):
-        problems.append(f"{name}: baseline has {len(base_rows)} row(s), "
-                        f"current has {len(cur_rows)}")
-        return
-    for i, (base_row, cur_row) in enumerate(zip(base_rows, cur_rows)):
-        for k in IDENTITY_KEYS:
-            if base_row.get(k) != cur_row.get(k):
-                problems.append(
-                    f"{name} row[{i}]: identity mismatch on '{k}' "
-                    f"({base_row.get(k)!r} vs {cur_row.get(k)!r})")
-                break
-        else:
-            cur_times = dict(timing_items(cur_row))
-            for key, base_ms in timing_items(base_row):
-                if key not in cur_times:
-                    problems.append(f"{name} {row_label(base_row, i)}: "
-                                    f"current row lacks '{key}'")
-                    continue
-                check(row_label(base_row, i), key, base_ms, cur_times[key])
+    # Key-based join: index current rows by identity; duplicate identities
+    # queue up and pair with baseline duplicates in file order.
+    cur_by_identity = {}
+    for row in cur_rows:
+        cur_by_identity.setdefault(row_identity(row), []).append(row)
+    for i, base_row in enumerate(base_rows):
+        candidates = cur_by_identity.get(row_identity(base_row))
+        if not candidates:
+            problems.append(f"{name}: current run has no row matching "
+                            f"{row_label(base_row, i)}")
+            continue
+        cur_row = candidates.pop(0)
+        cur_times = dict(timing_items(cur_row))
+        for key, base_ms in timing_items(base_row):
+            if key not in cur_times:
+                problems.append(f"{name} {row_label(base_row, i)}: "
+                                f"current row lacks '{key}'")
+                continue
+            check(row_label(base_row, i), key, base_ms, cur_times[key])
 
 
 def main(argv):

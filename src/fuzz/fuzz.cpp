@@ -9,6 +9,7 @@
 #include "obs/journal.h"
 #include "merge/merger.h"
 #include "merge/session.h"
+#include "merge/sharded_session.h"
 #include "netlist/design.h"
 #include "obs/obs.h"
 #include "sdc/parser.h"
@@ -525,6 +526,60 @@ void check_incremental_property(const timing::TimingGraph& graph,
   }
 }
 
+/// P6: sharded parity. For K in {2, 4, 8}, a ShardedMergeSession over the
+/// case's modes — block partitioning, per-shard checks, boundary stitch —
+/// must end byte-identical to the unsharded baseline: same mergeability
+/// edges and reason strings, same clique cover, same merged SDC bytes.
+/// Stats are NOT compared (per-shard prescreen counters legitimately
+/// differ). Validation is skipped — P6 compares merge outputs; P1 owns
+/// validation.
+void check_sharded_property(const timing::TimingGraph& graph,
+                            const std::vector<const sdc::Sdc*>& ptrs,
+                            const FuzzOptions& options,
+                            const merge::MergedModeSet& base_out,
+                            std::vector<Violation>& violations) {
+  merge::MergeOptions base = baseline_options(options);
+  base.validate = false;
+  merge::MergeContext ref_ctx(base);
+  const merge::MergeabilityGraph ref(ptrs, ref_ctx);
+
+  for (size_t shards : {size_t{2}, size_t{4}, size_t{8}}) {
+    merge::MergeOptions opts = base;
+    opts.num_shards = shards;
+    merge::ShardedMergeSession session(graph, opts);
+    for (size_t i = 0; i < ptrs.size(); ++i) {
+      session.add_mode("m" + std::to_string(i), ptrs[i]);
+    }
+    const merge::MergeSession::CommitResult& r = session.commit();
+    const std::string where = " (sharded K=" + std::to_string(shards) + ")";
+
+    if (r.cliques != base_out.cliques) {
+      violations.push_back({"sharded", "clique cover differs" + where});
+      return;
+    }
+    for (size_t i = 0; i < r.merged.size(); ++i) {
+      if (sdc::write_sdc(*r.merged[i]->merge.merged) !=
+          sdc::write_sdc(*base_out.merged[i].merge.merged)) {
+        violations.push_back(
+            {"sharded",
+             "merged SDC bytes for clique " + std::to_string(i) + where});
+        return;
+      }
+    }
+    for (size_t i = 0; i < ref.num_modes(); ++i) {
+      for (size_t j = 0; j < ref.num_modes(); ++j) {
+        if (session.graph().edge(i, j) != ref.edge(i, j) ||
+            session.graph().reason(i, j) != ref.reason(i, j)) {
+          violations.push_back(
+              {"sharded", "mergeability verdict (" + std::to_string(i) + "," +
+                              std::to_string(j) + ")" + where});
+          return;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 CheckResult check_case(const FuzzCase& c, const FuzzOptions& options) {
@@ -563,6 +618,8 @@ CheckResult check_case(const FuzzCase& c, const FuzzOptions& options) {
     check_idempotence_property(graph, options, out, result.violations);
   if (options.check_incremental)
     check_incremental_property(graph, ptrs, c, options, result.violations);
+  if (options.check_sharded)
+    check_sharded_property(graph, ptrs, options, out, result.violations);
   return result;
 }
 

@@ -57,6 +57,7 @@ struct FuzzOptions {
   bool check_idempotence = true;  // P3: merge(S, S) == merge(S)
   bool check_cover = true;        // P4: clique-cover validity + maximality
   bool check_incremental = true;  // P5: MergeSession delta == batch rebuild
+  bool check_sharded = true;      // P6: sharded (K in {2,4,8}) == unsharded
   /// Cliques per case put through the idempotence re-merge (cost control).
   size_t idempotence_cliques = 2;
   /// Stop after this many violations (each is minimized first).
@@ -80,7 +81,7 @@ struct FuzzCase {
 
 struct Violation {
   std::string property;  // "equivalence" | "parity" | "idempotence" |
-                         // "cover" | "incremental"
+                         // "cover" | "incremental" | "sharded"
   std::string detail;    // human-readable first finding
 };
 
@@ -143,7 +144,12 @@ std::string mutate_sdc_text(const std::string& text, util::Rng& rng);
 ///                    commits) ends byte-identical to a from-scratch batch
 ///                    merge of its final live modes — same clique cover,
 ///                    same mergeability edges and reason strings, same
-///                    merged SDC bytes, same count-valued stats.
+///                    merged SDC bytes, same count-valued stats;
+///   P6 sharded:      a ShardedMergeSession at K in {2, 4, 8} — block
+///                    partitioning, per-shard checks, boundary stitch —
+///                    ends byte-identical to the unsharded baseline on
+///                    mergeability edges, reasons, clique cover, and
+///                    merged SDC bytes.
 CheckResult check_case(const FuzzCase& c, const FuzzOptions& options);
 
 /// Delta-debugging minimizer: greedily drop whole modes, ddmin each mode's

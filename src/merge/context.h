@@ -33,6 +33,13 @@ namespace mm::merge {
 class MergeContext {
  public:
   explicit MergeContext(MergeOptions options = {});
+  /// Block-scoped child context (hierarchical sharded merging,
+  /// docs/SHARDING.md): shares the parent's CanonicalKeyTable and
+  /// ThreadPool — so KeyIds interned by any block compare across blocks
+  /// and all blocks fan out on one pool — but owns its own options and a
+  /// private RelationshipCache bound to the shared table. The parent must
+  /// outlive the child.
+  MergeContext(MergeContext& parent, MergeOptions options);
   MergeContext(const MergeContext&) = delete;
   MergeContext& operator=(const MergeContext&) = delete;
 
@@ -40,8 +47,8 @@ class MergeContext {
 
   /// The session's canonical-key interner. Only consulted when
   /// options().use_interned_keys.
-  CanonicalKeyTable& keys() { return keys_; }
-  const CanonicalKeyTable& keys() const { return keys_; }
+  CanonicalKeyTable& keys() { return *keys_; }
+  const CanonicalKeyTable& keys() const { return *keys_; }
 
   /// The session's relationship cache (bound to keys() when interning).
   RelationshipCache& cache() { return cache_; }
@@ -62,9 +69,11 @@ class MergeContext {
 
  private:
   MergeOptions options_;
-  CanonicalKeyTable keys_;
+  std::unique_ptr<CanonicalKeyTable> owned_keys_;  // null for child contexts
+  CanonicalKeyTable* keys_ = nullptr;
   RelationshipCache cache_;
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ThreadPool> pool_;    // null for child contexts
+  ThreadPool* shared_pool_ = nullptr;   // set for child contexts
 };
 
 }  // namespace mm::merge

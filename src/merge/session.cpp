@@ -192,6 +192,11 @@ const MergeSession::CommitResult& MergeSession::commit() {
   ctx_->pool().parallel_for(
       dirty_pairs.size(), /*min_grain=*/16, [&](size_t p) {
         const auto [i, j] = dirty_pairs[p];
+        if (pair_checker_) {
+          fresh[p] = pair_checker_(*modes_[i].sdc, *modes_[j].sdc,
+                                   modes_[i].rels.get(), modes_[j].rels.get());
+          return;
+        }
         // With the cache off this is the reference Sdc-pair path (re-derives
         // per pair), exactly like the batch build under the same options.
         fresh[p] = options.use_relationship_cache

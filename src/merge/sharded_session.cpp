@@ -1,0 +1,374 @@
+#include "merge/sharded_session.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "obs/journal.h"
+#include "obs/obs.h"
+
+namespace mm::merge {
+
+namespace {
+
+/// Position of a verdict's category in the flat check's stage order. All
+/// clock categories share stage 0: within it the flat check visits
+/// canonical keys in string order, so the earliest clock conflict is the
+/// one with the smallest subject key — recoverable across shards.
+int category_rank(const std::string& category) {
+  if (category.rfind("clock", 0) == 0) return 0;
+  if (category == "drive") return 1;
+  if (category == "load") return 2;
+  if (category == "exception_conflict") return 3;
+  return 4;  // exception_one_sided
+}
+
+/// Boundary pre-filter: the boundary shard holds no drives/loads by
+/// construction, so a pair with no crossing exceptions on either side and
+/// no shared boundary clock key is provably conflict-free there — the
+/// stitch decides it from the boundary summaries without running the check.
+bool boundary_trivially_mergeable(const ModeRelationships& a,
+                                  const ModeRelationships& b) {
+  if (!a.exceptions.empty() || !b.exceptions.empty()) return false;
+  if (a.interned && b.interned) {
+    const auto& small = a.by_key_id.size() <= b.by_key_id.size() ? a.by_key_id
+                                                                 : b.by_key_id;
+    const auto& large = a.by_key_id.size() <= b.by_key_id.size() ? b.by_key_id
+                                                                 : a.by_key_id;
+    for (const auto& [key, idx] : small) {
+      if (large.count(key)) return false;
+    }
+    return true;
+  }
+  for (const auto& [key, idx] : a.by_key) {
+    if (b.by_key.count(key)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+struct ShardedMergeSession::Counters {
+  std::atomic<size_t> pairs_checked{0};
+  std::atomic<size_t> pairs_local{0};
+  std::atomic<size_t> boundary_skips{0};
+  std::atomic<size_t> pairs_descended{0};
+};
+
+ShardedMergeSession::ShardedMergeSession(const timing::TimingGraph& graph,
+                                         MergeContext& ctx)
+    : timing_graph_(graph), ctx_(&ctx), session_(graph, ctx) {
+  init(graph);
+}
+
+ShardedMergeSession::ShardedMergeSession(const timing::TimingGraph& graph,
+                                         MergeOptions options)
+    : timing_graph_(graph),
+      owned_ctx_(std::make_unique<MergeContext>(options)),
+      ctx_(owned_ctx_.get()),
+      session_(graph, *owned_ctx_) {
+  init(graph);
+}
+
+ShardedMergeSession::~ShardedMergeSession() = default;
+
+void ShardedMergeSession::init(const timing::TimingGraph& graph) {
+  MM_SPAN("merge/shard_init");
+  const MergeOptions& options = ctx_->options();
+  netlist::PartitionOptions popt;
+  popt.num_blocks = options.num_shards;
+  popt.seed = options.shard_seed;
+  partition_ = netlist::partition_design(graph.design(), popt);
+  counters_ = std::make_unique<Counters>();
+  if (partition_.num_blocks() <= 1) return;  // flat: MergeSession untouched
+
+  envelope_ = timing::compute_arrival_envelope(graph);
+  block_ctxs_.reserve(partition_.num_blocks());
+  for (size_t b = 0; b < partition_.num_blocks(); ++b) {
+    block_ctxs_.push_back(std::make_unique<MergeContext>(*ctx_, options));
+  }
+  session_.set_pair_checker(
+      [this](const Sdc& a, const Sdc& b, const ModeRelationships*,
+             const ModeRelationships*) { return stitch_pair(a, b); });
+}
+
+ShardedMergeSession::ModeId ShardedMergeSession::add_mode(std::string name,
+                                                          const Sdc* sdc) {
+  retain(sdc);
+  const ModeId id = session_.add_mode(std::move(name), sdc);
+  mode_sdc_[id] = sdc;
+  return id;
+}
+
+void ShardedMergeSession::remove_mode(ModeId id) {
+  auto it = mode_sdc_.find(id);
+  session_.remove_mode(id);
+  if (it != mode_sdc_.end()) {
+    release(it->second);
+    mode_sdc_.erase(it);
+  }
+}
+
+void ShardedMergeSession::update_mode(ModeId id, const Sdc* sdc) {
+  retain(sdc);
+  session_.update_mode(id, sdc);
+  auto it = mode_sdc_.find(id);
+  if (it != mode_sdc_.end()) release(it->second);
+  mode_sdc_[id] = sdc;
+}
+
+const ShardedMergeSession::CommitResult& ShardedMergeSession::commit() {
+  if (partition_.num_blocks() <= 1) return session_.commit();
+
+  MM_SPAN("merge/shard_commit");
+  counters_ = std::make_unique<Counters>();
+  emit_journal_topology();
+  const CommitResult& result = session_.commit();
+  last_stitch_.pairs_checked = counters_->pairs_checked.load();
+  last_stitch_.pairs_local = counters_->pairs_local.load();
+  last_stitch_.boundary_skips = counters_->boundary_skips.load();
+  last_stitch_.pairs_descended = counters_->pairs_descended.load();
+  MM_COUNT("shard/pairs_checked", last_stitch_.pairs_checked);
+  MM_COUNT("shard/pairs_local", last_stitch_.pairs_local);
+  MM_COUNT("shard/boundary_skips", last_stitch_.boundary_skips);
+  MM_COUNT("shard/pairs_descended", last_stitch_.pairs_descended);
+  emit_journal_stitch();
+  return result;
+}
+
+const std::vector<timing::BoundaryModel>& ShardedMergeSession::boundary_models(
+    const Sdc* sdc) const {
+  static const std::vector<timing::BoundaryModel> kEmpty;
+  auto it = projections_.find(sdc);
+  return it == projections_.end() ? kEmpty : it->second.boundary;
+}
+
+const ModeRelationships& ShardedMergeSession::shard_view(const Sdc* sdc,
+                                                         size_t shard) const {
+  return *projections_.at(sdc).shards.at(shard);
+}
+
+void ShardedMergeSession::retain(const Sdc* sdc) {
+  if (partition_.num_blocks() <= 1) return;  // flat: no projections needed
+  auto it = projections_.find(sdc);
+  if (it == projections_.end()) {
+    it = projections_.emplace(sdc, build_projection(*sdc)).first;
+  }
+  it->second.refs++;
+}
+
+void ShardedMergeSession::release(const Sdc* sdc) {
+  auto it = projections_.find(sdc);
+  if (it == projections_.end()) return;
+  if (--it->second.refs == 0) projections_.erase(it);
+}
+
+ShardedMergeSession::Projection ShardedMergeSession::build_projection(
+    const Sdc& sdc) const {
+  MM_SPAN("merge/shard_project");
+  const size_t k = partition_.num_blocks();
+  const uint32_t kBoundaryShard = static_cast<uint32_t>(k);
+
+  Projection proj;
+  proj.full = ctx_->relationships(sdc);
+  const ModeRelationships& full = *proj.full;
+  proj.boundary =
+      timing::extract_boundary_models(timing_graph_, partition_, sdc,
+                                      &envelope_);
+
+  // Shard of each clock: the block of its source pins when they agree,
+  // else the boundary shard; virtual clocks (no sources) are boundary.
+  // Canonical clock keys embed the sorted source pin ids, so two modes'
+  // same-key clocks always land in the same shard — the consistency that
+  // makes the per-shard conflicts partition the flat check's conflicts.
+  std::vector<uint32_t> clock_shard(sdc.num_clocks(), kBoundaryShard);
+  for (size_t c = 0; c < sdc.num_clocks(); ++c) {
+    const sdc::Clock& clock = sdc.clock(sdc::ClockId(c));
+    if (clock.sources.empty()) continue;
+    const uint32_t b0 = partition_.block_of(clock.sources.front());
+    bool same = true;
+    for (netlist::PinId src : clock.sources) {
+      if (partition_.block_of(src) != b0) {
+        same = false;
+        break;
+      }
+    }
+    if (same) clock_shard[c] = b0;
+  }
+
+  // Shard of each exception: the block of its anchor pins when they agree;
+  // spanning or pin-less (clock-only / design-wide) anchors are boundary.
+  // Anchor signatures embed the pins, so equal-signature exceptions of two
+  // modes shard identically.
+  const std::vector<sdc::Exception>& raw = sdc.exceptions();
+  std::vector<uint32_t> ex_shard(raw.size(), kBoundaryShard);
+  for (size_t e = 0; e < raw.size(); ++e) {
+    uint32_t block = UINT32_MAX;
+    bool spanning = false;
+    auto visit = [&](const sdc::ExceptionPoint& pt) {
+      for (netlist::PinId pin : pt.pins) {
+        if (!pin.valid()) continue;
+        const uint32_t b = partition_.block_of(pin);
+        if (block == UINT32_MAX) {
+          block = b;
+        } else if (b != block) {
+          spanning = true;
+        }
+      }
+    };
+    visit(raw[e].from);
+    for (const sdc::ExceptionPoint& pt : raw[e].throughs) visit(pt);
+    visit(raw[e].to);
+    if (block != UINT32_MAX && !spanning) ex_shard[e] = block;
+  }
+
+  // Build the K+1 projected views. Each keeps the FULL mode-level sets —
+  // clocks vector (so clock indices stay valid), clock_keys/clock_key_bits
+  // and full_sigs/full_sig_ids (the one-sided checks and the ambiguous-pair
+  // waiver compare a shard's exceptions against the *whole* other mode,
+  // exactly like the flat check) — and restricts by_key/clock_order,
+  // exceptions, drives and loads to the shard, preserving relative order.
+  proj.shards.reserve(k + 1);
+  for (uint32_t s = 0; s <= kBoundaryShard; ++s) {
+    auto view = std::make_shared<ModeRelationships>();
+    view->clocks = full.clocks;
+    view->clock_keys = full.clock_keys;
+    view->full_sigs = full.full_sigs;
+    view->interned = full.interned;
+    for (const auto& [key, idx] : full.by_key) {
+      if (clock_shard[idx] == s) view->by_key.emplace(key, idx);
+    }
+    MM_ASSERT(full.exceptions.size() == raw.size());
+    for (size_t e = 0; e < full.exceptions.size(); ++e) {
+      if (ex_shard[e] == s) view->exceptions.push_back(full.exceptions[e]);
+    }
+    for (const sdc::DriveConstraint& d : full.drives) {
+      if (partition_.block_of(d.port_pin) == s) view->drives.push_back(d);
+    }
+    for (const sdc::LoadConstraint& l : full.loads) {
+      if (partition_.block_of(l.port_pin) == s) view->loads.push_back(l);
+    }
+    if (full.interned) {
+      view->clock_key_ids = full.clock_key_ids;
+      view->clock_key_bits = full.clock_key_bits;
+      view->full_sig_ids = full.full_sig_ids;
+      for (uint32_t idx : full.clock_order) {
+        if (clock_shard[idx] == s) view->clock_order.push_back(idx);
+      }
+      for (const auto& [key_id, idx] : full.by_key_id) {
+        if (clock_shard[idx] == s) view->by_key_id.emplace(key_id, idx);
+      }
+    }
+    proj.shards.push_back(std::move(view));
+  }
+  return proj;
+}
+
+PairVerdict ShardedMergeSession::stitch_pair(const Sdc& a,
+                                             const Sdc& b) const {
+  const Projection& pa = projections_.at(&a);
+  const Projection& pb = projections_.at(&b);
+  const size_t num_shards = pa.shards.size();  // K blocks + boundary
+  counters_->pairs_checked.fetch_add(1, std::memory_order_relaxed);
+
+  // Per-shard checks: each shard's verdict is the flat check's first
+  // conflict restricted to that shard's items.
+  std::vector<PairVerdict> conflicts;
+  for (size_t s = 0; s < num_shards; ++s) {
+    const ModeRelationships& ra = *pa.shards[s];
+    const ModeRelationships& rb = *pb.shards[s];
+    if (s + 1 == num_shards && boundary_trivially_mergeable(ra, rb)) {
+      counters_->boundary_skips.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const MergeOptions& opts = s < block_ctxs_.size()
+                                   ? block_ctxs_[s]->options()
+                                   : ctx_->options();
+    PairVerdict v = check_mergeable(ra, rb, opts);
+    if (!v.mergeable) conflicts.push_back(std::move(v));
+  }
+
+  if (conflicts.empty()) {
+    counters_->pairs_local.fetch_add(1, std::memory_order_relaxed);
+    return {true, ""};
+  }
+
+  // Stitch: recover the flat check's first conflict from the shard
+  // verdicts when they order unambiguously (docs/SHARDING.md):
+  //   - one conflicting shard: all conflicts live there, its verdict is
+  //     the flat first conflict verbatim;
+  //   - earliest conflicting stage is the clock stage: the flat check
+  //     visits clock keys in string order, so the smallest conflicting
+  //     subject key wins regardless of which shards the others sit in;
+  //   - exactly one shard reaches the earliest stage: later-stage shards
+  //     have no conflicts at that stage at all, so that shard owns the
+  //     flat first conflict.
+  // Anything else (two shards conflicting at the same non-clock stage,
+  // whose within-stage order the subjects do not encode) descends to the
+  // full-netlist check.
+  const PairVerdict* chosen = nullptr;
+  if (conflicts.size() == 1) {
+    chosen = &conflicts.front();
+  } else {
+    int min_rank = category_rank(conflicts.front().category);
+    for (size_t i = 1; i < conflicts.size(); ++i) {
+      min_rank = std::min(min_rank, category_rank(conflicts[i].category));
+    }
+    if (min_rank == 0) {
+      for (const PairVerdict& v : conflicts) {
+        if (category_rank(v.category) != 0) continue;
+        if (chosen == nullptr || v.subject < chosen->subject) chosen = &v;
+      }
+    } else {
+      for (const PairVerdict& v : conflicts) {
+        if (category_rank(v.category) != min_rank) continue;
+        if (chosen != nullptr) {
+          chosen = nullptr;  // two shards at the same stage: undecidable
+          break;
+        }
+        chosen = &v;
+      }
+    }
+  }
+  if (chosen != nullptr) {
+    counters_->pairs_local.fetch_add(1, std::memory_order_relaxed);
+    return *chosen;
+  }
+
+  counters_->pairs_descended.fetch_add(1, std::memory_order_relaxed);
+  return check_mergeable(*pa.full, *pb.full, ctx_->options());
+}
+
+void ShardedMergeSession::emit_journal_topology() {
+  if (topology_journaled_ || !obs::Journal::enabled()) return;
+  topology_journaled_ = true;
+  for (size_t b = 0; b < partition_.num_blocks(); ++b) {
+    obs::JournalEvent ev("shard");
+    ev.field("block", static_cast<uint64_t>(b))
+        .field("instances",
+               static_cast<uint64_t>(partition_.block_instance_counts()[b]))
+        .field("boundary_pins",
+               static_cast<uint64_t>(partition_.block_boundary_counts()[b]));
+  }
+  obs::JournalEvent ev("shard_topology");
+  ev.field("blocks", static_cast<uint64_t>(partition_.num_blocks()))
+      .field("boundary_pins",
+             static_cast<uint64_t>(partition_.boundary_pins().size()))
+      .field("crossing_nets",
+             static_cast<uint64_t>(partition_.num_crossing_nets()));
+}
+
+void ShardedMergeSession::emit_journal_stitch() const {
+  if (!obs::Journal::enabled()) return;
+  {
+    obs::JournalEvent ev("shard_stitch");
+    ev.field("pairs_checked", static_cast<uint64_t>(last_stitch_.pairs_checked))
+        .field("pairs_local", static_cast<uint64_t>(last_stitch_.pairs_local))
+        .field("boundary_skips",
+               static_cast<uint64_t>(last_stitch_.boundary_skips))
+        .field("pairs_descended",
+               static_cast<uint64_t>(last_stitch_.pairs_descended));
+  }
+  obs::Journal::drain();
+}
+
+}  // namespace mm::merge

@@ -1,0 +1,146 @@
+#pragma once
+// ShardedMergeSession: hierarchical sharded merging (docs/SHARDING.md).
+//
+// The flat MergeSession sees the whole netlist in every pairwise
+// mergeability check. This wrapper splits the design into K blocks
+// (netlist/partition.h), projects every mode's relationship set into K+1
+// shard views — one per block plus a boundary shard holding everything
+// that crosses or binds to no block — and re-routes the session's dirty
+// pair checks through a two-level pass:
+//
+//   1. per-block: check_mergeable on the block-projected relationship
+//      sets, in parallel (the projections of one pair are checked by one
+//      task, pairs fan out over the shared ThreadPool exactly like the
+//      flat path; each block owns a block-scoped child MergeContext
+//      sharing the parent's CanonicalKeyTable, so KeyIds compare across
+//      blocks — the layout a distributed runner would keep per process),
+//   2. stitch: combine the per-shard verdicts into the pair's verdict.
+//      Canonical identities embed netlist pins, so every conflict class is
+//      local to exactly one shard and the per-shard conflicts partition
+//      the flat check's conflicts. The stitch recovers the flat check's
+//      *first* conflict without re-checking whenever the partition allows
+//      it (see the decision table in docs/SHARDING.md) and descends to a
+//      full-netlist re-check only for the pairs the shard verdicts cannot
+//      order (counted in StitchStats::pairs_descended). A boundary
+//      pre-filter skips the boundary-shard check outright when the two
+//      modes' boundary summaries (no shared boundary clocks, no crossing
+//      exceptions) prove it conflict-free.
+//
+// Everything downstream — greedy clique cover, per-clique merge,
+// refinement, batched-STA equivalence validation, the decision journal's
+// pair_verdict/clique/commit events — runs unchanged inside the wrapped
+// MergeSession on the stitched verdicts. Because the stitch returns
+// verdicts byte-identical to check_mergeable (asserted by tests and fuzz
+// property P6), the clique cover, conflict reasons, and merged SDC bytes
+// are byte-identical to the unsharded path for every K; K=1 installs no
+// checker at all and *is* today's MergeSession.
+//
+// Per mode, the session also extracts timing::BoundaryModel summaries
+// (boundary-pin arrival envelopes, clock reachability, crossing exception
+// anchors) — the per-block artifact a distributed merge service would
+// ship instead of whole decks.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "merge/session.h"
+#include "netlist/partition.h"
+#include "timing/boundary_model.h"
+
+namespace mm::merge {
+
+class ShardedMergeSession {
+ public:
+  using ModeId = MergeSession::ModeId;
+  using CommitResult = MergeSession::CommitResult;
+
+  /// How the last commit's dirty pairs were decided.
+  struct StitchStats {
+    size_t pairs_checked = 0;   // dirty pairs routed through the stitch
+    size_t pairs_local = 0;     // decided from per-shard verdicts alone
+    size_t boundary_skips = 0;  // boundary-shard checks proven unnecessary
+    size_t pairs_descended = 0; // fell back to the full-netlist check
+  };
+
+  /// Borrow an external context; `options.num_shards` is read from the
+  /// context's options. Graph and context must outlive the session.
+  ShardedMergeSession(const timing::TimingGraph& graph, MergeContext& ctx);
+  /// Own a private context configured by `options`.
+  explicit ShardedMergeSession(const timing::TimingGraph& graph,
+                               MergeOptions options = {});
+  ShardedMergeSession(const ShardedMergeSession&) = delete;
+  ShardedMergeSession& operator=(const ShardedMergeSession&) = delete;
+  ~ShardedMergeSession();
+
+  // Same contract as MergeSession (session.h).
+  ModeId add_mode(std::string name, const Sdc* sdc);
+  void remove_mode(ModeId id);
+  void update_mode(ModeId id, const Sdc* sdc);
+  const CommitResult& commit();
+
+  size_t num_modes() const { return session_.num_modes(); }
+  bool has_mode(ModeId id) const { return session_.has_mode(id); }
+  std::vector<const Sdc*> live_modes() const { return session_.live_modes(); }
+  const std::string& mode_name(ModeId id) const {
+    return session_.mode_name(id);
+  }
+  const MergeabilityGraph& graph() const { return session_.graph(); }
+  const CommitResult& last_commit() const { return session_.last_commit(); }
+  MergeContext& context() { return *ctx_; }
+  MergedModeSet release_batch() { return session_.release_batch(); }
+
+  /// The block assignment (K from options.num_shards, clamped to the
+  /// instance count).
+  const netlist::Partition& partition() const { return partition_; }
+  size_t num_blocks() const { return partition_.num_blocks(); }
+  /// Stitch accounting of the last commit (all zero when K == 1).
+  const StitchStats& last_stitch() const { return last_stitch_; }
+  /// Per-block boundary models of a registered deck (empty when K == 1).
+  const std::vector<timing::BoundaryModel>& boundary_models(
+      const Sdc* sdc) const;
+  /// A registered deck's shard-projected relationship view (K > 1 only).
+  /// `shard` ranges over [0, num_blocks()]; shard == num_blocks() is the
+  /// boundary shard. Exposed so benches and a future distributed runner
+  /// can drive the per-block check phase directly.
+  const ModeRelationships& shard_view(const Sdc* sdc, size_t shard) const;
+  /// The block-scoped child context of one block (K > 1 only).
+  MergeContext& block_context(size_t block) { return *block_ctxs_[block]; }
+
+ private:
+  /// One deck's shard decomposition: the full relationship set plus its
+  /// K+1 shard projections (boundary shard last) and boundary models.
+  struct Projection {
+    std::shared_ptr<const ModeRelationships> full;
+    std::vector<std::shared_ptr<const ModeRelationships>> shards;
+    std::vector<timing::BoundaryModel> boundary;
+    size_t refs = 0;
+  };
+
+  void init(const timing::TimingGraph& graph);
+  void retain(const Sdc* sdc);
+  void release(const Sdc* sdc);
+  Projection build_projection(const Sdc& sdc) const;
+  PairVerdict stitch_pair(const Sdc& a, const Sdc& b) const;
+  void emit_journal_topology();
+  void emit_journal_stitch() const;
+
+  const timing::TimingGraph& timing_graph_;
+  std::unique_ptr<MergeContext> owned_ctx_;
+  MergeContext* ctx_ = nullptr;
+  netlist::Partition partition_;
+  timing::ArrivalEnvelope envelope_;
+  std::vector<std::unique_ptr<MergeContext>> block_ctxs_;
+  MergeSession session_;
+  std::unordered_map<const Sdc*, Projection> projections_;
+  std::unordered_map<ModeId, const Sdc*> mode_sdc_;
+  StitchStats last_stitch_;
+  /// Commit-scoped accounting, written concurrently by stitch_pair.
+  struct Counters;
+  std::unique_ptr<Counters> counters_;
+  bool topology_journaled_ = false;
+};
+
+}  // namespace mm::merge

@@ -62,6 +62,13 @@ struct MergeOptions {
   /// mode (--no-batched-sta), kept as the byte-parity reference — both
   /// paths produce identical reports and merged output.
   bool use_batched_sta = true;
+  /// Hierarchical sharded merging (docs/SHARDING.md): ShardedMergeSession
+  /// partitions the design into this many blocks, runs per-block
+  /// mergeability in parallel, and stitches at the boundary. 1 = the flat
+  /// pipeline (MergeSession behavior, byte-identical output either way).
+  size_t num_shards = 1;
+  /// Seed for the partitioner's BFS seed placement (--shard-seed).
+  uint64_t shard_seed = 1;
   /// Run §3.2 refinement (clock + data + 3-pass). Disabling yields the
   /// preliminary merged mode only — used by benchmarks and ablations.
   bool run_refinement = true;

@@ -1,0 +1,188 @@
+#include "netlist/partition.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "obs/obs.h"
+#include "util/rng.h"
+
+namespace mm::netlist {
+
+namespace {
+
+constexpr uint32_t kUnassigned = UINT32_MAX;
+
+/// Undirected instance adjacency induced by nets: driver instance <->
+/// every load instance, plus load <-> load is NOT added (star topology via
+/// the driver keeps lists short; BFS connectivity is identical because the
+/// driver bridges the loads). Built in net order, deduplicated per list,
+/// so the traversal order is deterministic.
+std::vector<std::vector<uint32_t>> instance_adjacency(const Design& design) {
+  std::vector<std::vector<uint32_t>> adj(design.num_instances());
+  auto link = [&](uint32_t a, uint32_t b) {
+    if (a == b) return;
+    auto& la = adj[a];
+    if (std::find(la.begin(), la.end(), b) == la.end()) la.push_back(b);
+    auto& lb = adj[b];
+    if (std::find(lb.begin(), lb.end(), a) == lb.end()) lb.push_back(a);
+  };
+  for (const Net& net : design.nets()) {
+    uint32_t hub = kUnassigned;
+    if (net.driver.valid() && !design.pin(net.driver).is_port()) {
+      hub = design.pin(net.driver).inst.index();
+    }
+    for (PinId load : net.loads) {
+      const Pin& p = design.pin(load);
+      if (p.is_port()) continue;
+      const uint32_t inst = p.inst.index();
+      if (hub == kUnassigned) {
+        hub = inst;  // port-driven net: first load instance bridges the rest
+      } else {
+        link(hub, inst);
+      }
+    }
+  }
+  return adj;
+}
+
+}  // namespace
+
+Partition partition_design(const Design& design,
+                           const PartitionOptions& options) {
+  MM_SPAN("netlist/partition");
+  Partition part;
+  const size_t num_insts = design.num_instances();
+  const size_t k = std::max<size_t>(
+      1, std::min(options.num_blocks, std::max<size_t>(1, num_insts)));
+  part.num_blocks_ = k;
+  part.inst_block_.assign(num_insts, 0);
+  part.pin_block_.assign(design.num_pins(), 0);
+  part.boundary_.assign(design.num_pins(), 0);
+  part.block_sizes_.assign(k, 0);
+  part.block_boundary_.assign(k, 0);
+
+  if (k > 1 && num_insts > 0) {
+    const std::vector<std::vector<uint32_t>> adj = instance_adjacency(design);
+    std::vector<uint32_t>& assign = part.inst_block_;
+    std::fill(assign.begin(), assign.end(), kUnassigned);
+
+    // Seeds: spaced evenly through the id space, rotated by a seed-derived
+    // offset so different seeds probe different cuts.
+    util::Rng rng(options.seed);
+    const size_t offset = rng.below(num_insts);
+    std::vector<std::deque<uint32_t>> frontier(k);
+    for (size_t b = 0; b < k; ++b) {
+      size_t inst = (offset + b * num_insts / k) % num_insts;
+      while (assign[inst] != kUnassigned) inst = (inst + 1) % num_insts;
+      assign[inst] = static_cast<uint32_t>(b);
+      part.block_sizes_[b]++;
+      frontier[b].push_back(static_cast<uint32_t>(inst));
+    }
+
+    // Round-robin BFS: each round, every block claims at most one new
+    // instance from its frontier. `cursor` restarts empty blocks on the
+    // lowest-id unassigned instance so disconnected pieces get covered.
+    size_t assigned = k;
+    size_t cursor = 0;
+    while (assigned < num_insts) {
+      bool progressed = false;
+      for (size_t b = 0; b < k && assigned < num_insts; ++b) {
+        // Expand this block's frontier until it claims one instance.
+        uint32_t claimed = kUnassigned;
+        while (!frontier[b].empty() && claimed == kUnassigned) {
+          const uint32_t at = frontier[b].front();
+          // Scan `at`'s neighbors for the first unassigned one; keep `at`
+          // queued while it may still have unassigned neighbors.
+          bool exhausted = true;
+          for (uint32_t nb : adj[at]) {
+            if (assign[nb] != kUnassigned) continue;
+            if (claimed == kUnassigned) {
+              claimed = nb;
+              exhausted = false;  // re-scan `at` next round
+            } else {
+              exhausted = false;
+              break;
+            }
+          }
+          if (exhausted) frontier[b].pop_front();
+        }
+        if (claimed == kUnassigned) {
+          while (cursor < num_insts && assign[cursor] != kUnassigned) cursor++;
+          if (cursor < num_insts) claimed = static_cast<uint32_t>(cursor);
+        }
+        if (claimed == kUnassigned) continue;
+        assign[claimed] = static_cast<uint32_t>(b);
+        part.block_sizes_[b]++;
+        frontier[b].push_back(claimed);
+        assigned++;
+        progressed = true;
+      }
+      if (!progressed) break;  // defensive: cannot happen (cursor fallback)
+    }
+  } else {
+    part.block_sizes_.assign(1, num_insts);
+  }
+
+  // Pins inherit their instance's block; ports take the first instance pin
+  // on their net (deterministic: driver first, then loads in net order).
+  const std::vector<Pin>& pins = design.pins();
+  for (size_t i = 0; i < pins.size(); ++i) {
+    if (!pins[i].is_port()) {
+      part.pin_block_[i] = part.inst_block_[pins[i].inst.index()];
+    }
+  }
+  for (size_t i = 0; i < pins.size(); ++i) {
+    if (!pins[i].is_port()) continue;
+    uint32_t block = 0;
+    if (pins[i].net.valid()) {
+      const Net& net = design.net(pins[i].net);
+      if (net.driver.valid() && !design.pin(net.driver).is_port()) {
+        block = part.pin_block_[net.driver.index()];
+      } else {
+        for (PinId load : net.loads) {
+          if (!design.pin(load).is_port()) {
+            block = part.pin_block_[load.index()];
+            break;
+          }
+        }
+      }
+    }
+    part.pin_block_[i] = block;
+  }
+
+  // Boundary: every pin of a net whose pins span more than one block.
+  for (const Net& net : design.nets()) {
+    uint32_t first = kUnassigned;
+    bool crossing = false;
+    auto visit = [&](PinId pin) {
+      if (!pin.valid()) return;
+      const uint32_t b = part.pin_block_[pin.index()];
+      if (first == kUnassigned) {
+        first = b;
+      } else if (b != first) {
+        crossing = true;
+      }
+    };
+    visit(net.driver);
+    for (PinId load : net.loads) visit(load);
+    if (!crossing) continue;
+    part.num_crossing_nets_++;
+    auto mark = [&](PinId pin) {
+      if (pin.valid()) part.boundary_[pin.index()] = 1;
+    };
+    mark(net.driver);
+    for (PinId load : net.loads) mark(load);
+  }
+  for (size_t i = 0; i < pins.size(); ++i) {
+    if (part.boundary_[i] == 0) continue;
+    part.boundary_pins_.push_back(PinId(static_cast<uint32_t>(i)));
+    part.block_boundary_[part.pin_block_[i]]++;
+  }
+
+  MM_GAUGE_SET("netlist/partition_blocks", part.num_blocks_);
+  MM_GAUGE_SET("netlist/partition_boundary_pins", part.boundary_pins_.size());
+  MM_GAUGE_SET("netlist/partition_crossing_nets", part.num_crossing_nets_);
+  return part;
+}
+
+}  // namespace mm::netlist

@@ -1,0 +1,82 @@
+#pragma once
+// Netlist partitioning for hierarchical sharded merging (docs/SHARDING.md).
+//
+// partition_design splits a flat Design into K blocks by multi-source BFS
+// over the undirected instance-adjacency graph induced by nets: K seed
+// instances are spaced evenly through the instance id space (offset by the
+// seed, so sweeps can probe different cuts), then the blocks expand
+// round-robin one instance per block per round. Round-robin expansion is
+// what makes the blocks fanout-cone-shaped and size-balanced: each block
+// claims the frontier of its own cone before any block can run away with
+// the whole graph. A block whose frontier empties (disconnected component
+// exhausted) restarts from the lowest-id unassigned instance.
+//
+// The result is deterministic for a given (design, num_blocks, seed): the
+// adjacency lists are built in net order, queues are FIFO, and ties go to
+// the lower block index. No randomness beyond the seed-derived offset.
+//
+// Pins inherit their instance's block; a top-level port pin takes the block
+// of the first instance pin on its net (block 0 if the net touches no
+// instance). A *boundary pin* is any pin on a net whose pins span more than
+// one block — the cut set the boundary models in timing/boundary_model.h
+// summarize. K=1 yields a single block and an empty boundary.
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/design.h"
+
+namespace mm::netlist {
+
+struct PartitionOptions {
+  size_t num_blocks = 1;  // clamped to [1, num_instances]
+  uint64_t seed = 1;      // offsets the BFS seed placement
+};
+
+/// The block assignment of one Design. Built by partition_design; cheap to
+/// copy (a few index vectors).
+class Partition {
+ public:
+  size_t num_blocks() const { return num_blocks_; }
+
+  /// Block of a pin (ports included). Valid for every pin of the design.
+  uint32_t block_of(PinId pin) const { return pin_block_[pin.index()]; }
+  uint32_t block_of_instance(InstId inst) const {
+    return inst_block_[inst.index()];
+  }
+
+  /// Pin lies on a net whose pins span more than one block.
+  bool is_boundary(PinId pin) const { return boundary_[pin.index()] != 0; }
+  /// All boundary pins, ascending pin id.
+  const std::vector<PinId>& boundary_pins() const { return boundary_pins_; }
+
+  /// Nets whose pins span more than one block.
+  size_t num_crossing_nets() const { return num_crossing_nets_; }
+  /// Instances per block (size num_blocks()).
+  const std::vector<size_t>& block_instance_counts() const {
+    return block_sizes_;
+  }
+  /// Boundary pins per block (size num_blocks()).
+  const std::vector<size_t>& block_boundary_counts() const {
+    return block_boundary_;
+  }
+
+ private:
+  friend Partition partition_design(const Design& design,
+                                    const PartitionOptions& options);
+
+  size_t num_blocks_ = 1;
+  std::vector<uint32_t> inst_block_;  // index = InstId.index()
+  std::vector<uint32_t> pin_block_;   // index = PinId.index()
+  std::vector<uint8_t> boundary_;     // index = PinId.index()
+  std::vector<PinId> boundary_pins_;
+  std::vector<size_t> block_sizes_;
+  std::vector<size_t> block_boundary_;
+  size_t num_crossing_nets_ = 0;
+};
+
+/// Partition `design` into options.num_blocks blocks (see file comment).
+Partition partition_design(const Design& design,
+                           const PartitionOptions& options);
+
+}  // namespace mm::netlist

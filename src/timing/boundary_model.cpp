@@ -1,0 +1,146 @@
+#include "timing/boundary_model.h"
+
+#include <deque>
+
+#include "obs/obs.h"
+
+namespace mm::timing {
+
+ArrivalEnvelope compute_arrival_envelope(const TimingGraph& graph) {
+  MM_SPAN("timing/boundary_envelope");
+  const size_t n = graph.num_nodes();
+  ArrivalEnvelope env;
+  env.min_arrival.assign(n, 0.0);
+  env.max_arrival.assign(n, 0.0);
+  std::vector<uint8_t> reached(n, 0);
+  for (netlist::PinId pin : graph.startpoints()) reached[pin.index()] = 1;
+  for (const std::vector<netlist::PinId>& level : graph.levels()) {
+    for (netlist::PinId pin : level) {
+      if (!reached[pin.index()]) continue;
+      const double lo = env.min_arrival[pin.index()];
+      const double hi = env.max_arrival[pin.index()];
+      for (ArcId aid : graph.fanout(pin)) {
+        const Arc& arc = graph.arc(aid);
+        if (arc.loop_break) continue;
+        const double d =
+            arc.intrinsic + arc.resistance * graph.load_on(arc.to);
+        const size_t to = arc.to.index();
+        if (!reached[to]) {
+          reached[to] = 1;
+          env.min_arrival[to] = lo + d;
+          env.max_arrival[to] = hi + d;
+        } else {
+          if (lo + d < env.min_arrival[to]) env.min_arrival[to] = lo + d;
+          if (hi + d > env.max_arrival[to]) env.max_arrival[to] = hi + d;
+        }
+      }
+    }
+  }
+  return env;
+}
+
+std::vector<BoundaryModel> extract_boundary_models(
+    const TimingGraph& graph, const netlist::Partition& partition,
+    const Sdc& sdc, const ArrivalEnvelope* envelope) {
+  MM_SPAN("timing/boundary_models");
+  const netlist::Design& design = graph.design();
+  const size_t k = partition.num_blocks();
+
+  ArrivalEnvelope local;
+  if (envelope == nullptr) {
+    local = compute_arrival_envelope(graph);
+    envelope = &local;
+  }
+
+  std::vector<BoundaryModel> models(k);
+  for (size_t b = 0; b < k; ++b) models[b].block = static_cast<uint32_t>(b);
+
+  for (netlist::PinId pin : partition.boundary_pins()) {
+    BoundaryModel& m = models[partition.block_of(pin)];
+    m.envelopes.push_back({pin, envelope->min_arrival[pin.index()],
+                           envelope->max_arrival[pin.index()]});
+  }
+
+  // Clock reachability: BFS from each clock's source pins over non-launch
+  // arcs (past a CP->Q arc the clock is data). A clock joins every block it
+  // touches. Virtual clocks (no sources) reach no block.
+  std::vector<uint8_t> visited(graph.num_nodes());
+  std::vector<uint8_t> touches(k);
+  for (size_t c = 0; c < sdc.num_clocks(); ++c) {
+    const sdc::Clock& clock = sdc.clock(sdc::ClockId(c));
+    if (clock.is_virtual()) continue;
+    std::fill(visited.begin(), visited.end(), 0);
+    std::fill(touches.begin(), touches.end(), 0);
+    std::deque<netlist::PinId> queue;
+    for (netlist::PinId src : clock.sources) {
+      if (src.index() >= graph.num_nodes() || visited[src.index()]) continue;
+      visited[src.index()] = 1;
+      queue.push_back(src);
+    }
+    while (!queue.empty()) {
+      const netlist::PinId at = queue.front();
+      queue.pop_front();
+      touches[partition.block_of(at)] = 1;
+      for (ArcId aid : graph.fanout(at)) {
+        const Arc& arc = graph.arc(aid);
+        if (arc.kind == ArcKind::kLaunch) continue;
+        if (visited[arc.to.index()]) continue;
+        visited[arc.to.index()] = 1;
+        queue.push_back(arc.to);
+      }
+    }
+    for (size_t b = 0; b < k; ++b) {
+      if (touches[b]) models[b].clocks.push_back(sdc::ClockId(c));
+    }
+  }
+
+  // Crossing exceptions: anchor pins in more than one block, or anchors
+  // that name no pin at all (clock-only / design-wide — they bind to no
+  // block, so every block's stitch must see them).
+  const std::vector<sdc::Exception>& exceptions = sdc.exceptions();
+  for (size_t e = 0; e < exceptions.size(); ++e) {
+    const sdc::Exception& ex = exceptions[e];
+    uint32_t first = UINT32_MAX;
+    bool crossing = false;
+    bool any_pin = false;
+    auto visit = [&](const sdc::ExceptionPoint& pt) {
+      for (netlist::PinId pin : pt.pins) {
+        if (!pin.valid()) continue;
+        any_pin = true;
+        const uint32_t b = partition.block_of(pin);
+        if (first == UINT32_MAX) {
+          first = b;
+        } else if (b != first) {
+          crossing = true;
+        }
+      }
+    };
+    visit(ex.from);
+    for (const sdc::ExceptionPoint& pt : ex.throughs) visit(pt);
+    visit(ex.to);
+    if (!any_pin) {
+      for (size_t b = 0; b < k; ++b) {
+        models[b].crossing_exceptions.push_back(static_cast<uint32_t>(e));
+      }
+    } else if (crossing) {
+      std::vector<uint8_t> in(k, 0);
+      auto mark = [&](const sdc::ExceptionPoint& pt) {
+        for (netlist::PinId pin : pt.pins) {
+          if (pin.valid()) in[partition.block_of(pin)] = 1;
+        }
+      };
+      mark(ex.from);
+      for (const sdc::ExceptionPoint& pt : ex.throughs) mark(pt);
+      mark(ex.to);
+      for (size_t b = 0; b < k; ++b) {
+        if (in[b]) {
+          models[b].crossing_exceptions.push_back(static_cast<uint32_t>(e));
+        }
+      }
+    }
+  }
+
+  return models;
+}
+
+}  // namespace mm::timing

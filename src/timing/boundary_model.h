@@ -1,0 +1,70 @@
+#pragma once
+// Per-block boundary timing models for hierarchical sharded merging
+// (docs/SHARDING.md; in the spirit of the boundary-model extraction papers
+// in PAPERS.md — arXiv 1705.02610 / 1705.04981).
+//
+// For one (block, mode) pair a BoundaryModel summarizes everything the
+// top-level stitch pass needs to reason about the block without touching
+// its interior:
+//
+//   - the block's boundary pins with a structural min/max arrival envelope
+//     (one levelized forward sweep over slew-independent arc delays:
+//     intrinsic + resistance * load; a conservative bound that is
+//     mode-independent and therefore shared across modes of one design),
+//   - the clocks of the mode that structurally reach the block (BFS from
+//     each clock's source pins over non-launch arcs — launch arcs turn
+//     clock into data at Q),
+//   - the indices of the mode's timing exceptions whose anchor pins cross
+//     the cut (anchors in more than one block, or clock-only anchors that
+//     bind to no block).
+//
+// The model speaks ClockIds and exception indices of its own Sdc; the
+// merge layer interns these into CanonicalKeyTable ids (merge/keys.h) so
+// models from different blocks and modes compare cheaply.
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/partition.h"
+#include "sdc/sdc.h"
+#include "timing/graph.h"
+
+namespace mm::timing {
+
+using sdc::Sdc;
+
+struct BoundaryEnvelope {
+  netlist::PinId pin;
+  double min_arrival = 0.0;  // earliest structural arrival at the pin
+  double max_arrival = 0.0;  // latest structural arrival at the pin
+};
+
+/// One block's boundary summary for one mode.
+struct BoundaryModel {
+  uint32_t block = 0;
+  /// The block's boundary pins (ascending pin id) with arrival envelopes.
+  std::vector<BoundaryEnvelope> envelopes;
+  /// Clocks of the mode that structurally reach any pin of the block.
+  std::vector<sdc::ClockId> clocks;
+  /// Indices into sdc.exceptions() whose anchors cross this block's cut.
+  std::vector<uint32_t> crossing_exceptions;
+};
+
+/// Structural min/max arrival per pin: one forward sweep over the level
+/// buckets with arc delay = intrinsic + resistance * load_on(to). Shared
+/// across modes; sliced per block by extract_boundary_models.
+struct ArrivalEnvelope {
+  std::vector<double> min_arrival;  // indexed by PinId
+  std::vector<double> max_arrival;
+};
+
+ArrivalEnvelope compute_arrival_envelope(const TimingGraph& graph);
+
+/// Extract one BoundaryModel per block for `sdc` (size =
+/// partition.num_blocks()). `envelope` may be null, in which case it is
+/// computed internally; pass a precomputed one to share it across modes.
+std::vector<BoundaryModel> extract_boundary_models(
+    const TimingGraph& graph, const netlist::Partition& partition,
+    const Sdc& sdc, const ArrivalEnvelope* envelope = nullptr);
+
+}  // namespace mm::timing

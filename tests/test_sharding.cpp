@@ -1,0 +1,488 @@
+// Hierarchical sharded merging (docs/SHARDING.md): the partitioner, the
+// boundary models, and the ShardedMergeSession stitch must be
+// byte-identical to the flat path — same mergeability edges and reasons,
+// same clique cover, same merged SDC bytes — for every K, on the paper's
+// running example and on generated block-structured families. Plus the
+// greedy_clique_cover determinism regression: the cover is a pure function
+// of the adjacency matrix, invariant to how the verdicts were produced and
+// stable under mode relabeling when degrees are distinct.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gen/design_gen.h"
+#include "gen/mode_gen.h"
+#include "gen/paper_circuit.h"
+#include "merge/context.h"
+#include "merge/mergeability.h"
+#include "merge/session.h"
+#include "merge/sharded_session.h"
+#include "netlist/libcell.h"
+#include "netlist/partition.h"
+#include "sdc/parser.h"
+#include "sdc/writer.h"
+#include "timing/boundary_model.h"
+#include "timing/graph.h"
+#include "util/rng.h"
+
+namespace mm::merge {
+namespace {
+
+namespace cs = gen::constraint_sets;
+
+// --- Partitioner --------------------------------------------------------
+
+class PartitionTest : public ::testing::Test {
+ protected:
+  netlist::Library lib = netlist::Library::builtin();
+  netlist::Design design = [this] {
+    gen::DesignParams p;
+    p.num_regs = 60;
+    p.num_domains = 3;
+    p.num_blocks = 4;
+    return gen::generate_design(lib, p);
+  }();
+};
+
+TEST_F(PartitionTest, CoversEveryInstanceAndPin) {
+  netlist::PartitionOptions opt;
+  opt.num_blocks = 4;
+  const netlist::Partition part = netlist::partition_design(design, opt);
+  ASSERT_EQ(part.num_blocks(), 4u);
+
+  size_t total = 0;
+  for (size_t b = 0; b < part.num_blocks(); ++b) {
+    EXPECT_GT(part.block_instance_counts()[b], 0u) << "empty block " << b;
+    total += part.block_instance_counts()[b];
+  }
+  EXPECT_EQ(total, design.num_instances());
+  for (size_t i = 0; i < design.num_instances(); ++i) {
+    EXPECT_LT(part.block_of_instance(netlist::InstId(i)), part.num_blocks());
+  }
+  for (size_t p = 0; p < design.num_pins(); ++p) {
+    EXPECT_LT(part.block_of(netlist::PinId(p)), part.num_blocks());
+  }
+}
+
+TEST_F(PartitionTest, DeterministicForSeedAndSensitiveToIt) {
+  netlist::PartitionOptions opt;
+  opt.num_blocks = 4;
+  opt.seed = 3;
+  const netlist::Partition a = netlist::partition_design(design, opt);
+  const netlist::Partition b = netlist::partition_design(design, opt);
+  for (size_t i = 0; i < design.num_instances(); ++i) {
+    ASSERT_EQ(a.block_of_instance(netlist::InstId(i)),
+              b.block_of_instance(netlist::InstId(i)));
+  }
+  ASSERT_EQ(a.boundary_pins(), b.boundary_pins());
+
+  // A different seed probes a different cut (different seed placement) —
+  // on a 60-register design at least one instance should move.
+  opt.seed = 17;
+  const netlist::Partition c = netlist::partition_design(design, opt);
+  bool moved = false;
+  for (size_t i = 0; i < design.num_instances() && !moved; ++i) {
+    moved = a.block_of_instance(netlist::InstId(i)) !=
+            c.block_of_instance(netlist::InstId(i));
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST_F(PartitionTest, BoundaryPinsAreExactlyTheCrossingNets) {
+  netlist::PartitionOptions opt;
+  opt.num_blocks = 3;
+  const netlist::Partition part = netlist::partition_design(design, opt);
+
+  size_t crossing = 0;
+  std::vector<netlist::PinId> expected;
+  for (const netlist::Net& net : design.nets()) {
+    std::vector<netlist::PinId> net_pins;
+    if (net.driver.valid()) net_pins.push_back(net.driver);
+    net_pins.insert(net_pins.end(), net.loads.begin(), net.loads.end());
+    if (net_pins.empty()) continue;
+    bool spans = false;
+    for (size_t i = 1; i < net_pins.size() && !spans; ++i) {
+      spans = part.block_of(net_pins[i]) != part.block_of(net_pins[0]);
+    }
+    if (!spans) continue;
+    ++crossing;
+    expected.insert(expected.end(), net_pins.begin(), net_pins.end());
+  }
+  EXPECT_EQ(part.num_crossing_nets(), crossing);
+  EXPECT_GT(crossing, 0u);
+
+  std::sort(expected.begin(), expected.end(),
+            [](netlist::PinId a, netlist::PinId b) {
+              return a.index() < b.index();
+            });
+  expected.erase(std::unique(expected.begin(), expected.end()),
+                 expected.end());
+  EXPECT_EQ(part.boundary_pins(), expected);
+  for (const netlist::PinId pin : expected) {
+    EXPECT_TRUE(part.is_boundary(pin));
+  }
+}
+
+TEST_F(PartitionTest, SingleBlockHasNoBoundary) {
+  const netlist::Partition part =
+      netlist::partition_design(design, netlist::PartitionOptions{});
+  EXPECT_EQ(part.num_blocks(), 1u);
+  EXPECT_TRUE(part.boundary_pins().empty());
+  EXPECT_EQ(part.num_crossing_nets(), 0u);
+}
+
+TEST_F(PartitionTest, BlockCountClampedToInstances) {
+  netlist::PartitionOptions opt;
+  opt.num_blocks = 100000;
+  const netlist::Partition part = netlist::partition_design(design, opt);
+  EXPECT_EQ(part.num_blocks(), design.num_instances());
+}
+
+// --- Boundary models ----------------------------------------------------
+
+TEST(BoundaryModel, EnvelopeAndClockReachabilityAreSane) {
+  netlist::Library lib = netlist::Library::builtin();
+  gen::DesignParams dp;
+  dp.num_regs = 40;
+  dp.num_blocks = 2;
+  const netlist::Design design = gen::generate_design(lib, dp);
+  const timing::TimingGraph graph(design);
+
+  netlist::PartitionOptions popt;
+  popt.num_blocks = 2;
+  const netlist::Partition part = netlist::partition_design(design, popt);
+
+  const timing::ArrivalEnvelope env = timing::compute_arrival_envelope(graph);
+  ASSERT_EQ(env.min_arrival.size(), design.num_pins());
+  for (size_t p = 0; p < design.num_pins(); ++p) {
+    EXPECT_LE(env.min_arrival[p], env.max_arrival[p]) << "pin " << p;
+  }
+
+  const sdc::Sdc mode = sdc::parse_sdc(
+      "create_clock -name C0 -period 10 [get_ports clk0]\n"
+      "create_clock -name C1 -period 8 [get_ports clk1]\n"
+      "set_multicycle_path 2 -setup -from [get_clocks C0] -to "
+      "[get_clocks C0]\n",
+      design);
+  const std::vector<timing::BoundaryModel> models =
+      timing::extract_boundary_models(graph, part, mode, &env);
+  ASSERT_EQ(models.size(), 2u);
+  for (const timing::BoundaryModel& m : models) {
+    // Registers of every domain land in both halves of a 40-register
+    // design, so each block sees some clock.
+    EXPECT_FALSE(m.clocks.empty()) << "block " << m.block;
+    EXPECT_EQ(m.envelopes.size(), part.block_boundary_counts()[m.block]);
+    for (const timing::BoundaryEnvelope& e : m.envelopes) {
+      EXPECT_TRUE(part.is_boundary(e.pin));
+      EXPECT_EQ(part.block_of(e.pin), m.block);
+      EXPECT_LE(e.min_arrival, e.max_arrival);
+    }
+    for (const uint32_t x : m.crossing_exceptions) {
+      EXPECT_LT(x, mode.exceptions().size());
+    }
+  }
+}
+
+// --- ShardedMergeSession parity ----------------------------------------
+
+/// Assert session output == a flat merge_mode_set + MergeabilityGraph over
+/// the same decks with the same options (minus sharding): clique cover,
+/// edges, reasons, merged SDC bytes.
+void expect_unsharded_parity(ShardedMergeSession& session,
+                             const timing::TimingGraph& graph) {
+  const ShardedMergeSession::CommitResult& r = session.last_commit();
+  const std::vector<const Sdc*> live = session.live_modes();
+  MergeOptions flat = session.context().options();
+  flat.num_shards = 1;
+
+  const MergedModeSet scratch = merge_mode_set(graph, live, flat);
+  ASSERT_EQ(r.cliques, scratch.cliques);
+  ASSERT_EQ(r.merged.size(), scratch.merged.size());
+  for (size_t i = 0; i < r.merged.size(); ++i) {
+    EXPECT_EQ(sdc::write_sdc(*r.merged[i]->merge.merged),
+              sdc::write_sdc(*scratch.merged[i].merge.merged))
+        << "clique " << i;
+  }
+
+  MergeContext ref_ctx(flat);
+  const MergeabilityGraph ref(live, ref_ctx);
+  ASSERT_EQ(session.graph().num_modes(), ref.num_modes());
+  for (size_t i = 0; i < ref.num_modes(); ++i) {
+    for (size_t j = 0; j < ref.num_modes(); ++j) {
+      EXPECT_EQ(session.graph().edge(i, j), ref.edge(i, j)) << i << "," << j;
+      EXPECT_EQ(session.graph().reason(i, j), ref.reason(i, j))
+          << i << "," << j;
+    }
+  }
+}
+
+class ShardedPaperTest : public ::testing::Test {
+ protected:
+  netlist::Library lib = netlist::Library::builtin();
+  netlist::Design design = gen::paper_circuit(lib);
+  timing::TimingGraph graph{design};
+
+  std::vector<sdc::Sdc> modes;
+  std::vector<std::string> names;
+
+  void SetUp() override {
+    const std::pair<const char*, const char*> decks[] = {
+        {"set1", cs::kSet1},         {"set2a", cs::kSet2ModeA},
+        {"set2b", cs::kSet2ModeB},   {"set3a", cs::kSet3ModeA},
+        {"set3b", cs::kSet3ModeB},   {"set4a", cs::kSet4ModeA},
+        {"set4b", cs::kSet4ModeB},   {"set5a", cs::kSet5ModeA},
+        {"set5b", cs::kSet5ModeB},   {"set6a", cs::kSet6ModeA},
+        {"set6b", cs::kSet6ModeB},
+    };
+    for (const auto& [name, text] : decks) {
+      names.push_back(name);
+      modes.push_back(sdc::parse_sdc(text, design));
+    }
+  }
+};
+
+// K = 1 is the degenerate case: no checker installed, the wrapper *is*
+// MergeSession (and reports an empty boundary and zero stitch work).
+TEST_F(ShardedPaperTest, SingleShardDegeneratesToMergeSession) {
+  MergeOptions opt;
+  opt.num_shards = 1;
+  opt.validate = false;
+  ShardedMergeSession session(graph, opt);
+  for (size_t i = 0; i < modes.size(); ++i) {
+    session.add_mode(names[i], &modes[i]);
+  }
+  session.commit();
+
+  EXPECT_EQ(session.num_blocks(), 1u);
+  EXPECT_EQ(session.partition().boundary_pins().size(), 0u);
+  EXPECT_EQ(session.last_stitch().pairs_checked, 0u);
+  EXPECT_TRUE(session.boundary_models(&modes[0]).empty());
+  expect_unsharded_parity(session, graph);
+}
+
+// The paper's whole constraint-set family through every shard count: the
+// stitched verdicts must reproduce the flat cover, reasons, and bytes.
+TEST_F(ShardedPaperTest, ByteParityAcrossShardCounts) {
+  for (const size_t k : {2u, 4u, 8u}) {
+    SCOPED_TRACE("K=" + std::to_string(k));
+    MergeOptions opt;
+    opt.num_shards = k;
+    opt.validate = false;
+    ShardedMergeSession session(graph, opt);
+    for (size_t i = 0; i < modes.size(); ++i) {
+      session.add_mode(names[i], &modes[i]);
+    }
+    session.commit();
+
+    EXPECT_GT(session.num_blocks(), 1u);
+    const ShardedMergeSession::StitchStats& st = session.last_stitch();
+    EXPECT_EQ(st.pairs_checked, modes.size() * (modes.size() - 1) / 2);
+    EXPECT_EQ(st.pairs_local + st.pairs_descended, st.pairs_checked);
+    expect_unsharded_parity(session, graph);
+
+    // Every registered deck carries one boundary model per block.
+    const std::vector<timing::BoundaryModel>& bm =
+        session.boundary_models(&modes[0]);
+    EXPECT_EQ(bm.size(), session.num_blocks());
+  }
+}
+
+// Incremental mutation through the sharded wrapper: remove + update between
+// commits must keep parity (projections retained/released per deck).
+TEST_F(ShardedPaperTest, IncrementalCommitsKeepParity) {
+  MergeOptions opt;
+  opt.num_shards = 4;
+  opt.validate = false;
+  ShardedMergeSession session(graph, opt);
+  std::vector<ShardedMergeSession::ModeId> ids;
+  for (size_t i = 0; i < modes.size(); ++i) {
+    ids.push_back(session.add_mode(names[i], &modes[i]));
+  }
+  session.commit();
+  expect_unsharded_parity(session, graph);
+
+  session.remove_mode(ids[3]);
+  session.update_mode(ids[5], &modes[6]);
+  session.commit();
+  expect_unsharded_parity(session, graph);
+
+  session.add_mode("set3b_back", &modes[4]);
+  session.commit();
+  expect_unsharded_parity(session, graph);
+}
+
+// A generated 64-mode family on a block-structured design: the scale the
+// sharded path exists for. Mostly-local cones keep the boundary shard
+// thin, so the stitch decides the bulk of the pairs without descending.
+TEST(ShardedFamily, SixtyFourModeByteParity) {
+  netlist::Library lib = netlist::Library::builtin();
+  gen::DesignParams dp;
+  dp.num_regs = 60;
+  dp.num_domains = 3;
+  dp.num_blocks = 4;
+  const netlist::Design design = gen::generate_design(lib, dp);
+  const timing::TimingGraph graph(design);
+
+  gen::ModeFamilyParams mp;
+  mp.num_modes = 64;
+  mp.target_groups = 8;
+  const std::vector<gen::GeneratedMode> family =
+      gen::generate_mode_family(dp, mp);
+  ASSERT_EQ(family.size(), 64u);
+
+  std::vector<sdc::Sdc> modes;
+  modes.reserve(family.size());
+  for (const gen::GeneratedMode& gm : family) {
+    modes.push_back(sdc::parse_sdc(gm.sdc_text, design));
+  }
+
+  for (const size_t k : {2u, 4u}) {
+    SCOPED_TRACE("K=" + std::to_string(k));
+    MergeOptions opt;
+    opt.num_shards = k;
+    opt.validate = false;
+    ShardedMergeSession session(graph, opt);
+    for (size_t i = 0; i < modes.size(); ++i) {
+      session.add_mode(family[i].name, &modes[i]);
+    }
+    const ShardedMergeSession::CommitResult& r = session.commit();
+    EXPECT_EQ(r.cliques.size(), 8u);
+
+    const ShardedMergeSession::StitchStats& st = session.last_stitch();
+    EXPECT_EQ(st.pairs_checked, 64u * 63u / 2u);
+    // Acceptance bar: boundary re-checks stay rare on block-structured
+    // designs (< 20% of pairs).
+    EXPECT_LT(st.pairs_descended * 5, st.pairs_checked);
+    expect_unsharded_parity(session, graph);
+  }
+}
+
+// --- greedy_clique_cover determinism ------------------------------------
+
+/// Random symmetric adjacency with the diagonal set.
+std::vector<uint8_t> random_adjacency(size_t n, util::Rng& rng,
+                                      int edge_percent) {
+  std::vector<uint8_t> adj(n * n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    adj[i * n + i] = 1;
+    for (size_t j = i + 1; j < n; ++j) {
+      const uint8_t e = rng.chance(edge_percent) ? 1 : 0;
+      adj[i * n + j] = e;
+      adj[j * n + i] = e;
+    }
+  }
+  return adj;
+}
+
+// The cover is a pure function of the matrix: two calls agree, and the
+// matrix assembled from any verdict production order (flat, sharded,
+// incremental) is the same matrix — this is the property that makes
+// sharded covers byte-identical to flat ones.
+TEST(CliqueCoverDeterminism, PureFunctionOfAdjacency) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 3 + rng.below(12);
+    const std::vector<uint8_t> adj =
+        random_adjacency(n, rng, 20 + static_cast<int>(rng.below(60)));
+    EXPECT_EQ(greedy_clique_cover(n, adj), greedy_clique_cover(n, adj));
+  }
+}
+
+// Relabeling invariance on planted disjoint cliques: when the graph is a
+// union of disjoint cliques (the structure mode_gen plants and the merge
+// pipeline's covers must recover exactly), the cover is the planted
+// partition under *every* labeling — any hidden dependence on iteration
+// order beyond the documented degree/index rule would break this.
+TEST(CliqueCoverDeterminism, RelabelingInvariantOnDisjointCliques) {
+  util::Rng rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    // Plant cliques of distinct sizes 1..g over shuffled labels.
+    const size_t g = 2 + rng.below(4);
+    size_t n = 0;
+    for (size_t c = 0; c < g; ++c) n += c + 1;
+    std::vector<size_t> label(n);
+    for (size_t i = 0; i < n; ++i) label[i] = i;
+    for (size_t i = n; i > 1; --i) {
+      std::swap(label[i - 1], label[rng.below(i)]);
+    }
+    std::vector<std::vector<size_t>> planted;
+    size_t next = 0;
+    for (size_t c = 0; c < g; ++c) {
+      std::vector<size_t> clique;
+      for (size_t k = 0; k <= c; ++k) clique.push_back(label[next++]);
+      planted.push_back(std::move(clique));
+    }
+    std::vector<uint8_t> adj(n * n, 0);
+    for (size_t i = 0; i < n; ++i) adj[i * n + i] = 1;
+    for (const std::vector<size_t>& clique : planted) {
+      for (const size_t a : clique) {
+        for (const size_t b : clique) adj[a * n + b] = 1;
+      }
+    }
+
+    std::vector<std::vector<size_t>> cover = greedy_clique_cover(n, adj);
+    for (std::vector<size_t>& c : cover) std::sort(c.begin(), c.end());
+    std::sort(cover.begin(), cover.end());
+    for (std::vector<size_t>& c : planted) std::sort(c.begin(), c.end());
+    std::sort(planted.begin(), planted.end());
+    EXPECT_EQ(cover, planted) << "trial " << trial;
+  }
+}
+
+// Mode insertion order on a planted block-diagonal family: the cover as a
+// set of name-sets must not depend on the order decks were registered.
+// (This is exactly the structure where the invariant is guaranteed — with
+// overlapping cliques the greedy tie-breaks legitimately depend on ids.)
+TEST(CliqueCoverDeterminism, InsertionOrderInvariantCoverContents) {
+  netlist::Library lib = netlist::Library::builtin();
+  gen::DesignParams dp;
+  dp.num_regs = 40;
+  dp.num_blocks = 2;
+  const netlist::Design design = gen::generate_design(lib, dp);
+  const timing::TimingGraph graph(design);
+
+  gen::ModeFamilyParams mp;
+  mp.num_modes = 10;
+  mp.target_groups = 3;
+  const std::vector<gen::GeneratedMode> family =
+      gen::generate_mode_family(dp, mp);
+  std::vector<sdc::Sdc> modes;
+  for (const gen::GeneratedMode& gm : family) {
+    modes.push_back(sdc::parse_sdc(gm.sdc_text, design));
+  }
+
+  auto cover_by_name = [&](const std::vector<size_t>& order) {
+    MergeOptions opt;
+    opt.num_shards = 4;
+    opt.validate = false;
+    ShardedMergeSession session(graph, opt);
+    std::vector<std::string> by_index;
+    for (const size_t i : order) {
+      session.add_mode(family[i].name, &modes[i]);
+      by_index.push_back(family[i].name);
+    }
+    const ShardedMergeSession::CommitResult& r = session.commit();
+    std::vector<std::vector<std::string>> cover;
+    for (const std::vector<size_t>& clique : r.cliques) {
+      std::vector<std::string> members;
+      for (const size_t m : clique) members.push_back(by_index[m]);
+      std::sort(members.begin(), members.end());
+      cover.push_back(std::move(members));
+    }
+    std::sort(cover.begin(), cover.end());
+    return cover;
+  };
+
+  std::vector<size_t> fwd(modes.size());
+  for (size_t i = 0; i < fwd.size(); ++i) fwd[i] = i;
+  std::vector<size_t> rev(fwd.rbegin(), fwd.rend());
+  const auto cover = cover_by_name(fwd);
+  EXPECT_EQ(cover.size(), 3u);
+  EXPECT_EQ(cover, cover_by_name(rev));
+}
+
+}  // namespace
+}  // namespace mm::merge

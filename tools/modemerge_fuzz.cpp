@@ -53,6 +53,7 @@ void usage(std::FILE* to) {
       "  --no-idempotence     skip P3 merge(S,S) fixpoint\n"
       "  --no-cover           skip P4 clique-cover validity/maximality\n"
       "  --no-incremental     skip P5 MergeSession delta-vs-batch parity\n"
+      "  --no-sharded         skip P6 sharded-vs-unsharded byte parity\n"
       "\n"
       "oracle mutation testing:\n"
       "  --inject KIND        none | falsify-mcp | drop-exceptions |\n"
@@ -153,6 +154,7 @@ int main(int argc, char** argv) {
     else if (arg == "--no-idempotence") opt.check_idempotence = false;
     else if (arg == "--no-cover") opt.check_cover = false;
     else if (arg == "--no-incremental") opt.check_incremental = false;
+    else if (arg == "--no-sharded") opt.check_sharded = false;
     else if (arg == "--inject") {
       const char* name = value();
       if (!fuzz::parse_mutation(name, &opt.inject)) {

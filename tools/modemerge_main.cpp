@@ -39,6 +39,7 @@
 
 #include "merge/merger.h"
 #include "merge/session.h"
+#include "merge/sharded_session.h"
 #include "netlist/liberty.h"
 #include "netlist/verilog.h"
 #include "obs/journal.h"
@@ -90,6 +91,12 @@ void usage(std::FILE* to) {
       "                       per mode instead of the batched multi-lane\n"
       "                       walk (parity reference; output is\n"
       "                       byte-identical either way)\n"
+      "  --shards K           hierarchical sharded merging: partition the\n"
+      "                       netlist into K blocks, run per-block\n"
+      "                       mergeability in parallel, stitch at the\n"
+      "                       boundary (docs/SHARDING.md; output is\n"
+      "                       byte-identical to --shards 1, the default)\n"
+      "  --shard-seed N       partitioner seed (block placement sweeps)\n"
       "\n"
       "analysis / reports:\n"
       "  --sta                run STA individual-vs-merged and report reduction\n"
@@ -164,14 +171,30 @@ bool write_merged(const std::string& out_dir, size_t clique,
   return true;
 }
 
-/// Execute a --script delta file against a long-lived MergeSession.
-/// Returns the process exit status. Script syntax errors exit 2 directly
-/// (same contract as bad command-line input).
-int run_script(const std::string& script_path,
-               const mm::timing::TimingGraph& graph,
-               const mm::netlist::Design& design,
-               const mm::merge::MergeOptions& options,
-               const std::string& out_dir, mm::obs::StatsMeta& meta) {
+/// Print the sharding topology + stitch accounting of a sharded session
+/// (no-op for the flat MergeSession).
+void print_shard_summary(const mm::merge::MergeSession&) {}
+void print_shard_summary(const mm::merge::ShardedMergeSession& session) {
+  if (session.num_blocks() <= 1) return;
+  const mm::netlist::Partition& part = session.partition();
+  const mm::merge::ShardedMergeSession::StitchStats& st = session.last_stitch();
+  std::printf(
+      "shards: %zu blocks, %zu boundary pins, %zu crossing nets; "
+      "stitch: %zu pairs (%zu local, %zu boundary-skipped, %zu descended)\n",
+      part.num_blocks(), part.boundary_pins().size(), part.num_crossing_nets(),
+      st.pairs_checked, st.pairs_local, st.boundary_skips, st.pairs_descended);
+}
+
+/// Execute a --script delta file against a long-lived session (the flat
+/// MergeSession, or ShardedMergeSession under --shards K). Returns the
+/// process exit status. Script syntax errors exit 2 directly (same
+/// contract as bad command-line input).
+template <typename Session>
+int run_script_impl(const std::string& script_path,
+                    const mm::timing::TimingGraph& graph,
+                    const mm::netlist::Design& design,
+                    const mm::merge::MergeOptions& options,
+                    const std::string& out_dir, mm::obs::StatsMeta& meta) {
   using namespace mm;
 
   const std::string text = read_file(script_path);
@@ -182,9 +205,9 @@ int run_script(const std::string& script_path,
     return (!p.empty() && p.front() == '/') ? p : script_dir + p;
   };
 
-  merge::MergeSession session(graph, options);
+  Session session(graph, options);
   struct LiveMode {
-    merge::MergeSession::ModeId id;
+    typename Session::ModeId id;
     std::unique_ptr<sdc::Sdc> sdc;  // session borrows; must outlive the entry
   };
   std::map<std::string, LiveMode> live;
@@ -220,7 +243,7 @@ int run_script(const std::string& script_path,
                   name.c_str(), sdc->num_clocks(), sdc->exceptions().size());
       if (cmd == "add") {
         if (live.count(name)) fail("mode name already live");
-        const merge::MergeSession::ModeId id = session.add_mode(name, sdc.get());
+        const typename Session::ModeId id = session.add_mode(name, sdc.get());
         live.emplace(name, LiveMode{id, std::move(sdc)});
       } else {
         auto it = live.find(name);
@@ -236,7 +259,7 @@ int run_script(const std::string& script_path,
       live.erase(it);
       std::printf("remove %s\n", name.c_str());
     } else if (cmd == "commit") {
-      const merge::MergeSession::CommitResult& r = session.commit();
+      const typename Session::CommitResult& r = session.commit();
       ++commits;
       std::printf(
           "commit %zu: %zu modes -> %zu merged (%zu reused, %zu re-merged), "
@@ -244,6 +267,7 @@ int run_script(const std::string& script_path,
           commits, r.num_input_modes, r.num_merged_modes(), r.cliques_reused,
           r.cliques_merged, r.pairs_rechecked, r.pairs_skipped_clean,
           r.total_seconds);
+      print_shard_summary(session);
     } else {
       fail("unknown command (expected add/update/remove/commit)");
     }
@@ -251,8 +275,9 @@ int run_script(const std::string& script_path,
 
   // A trailing commit is implied so every script yields output; with no
   // deltas since the last explicit commit this reuses everything.
-  const merge::MergeSession::CommitResult& out = session.commit();
+  const typename Session::CommitResult& out = session.commit();
   ++commits;
+  print_shard_summary(session);
   std::printf("\nfinal: %zu modes -> %zu merged (%.1f%% reduction), "
               "%zu commits\n",
               out.num_input_modes, out.num_merged_modes(),
@@ -283,6 +308,19 @@ int run_script(const std::string& script_path,
     return 1;
   }
   return wrote_ok ? 0 : 1;
+}
+
+int run_script(const std::string& script_path,
+               const mm::timing::TimingGraph& graph,
+               const mm::netlist::Design& design,
+               const mm::merge::MergeOptions& options,
+               const std::string& out_dir, mm::obs::StatsMeta& meta) {
+  if (options.num_shards > 1) {
+    return run_script_impl<mm::merge::ShardedMergeSession>(
+        script_path, graph, design, options, out_dir, meta);
+  }
+  return run_script_impl<mm::merge::MergeSession>(script_path, graph, design,
+                                                  options, out_dir, meta);
 }
 
 }  // namespace
@@ -332,6 +370,11 @@ int main(int argc, char** argv) {
     else if (arg == "--no-hold") options.analyze_hold = false;
     else if (arg == "--no-key-intern") options.use_interned_keys = false;
     else if (arg == "--no-batched-sta") options.use_batched_sta = false;
+    else if (arg == "--shards")
+      options.num_shards = parse_size_arg("--shards", value());
+    else if (arg == "--shard-seed")
+      options.shard_seed =
+          static_cast<uint64_t>(parse_size_arg("--shard-seed", value()));
     else if (arg == "--seed")
       seed = static_cast<uint64_t>(parse_size_arg("--seed", value()));
     else if (arg == "--stats-out") stats_out = value();
@@ -447,8 +490,23 @@ int main(int argc, char** argv) {
     }
     for (const sdc::Sdc& m : modes) ptrs.push_back(&m);
 
-    const merge::MergedModeSet out =
-        merge::merge_mode_set(graph, ptrs, options);
+    merge::MergedModeSet out;
+    if (options.num_shards > 1) {
+      // Sharded batch: one-commit ShardedMergeSession, byte-identical
+      // output to the flat merge_mode_set (docs/SHARDING.md).
+      merge::ShardedMergeSession session(graph, options);
+      for (size_t i = 0; i < modes.size(); ++i) {
+        session.add_mode(mode_paths[i], &modes[i]);
+      }
+      session.commit();
+      print_shard_summary(session);
+      meta.numbers["shards"] = static_cast<double>(session.num_blocks());
+      meta.numbers["shard_pairs_descended"] =
+          static_cast<double>(session.last_stitch().pairs_descended);
+      out = session.release_batch();
+    } else {
+      out = merge::merge_mode_set(graph, ptrs, options);
+    }
     std::printf("\n%zu modes -> %zu merged (%.1f%% reduction) in %.2fs\n",
                 ptrs.size(), out.num_merged_modes(), out.reduction_percent(),
                 out.total_seconds);
