@@ -30,7 +30,7 @@ import json
 import sys
 from pathlib import Path
 
-IDENTITY_KEYS = ("cells", "modes", "threads", "shards")
+IDENTITY_KEYS = ("cells", "modes", "threads", "shards", "window")
 
 
 def row_identity(row):

@@ -6,6 +6,7 @@
 
 #include "fuzz/corpus.h"
 #include "merge/mergeability.h"
+#include "merge/qor.h"
 #include "obs/journal.h"
 #include "merge/merger.h"
 #include "merge/session.h"
@@ -580,6 +581,148 @@ void check_sharded_property(const timing::TimingGraph& graph,
   }
 }
 
+/// P7: the merge-policy oracle. Deliberately ignores the case's (mutated)
+/// mode decks — text mutation can legitimately loosen merged STA values
+/// even under the exact policy (dropping a one-sided drive or latency is
+/// relationship-equivalent but value-optimistic) — and instead derives a
+/// self-contained near-miss family from the case seed on the case's
+/// design: one functional mode per group, carrier gaps alternating
+/// W -/+ eps around the window boundary, every windowed field present in
+/// every mode (gen/mode_gen.h). Asserts:
+///   - boundary decisions on both sides: exact -> G cliques, windowed ->
+///     exactly ceil(G/2), and each adjacent pair merges iff its gap is
+///     the inside one;
+///   - verdict provenance: every windowed acceptance records a window
+///     field and fits its budget;
+///   - the merge/qor.h oracle: merged decks are NEVER optimistic vs the
+///     worst individual member (zero loosened slacks, zero dropped
+///     endpoints) — unconditional;
+///   - bounded pessimism: when refinement accounted for everything
+///     (unresolved_pessimism == 0 on every clique), max QoR pessimism is
+///     within MergePolicy::pessimism_bound().
+void check_policy_property(const timing::TimingGraph& graph,
+                           const netlist::Design& design, const FuzzCase& c,
+                           const FuzzOptions& options,
+                           std::vector<Violation>& violations) {
+  Rng rng(Rng::mix(c.case_seed, 0x707));
+  const size_t groups = 3 + rng.below(3);
+  const double windows[] = {0.1, 0.2, 0.3, 0.4};
+  const double window = rng.pick(windows);
+
+  gen::ModeFamilyParams mp;
+  mp.num_modes = groups;
+  mp.target_groups = groups;  // one functional mode per group
+  const double periods[] = {4.0, 8.0, 10.0, 16.0};
+  mp.base_period = rng.pick(periods);
+  mp.group_mcps = 1 + rng.below(3);  // >= 1 so kFalsifyMcp has a target
+  mp.mode_fps = 0;  // droppable FPs would add non-window pessimism
+  mp.seed = rng.next();
+  mp.near_miss_window = window;
+  mp.near_miss_epsilon = window / 4.0;
+
+  // The family text is generator output, never mutated: a parse failure
+  // here is a generator bug and propagates as such.
+  std::vector<sdc::Sdc> modes;
+  std::vector<const sdc::Sdc*> ptrs;
+  for (const gen::GeneratedMode& gm :
+       gen::generate_mode_family(c.design, mp)) {
+    modes.push_back(sdc::parse_sdc(gm.sdc_text, design));
+  }
+  for (const sdc::Sdc& m : modes) ptrs.push_back(&m);
+
+  // Exact: every carrier gap is out of tolerance -> one clique per mode.
+  merge::MergeOptions exact = baseline_options(options);
+  exact.validate = false;
+  const merge::MergedModeSet exact_out =
+      merge::merge_mode_set(graph, ptrs, exact);
+  if (exact_out.cliques.size() != groups) {
+    violations.push_back(
+        {"policy", "near-miss family: exact policy found " +
+                       std::to_string(exact_out.cliques.size()) +
+                       " cliques, expected " + std::to_string(groups)});
+    return;
+  }
+
+  // Windowed at the family's window: even->odd gaps (W - eps) merge,
+  // odd->even gaps (W + eps) don't, so the cover is exactly ceil(G/2).
+  merge::MergeOptions win = baseline_options(options);
+  win.validate = false;
+  win.policy = merge::MergePolicy::uniform(window);
+  const merge::MergedModeSet win_out = merge::merge_mode_set(graph, ptrs, win);
+  const size_t expect_cliques = (groups + 1) / 2;
+  if (win_out.cliques.size() != expect_cliques) {
+    violations.push_back(
+        {"policy", "near-miss family: window " + format_value(window) +
+                       " found " + std::to_string(win_out.cliques.size()) +
+                       " cliques, expected " +
+                       std::to_string(expect_cliques)});
+    return;
+  }
+
+  // Both sides of the boundary, with provenance, through the reference
+  // Sdc-pair path.
+  for (size_t i = 0; i + 1 < ptrs.size(); ++i) {
+    const merge::PairVerdict v =
+        merge::check_mergeable(*ptrs[i], *ptrs[i + 1], win);
+    const bool expect_merge = (i % 2 == 0);
+    const std::string pair =
+        "pair (" + std::to_string(i) + "," + std::to_string(i + 1) + ")";
+    if (v.mergeable != expect_merge) {
+      violations.push_back(
+          {"policy", pair + ": gap " +
+                         format_value(window + (expect_merge ? -1.0 : 1.0) *
+                                                   mp.near_miss_epsilon) +
+                         " vs window " + format_value(window) + " decided " +
+                         (v.mergeable ? "mergeable" : "conflict") + ": " +
+                         v.reason});
+      return;
+    }
+    if (v.policy != "windowed") {
+      violations.push_back(
+          {"policy", pair + ": verdict policy '" + v.policy +
+                         "', expected 'windowed'"});
+      return;
+    }
+    if (v.mergeable &&
+        (v.window_field.empty() ||
+         v.window_used > v.window_budget + 1e-12)) {
+      violations.push_back(
+          {"policy", pair + ": window acceptance lacks in-budget provenance"
+                            " (field '" +
+                         v.window_field + "', used " +
+                         format_value(v.window_used) + " of " +
+                         format_value(v.window_budget) + ")"});
+      return;
+    }
+  }
+
+  // The QoR oracle: never optimistic, unconditionally.
+  const merge::QoRReport qor = merge::qor_report(graph, ptrs, win_out, win);
+  if (!qor.never_optimistic()) {
+    violations.push_back(
+        {"policy",
+         "windowed merge is optimistic: " +
+             std::to_string(qor.optimism_violations) +
+             " loosened endpoint(s) (max " + format_value(qor.max_optimism) +
+             "), " + std::to_string(qor.missing_endpoints) +
+             " missing endpoint(s)"});
+    return;
+  }
+
+  // Bounded pessimism — only claimable when refinement accounted for every
+  // pessimism key it introduced.
+  bool accounted = true;
+  for (const merge::ValidatedMergeResult& m : win_out.merged) {
+    accounted = accounted && m.merge.stats.unresolved_pessimism == 0;
+  }
+  const double bound = win.policy.pessimism_bound();
+  if (accounted && qor.max_pessimism > bound + qor.slack_eps) {
+    violations.push_back(
+        {"policy", "windowed pessimism " + format_value(qor.max_pessimism) +
+                       " exceeds policy bound " + format_value(bound)});
+  }
+}
+
 }  // namespace
 
 CheckResult check_case(const FuzzCase& c, const FuzzOptions& options) {
@@ -620,6 +763,8 @@ CheckResult check_case(const FuzzCase& c, const FuzzOptions& options) {
     check_incremental_property(graph, ptrs, c, options, result.violations);
   if (options.check_sharded)
     check_sharded_property(graph, ptrs, options, out, result.violations);
+  if (options.check_policy)
+    check_policy_property(graph, design, c, options, result.violations);
   return result;
 }
 

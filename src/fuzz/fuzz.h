@@ -58,6 +58,9 @@ struct FuzzOptions {
   bool check_cover = true;        // P4: clique-cover validity + maximality
   bool check_incremental = true;  // P5: MergeSession delta == batch rebuild
   bool check_sharded = true;      // P6: sharded (K in {2,4,8}) == unsharded
+  bool check_policy = true;       // P7: windowed policy never-optimistic +
+                                  //     bounded pessimism on a case-seeded
+                                  //     near-miss family
   /// Cliques per case put through the idempotence re-merge (cost control).
   size_t idempotence_cliques = 2;
   /// Stop after this many violations (each is minimized first).
@@ -81,7 +84,7 @@ struct FuzzCase {
 
 struct Violation {
   std::string property;  // "equivalence" | "parity" | "idempotence" |
-                         // "cover" | "incremental" | "sharded"
+                         // "cover" | "incremental" | "sharded" | "policy"
   std::string detail;    // human-readable first finding
 };
 
@@ -149,7 +152,18 @@ std::string mutate_sdc_text(const std::string& text, util::Rng& rng);
 ///                    partitioning, per-shard checks, boundary stitch —
 ///                    ends byte-identical to the unsharded baseline on
 ///                    mergeability edges, reasons, clique cover, and
-///                    merged SDC bytes.
+///                    merged SDC bytes;
+///   P7 policy:       a case-seeded near-miss family (gen/mode_gen.h:
+///                    carrier gaps alternating W -/+ eps around the window
+///                    boundary, every windowed field present in every mode)
+///                    merged under MergePolicy::uniform(W) must decide the
+///                    boundary correctly on both sides (exact: G cliques,
+///                    windowed: exactly ceil(G/2)), record in-budget window
+///                    provenance on every accepted pair, and pass the
+///                    merge/qor.h oracle: merged decks NEVER optimistic vs
+///                    the worst individual mode (hard), pessimism within
+///                    MergePolicy::pessimism_bound() when refinement
+///                    accounted for everything (unresolved_pessimism == 0).
 CheckResult check_case(const FuzzCase& c, const FuzzOptions& options);
 
 /// Delta-debugging minimizer: greedily drop whole modes, ddmin each mode's

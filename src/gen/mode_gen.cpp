@@ -68,12 +68,28 @@ class ModeWriter {
     return clock_names_.insert(name).second;
   }
 
+  bool near_miss() const { return p_.near_miss_window > 0.0; }
+
+  /// Cumulative carrier offset of a group. Default: group_conflict_step
+  /// jumps (block-diagonal mergeability). Near-miss mode: alternating gaps
+  /// of W -/+ eps around the policy window boundary (mode_gen.h).
+  double group_offset(size_t group) const {
+    if (!near_miss()) {
+      return p_.group_conflict_step * static_cast<double>(group);
+    }
+    double off = 0.0;
+    for (size_t g = 1; g <= group; ++g) {
+      off += (g % 2 == 1) ? p_.near_miss_window - p_.near_miss_epsilon
+                          : p_.near_miss_window + p_.near_miss_epsilon;
+    }
+    return off;
+  }
+
   /// Conflict carrier: identical within a group, incompatible across groups
   /// — present in every mode kind so the mergeability graph is exactly
   /// block-diagonal.
   void write_conflict_carrier(std::ostringstream& os, size_t group) const {
-    os << "set_input_transition "
-       << 0.1 + p_.group_conflict_step * static_cast<double>(group)
+    os << "set_input_transition " << 0.1 + group_offset(group)
        << " [get_ports di_0]\n";
   }
 
@@ -98,10 +114,19 @@ class ModeWriter {
     write_gen_clocks(os, mode_index);
     // Group-conflicting clock uncertainty on the common clock.
     os << "set_clock_uncertainty -setup "
-       << 0.05 * p_.base_period +
-              p_.group_conflict_step * static_cast<double>(group)
+       << 0.05 * p_.base_period + group_offset(group)
        << " [get_clocks CLK0]\n";
     write_conflict_carrier(os, group);
+    // Near-miss only: a latency carrier exercising the policy's latency
+    // window. Deliberately NOT on CLK0 — input delays anchor there, and
+    // the engine adds clock latency to register arrivals but not to
+    // input-delay launches, so a latency envelope on CLK0 would loosen
+    // input->register slacks (optimism). On CLK1 every same-clock path
+    // shifts launch and capture equally and the envelope cancels.
+    if (near_miss() && domains > 1) {
+      os << "set_clock_latency " << 0.2 * p_.base_period + group_offset(group)
+         << " [get_clocks CLK1]\n";
+    }
 
     os << "set_case_analysis 0 test_mode\n";
     if (d_.scan) os << "set_case_analysis 0 scan_en\n";
@@ -156,7 +181,10 @@ class ModeWriter {
 
     // Group-common multicycle paths (identical across the group's
     // functional modes; uniquified against the group's scan/test modes).
-    Rng rng(p_.seed * 977 + group);
+    // Near-miss families make them family-common instead: cross-group
+    // merges are the whole point there, and a one-sided MCP would block
+    // every one of them.
+    Rng rng(p_.seed * 977 + (near_miss() ? 0 : group));
     for (size_t i = 0; i < p_.group_mcps; ++i) {
       const size_t reg = rng.below(d_.num_regs);
       os << "set_multicycle_path 2 -setup -through [get_pins r" << reg

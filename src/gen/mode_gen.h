@@ -56,6 +56,25 @@ struct ModeFamilyParams {
   /// behavior), 1 = none, 2 = logically exclusive, 3 = CLK0-vs-rest
   /// asynchronous.
   size_t clock_group_style = 0;
+
+  // --- near-miss mode (merge-policy families; docs/POLICIES.md) -----------
+  /// When > 0, the cross-group conflict offsets walk the boundary of a
+  /// windowed merge policy instead of taking group_conflict_step jumps:
+  /// group g's carrier offset is offset(g-1) + (near_miss_window -
+  /// near_miss_epsilon) for odd g and + (near_miss_window +
+  /// near_miss_epsilon) for even g. Adjacent even->odd groups then disagree
+  /// by W - eps (inside a width-W window) while odd->next-even groups
+  /// disagree by W + eps (just outside), so an exact merge yields G cliques
+  /// and a windowed merge with uniform window W yields ceil(G/2) — with
+  /// every acceptance an intentional near-miss on both sides of the
+  /// boundary. Group MCPs become family-common (cross-group merges must not
+  /// trip on them), and functional modes gain a clock-latency carrier on
+  /// CLK1 — a non-I/O clock, where the engine applies the same latency to
+  /// launch and capture so the merged envelope cancels instead of loosening
+  /// input-delay paths. 0 = seed behavior, byte-identical output.
+  double near_miss_window = 0.0;
+  /// Distance of each carrier gap from the window boundary (see above).
+  double near_miss_epsilon = 0.0;
 };
 
 struct GeneratedMode {

@@ -23,12 +23,57 @@ bool within_tolerance(double a, double b, double rel_tol) {
   return std::fabs(a - b) <= rel_tol * scale + 1e-12;
 }
 
+/// Largest windowed acceptance seen while checking one pair: the policy
+/// provenance that ends up in PairVerdict. Strictly-greater updates + the
+/// identical comparison visit order of all three check paths make the
+/// folded result byte-identical across paths.
+struct WindowUse {
+  double used = 0.0;
+  double budget = 0.0;
+  const char* field = "";
+
+  void accept(double diff, double window, const char* f) {
+    if (diff > used) {
+      used = diff;
+      budget = window;
+      field = f;
+    }
+  }
+};
+
+/// The policy-aware value comparison: within tolerance (exact rule), or —
+/// under a windowed policy — the absolute disagreement fits the field's
+/// window. A zero-width window accepts nothing within_tolerance rejects
+/// (both grant the same 1e-12 absolute slop), so windowed-with-zero-windows
+/// degenerates to exact.
+bool value_ok(double a, double b, const MergeOptions& options, double window,
+              const char* field, WindowUse& use) {
+  if (within_tolerance(a, b, options.value_tolerance)) return true;
+  if (!options.policy.windowed()) return false;
+  const double diff = std::fabs(a - b);
+  if (diff > window + 1e-12) return false;
+  use.accept(diff, window, field);
+  return true;
+}
+
+/// Stamp the active policy + the winning window acceptance onto a verdict
+/// (mergeable or not) — every check path's single exit point.
+PairVerdict finish_verdict(PairVerdict v, const MergeOptions& options,
+                           const WindowUse& use) {
+  v.policy = options.policy.name();
+  v.window_field = use.field;
+  v.window_used = use.used;
+  v.window_budget = use.budget;
+  return v;
+}
+
 // Window comparison shared by the string-keyed and interned pre-screens:
 // same checks, same order, same reason text as the Sdc-level path, but each
 // value is a table read instead of a constraint-list scan.
 std::optional<PairVerdict> clock_window_conflict(
     const ModeRelationships::ClockInfo& ca,
-    const ModeRelationships::ClockInfo& cb, const MergeOptions& options) {
+    const ModeRelationships::ClockInfo& cb, const MergeOptions& options,
+    WindowUse& use) {
   auto conflict = [&ca](const char* category, std::string reason) {
     PairVerdict v;
     v.mergeable = false;
@@ -42,9 +87,9 @@ std::optional<PairVerdict> clock_window_conflict(
       for (size_t max_side = 0; max_side < 2; ++max_side) {
         if (ca.latency_present[source][max_side] &&
             cb.latency_present[source][max_side] &&
-            !within_tolerance(ca.latency[source][max_side],
-                              cb.latency[source][max_side],
-                              options.value_tolerance)) {
+            !value_ok(ca.latency[source][max_side],
+                      cb.latency[source][max_side], options,
+                      options.policy.window_latency, "clock_latency", use)) {
           return conflict(
               "clock_latency",
               "clock latency mismatch on matching clock (" +
@@ -55,16 +100,18 @@ std::optional<PairVerdict> clock_window_conflict(
     }
     for (size_t setup : {size_t{1}, size_t{0}}) {
       if (ca.uncertainty_present[setup] && cb.uncertainty_present[setup] &&
-          !within_tolerance(ca.uncertainty[setup], cb.uncertainty[setup],
-                            options.value_tolerance)) {
+          !value_ok(ca.uncertainty[setup], cb.uncertainty[setup], options,
+                    options.policy.window_uncertainty, "clock_uncertainty",
+                    use)) {
         return conflict("clock_uncertainty",
                         "clock uncertainty mismatch on matching clock");
       }
     }
     for (size_t max_side : {size_t{1}, size_t{0}}) {
       if (ca.transition_present[max_side] && cb.transition_present[max_side] &&
-          !within_tolerance(ca.transition[max_side], cb.transition[max_side],
-                            options.value_tolerance)) {
+          !value_ok(ca.transition[max_side], cb.transition[max_side], options,
+                    options.policy.window_transition, "clock_transition",
+                    use)) {
         return conflict("clock_transition",
                         "clock transition mismatch on matching clock");
       }
@@ -122,12 +169,13 @@ PairVerdict one_sided_conflict(std::string full_sig, uint32_t full_key) {
 // Sdc-level path's.
 std::optional<PairVerdict> clock_conflict_screen(const ModeRelationships& a,
                                                  const ModeRelationships& b,
-                                                 const MergeOptions& options) {
+                                                 const MergeOptions& options,
+                                                 WindowUse& use) {
   for (const auto& [key, ia] : a.by_key) {
     auto it = b.by_key.find(key);
     if (it == b.by_key.end()) continue;
     if (std::optional<PairVerdict> v = clock_window_conflict(
-            a.clocks[ia], b.clocks[it->second], options)) {
+            a.clocks[ia], b.clocks[it->second], options, use)) {
       return v;
     }
   }
@@ -138,13 +186,13 @@ std::optional<PairVerdict> clock_conflict_screen(const ModeRelationships& a,
 // iteration order), but the probe into b is an integer hash lookup.
 std::optional<PairVerdict> clock_conflict_screen_interned(
     const ModeRelationships& a, const ModeRelationships& b,
-    const MergeOptions& options) {
+    const MergeOptions& options, WindowUse& use) {
   for (uint32_t ia : a.clock_order) {
     const ModeRelationships::ClockInfo& ca = a.clocks[ia];
     auto it = b.by_key_id.find(ca.key_id.id());
     if (it == b.by_key_id.end()) continue;
     if (std::optional<PairVerdict> v =
-            clock_window_conflict(ca, b.clocks[it->second], options)) {
+            clock_window_conflict(ca, b.clocks[it->second], options, use)) {
       return v;
     }
   }
@@ -158,11 +206,12 @@ std::optional<PairVerdict> clock_conflict_screen_interned(
 PairVerdict check_mergeable_interned(const ModeRelationships& a,
                                      const ModeRelationships& b,
                                      const MergeOptions& options) {
+  WindowUse use;
   // --- matched clocks: pre-screen on memoized constraint windows ----------
   if (std::optional<PairVerdict> v =
-          clock_conflict_screen_interned(a, b, options)) {
+          clock_conflict_screen_interned(a, b, options, use)) {
     MM_COUNT("merge/mergeability_prescreen_conflicts", 1);
-    return *v;
+    return finish_verdict(*v, options, use);
   }
 
   // --- drive / load compatibility ------------------------------------------
@@ -172,16 +221,18 @@ PairVerdict check_mergeable_interned(const ModeRelationships& a,
         continue;
       if (!(da.minmax.min && db.minmax.min) && !(da.minmax.max && db.minmax.max))
         continue;
-      if (!within_tolerance(da.value, db.value, options.value_tolerance)) {
-        return drive_conflict(da.port_pin);
+      if (!value_ok(da.value, db.value, options,
+                    options.policy.window_drive_load, "drive", use)) {
+        return finish_verdict(drive_conflict(da.port_pin), options, use);
       }
     }
   }
   for (const sdc::LoadConstraint& la : a.loads) {
     for (const sdc::LoadConstraint& lb : b.loads) {
       if (la.port_pin != lb.port_pin) continue;
-      if (!within_tolerance(la.value, lb.value, options.value_tolerance)) {
-        return load_conflict(la.port_pin);
+      if (!value_ok(la.value, lb.value, options,
+                    options.policy.window_drive_load, "load", use)) {
+        return finish_verdict(load_conflict(la.port_pin), options, use);
       }
     }
   }
@@ -207,7 +258,8 @@ PairVerdict check_mergeable_interned(const ModeRelationships& a,
         b.full_sig_ids.count(other.full_id.id())) {
       continue;
     }
-    return exception_conflict(ex.sig_anchor, ex.anchor_id.id());
+    return finish_verdict(exception_conflict(ex.sig_anchor, ex.anchor_id.id()),
+                          options, use);
   }
 
   // Non-false-path exception present in one mode only and not uniquifiable.
@@ -223,11 +275,11 @@ PairVerdict check_mergeable_interned(const ModeRelationships& a,
     return {true, ""};
   };
   PairVerdict v = check_one_sided(a, b);
-  if (!v.mergeable) return v;
+  if (!v.mergeable) return finish_verdict(std::move(v), options, use);
   v = check_one_sided(b, a);
-  if (!v.mergeable) return v;
+  if (!v.mergeable) return finish_verdict(std::move(v), options, use);
 
-  return {true, ""};
+  return finish_verdict({true, ""}, options, use);
 }
 
 }  // namespace
@@ -241,10 +293,12 @@ PairVerdict check_mergeable(const ModeRelationships& a,
     return check_mergeable_interned(a, b, options);
   }
 
+  WindowUse use;
   // --- matched clocks: pre-screen on memoized constraint windows ----------
-  if (std::optional<PairVerdict> v = clock_conflict_screen(a, b, options)) {
+  if (std::optional<PairVerdict> v =
+          clock_conflict_screen(a, b, options, use)) {
     MM_COUNT("merge/mergeability_prescreen_conflicts", 1);
-    return *v;
+    return finish_verdict(*v, options, use);
   }
 
   // --- drive / load compatibility ------------------------------------------
@@ -254,16 +308,18 @@ PairVerdict check_mergeable(const ModeRelationships& a,
         continue;
       if (!(da.minmax.min && db.minmax.min) && !(da.minmax.max && db.minmax.max))
         continue;
-      if (!within_tolerance(da.value, db.value, options.value_tolerance)) {
-        return drive_conflict(da.port_pin);
+      if (!value_ok(da.value, db.value, options,
+                    options.policy.window_drive_load, "drive", use)) {
+        return finish_verdict(drive_conflict(da.port_pin), options, use);
       }
     }
   }
   for (const sdc::LoadConstraint& la : a.loads) {
     for (const sdc::LoadConstraint& lb : b.loads) {
       if (la.port_pin != lb.port_pin) continue;
-      if (!within_tolerance(la.value, lb.value, options.value_tolerance)) {
-        return load_conflict(la.port_pin);
+      if (!value_ok(la.value, lb.value, options,
+                    options.policy.window_drive_load, "load", use)) {
+        return finish_verdict(load_conflict(la.port_pin), options, use);
       }
     }
   }
@@ -287,7 +343,8 @@ PairVerdict check_mergeable(const ModeRelationships& a,
     if (a.full_sigs.count(ex.sig_full) && b.full_sigs.count(other.sig_full)) {
       continue;
     }
-    return exception_conflict(ex.sig_anchor, ex.anchor_id.id());
+    return finish_verdict(exception_conflict(ex.sig_anchor, ex.anchor_id.id()),
+                          options, use);
   }
 
   // Non-false-path exception present in one mode only and not uniquifiable.
@@ -303,15 +360,16 @@ PairVerdict check_mergeable(const ModeRelationships& a,
     return {true, ""};
   };
   PairVerdict v = check_one_sided(a, b);
-  if (!v.mergeable) return v;
+  if (!v.mergeable) return finish_verdict(std::move(v), options, use);
   v = check_one_sided(b, a);
-  if (!v.mergeable) return v;
+  if (!v.mergeable) return finish_verdict(std::move(v), options, use);
 
-  return {true, ""};
+  return finish_verdict({true, ""}, options, use);
 }
 
 PairVerdict check_mergeable(const Sdc& a, const Sdc& b,
                             const MergeOptions& options) {
+  WindowUse use;
   // --- matched clocks: clock-based constraint value compatibility ----------
   // Map clock key -> clock id per mode; compare constraints on shared keys.
   std::map<std::string, ClockId> a_clocks, b_clocks;
@@ -351,11 +409,15 @@ PairVerdict check_mergeable(const Sdc& a, const Sdc& b,
         bool pa = false, pb = false;
         const double va = latency(a, ca, source, max_side, pa);
         const double vb = latency(b, cb, source, max_side, pb);
-        if (pa && pb && !within_tolerance(va, vb, options.value_tolerance)) {
-          return conflict("clock_latency",
-                          "clock latency mismatch on matching clock (" +
-                              std::to_string(va) + " vs " +
-                              std::to_string(vb) + ")");
+        if (pa && pb &&
+            !value_ok(va, vb, options, options.policy.window_latency,
+                      "clock_latency", use)) {
+          return finish_verdict(
+              conflict("clock_latency",
+                       "clock latency mismatch on matching clock (" +
+                           std::to_string(va) + " vs " + std::to_string(vb) +
+                           ")"),
+              options, use);
         }
       }
     }
@@ -377,9 +439,13 @@ PairVerdict check_mergeable(const Sdc& a, const Sdc& b,
       bool pa = false, pb = false;
       const double va = uncertainty(a, ca, setup, pa);
       const double vb = uncertainty(b, cb, setup, pb);
-      if (pa && pb && !within_tolerance(va, vb, options.value_tolerance)) {
-        return conflict("clock_uncertainty",
-                        "clock uncertainty mismatch on matching clock");
+      if (pa && pb &&
+          !value_ok(va, vb, options, options.policy.window_uncertainty,
+                    "clock_uncertainty", use)) {
+        return finish_verdict(
+            conflict("clock_uncertainty",
+                     "clock uncertainty mismatch on matching clock"),
+            options, use);
       }
     }
 
@@ -400,9 +466,13 @@ PairVerdict check_mergeable(const Sdc& a, const Sdc& b,
       bool pa = false, pb = false;
       const double va = transition(a, ca, max_side, pa);
       const double vb = transition(b, cb, max_side, pb);
-      if (pa && pb && !within_tolerance(va, vb, options.value_tolerance)) {
-        return conflict("clock_transition",
-                        "clock transition mismatch on matching clock");
+      if (pa && pb &&
+          !value_ok(va, vb, options, options.policy.window_transition,
+                    "clock_transition", use)) {
+        return finish_verdict(
+            conflict("clock_transition",
+                     "clock transition mismatch on matching clock"),
+            options, use);
       }
     }
   }
@@ -414,16 +484,18 @@ PairVerdict check_mergeable(const Sdc& a, const Sdc& b,
         continue;
       if (!(da.minmax.min && db.minmax.min) && !(da.minmax.max && db.minmax.max))
         continue;
-      if (!within_tolerance(da.value, db.value, options.value_tolerance)) {
-        return drive_conflict(da.port_pin);
+      if (!value_ok(da.value, db.value, options,
+                    options.policy.window_drive_load, "drive", use)) {
+        return finish_verdict(drive_conflict(da.port_pin), options, use);
       }
     }
   }
   for (const sdc::LoadConstraint& la : a.loads()) {
     for (const sdc::LoadConstraint& lb : b.loads()) {
       if (la.port_pin != lb.port_pin) continue;
-      if (!within_tolerance(la.value, lb.value, options.value_tolerance)) {
-        return load_conflict(la.port_pin);
+      if (!value_ok(la.value, lb.value, options,
+                    options.policy.window_drive_load, "load", use)) {
+        return finish_verdict(load_conflict(la.port_pin), options, use);
       }
     }
   }
@@ -462,7 +534,7 @@ PairVerdict check_mergeable(const Sdc& a, const Sdc& b,
         b_sigs.count(exception_signature(a, other, /*include_value=*/true))) {
       continue;
     }
-    return exception_conflict(sig, 0);
+    return finish_verdict(exception_conflict(sig, 0), options, use);
   }
 
   // Non-false-path exception present in one mode only and not uniquifiable:
@@ -484,11 +556,11 @@ PairVerdict check_mergeable(const Sdc& a, const Sdc& b,
     return {true, ""};
   };
   PairVerdict v = check_one_sided(a, b_sigs, b_keys);
-  if (!v.mergeable) return v;
+  if (!v.mergeable) return finish_verdict(std::move(v), options, use);
   v = check_one_sided(b, a_sigs, a_keys);
-  if (!v.mergeable) return v;
+  if (!v.mergeable) return finish_verdict(std::move(v), options, use);
 
-  return {true, ""};
+  return finish_verdict({true, ""}, options, use);
 }
 
 MergeabilityGraph::MergeabilityGraph(const std::vector<const Sdc*>& modes,

@@ -29,12 +29,27 @@ class MergeContext;
 /// and interned check paths. `subject_key_id` is the interned id of the
 /// subject when the interned path produced the verdict (0 otherwise) —
 /// extra provenance only, NOT part of the determinism contract.
+///
+/// Policy provenance (merge/policy.h): `policy` names the policy the
+/// verdict was computed under. When a windowed policy accepted one or more
+/// comparisons beyond within_tolerance, `window_field` / `window_used` /
+/// `window_budget` record the largest such acceptance — the field it fired
+/// on (clock_latency, clock_uncertainty, clock_transition, drive, load),
+/// the absolute disagreement accepted, and that field's configured window
+/// — so mmreport explain can say "merged under windowed policy, 0.012 of
+/// 0.020 budget used". All three check paths visit comparisons in the same
+/// order and fold the accumulator with strictly-greater updates, so these
+/// fields are byte-identical across paths too.
 struct PairVerdict {
   bool mergeable = true;
   std::string reason;
   std::string category;
   std::string subject;
   uint64_t subject_key_id = 0;
+  std::string policy = "exact";
+  std::string window_field;
+  double window_used = 0.0;
+  double window_budget = 0.0;
 };
 
 /// Pairwise mergeability: a mock preliminary merge checking for

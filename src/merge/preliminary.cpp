@@ -191,6 +191,16 @@ class PreliminaryMerger {
     bool within = true;
   };
 
+  /// Windowed-policy envelope acceptance for a collected flavour: the whole
+  /// value span fits the field's window, so emitting the span edge
+  /// (min-of-mins / max-of-maxes — the same formula the in-tolerance path
+  /// uses) is pessimistic by at most the window. Always false under the
+  /// exact policy, keeping that path byte-identical.
+  bool window_accepts(const Flavour& f, double window) const {
+    return options_.policy.windowed() &&
+           within_window(f.min_value, f.max_value, window);
+  }
+
   template <class Getter>
   Flavour collect(ClockId merged_clock, Getter getter) {
     Flavour f;
@@ -229,12 +239,19 @@ class PreliminaryMerger {
         return v;
       });
       if (!f.present_anywhere) continue;
-      if (!f.present_everywhere || !f.within) {
+      const bool enveloped =
+          !f.within && f.present_everywhere &&
+          window_accepts(f, options_.policy.window_latency);
+      if (!f.present_everywhere || (!f.within && !enveloped)) {
         result_.note("dropped clock latency on " + merged().clock(mc).name +
                      (f.within ? " (not common to all modes)"
                                : " (values out of tolerance)"));
         ++result_.stats.clock_constraints_dropped;
         continue;
+      }
+      if (enveloped) {
+        result_.note("clock latency on " + merged().clock(mc).name +
+                     ": kept worst-case envelope (windowed policy)");
       }
       sdc::ClockLatency lat;
       lat.clock = mc;
@@ -262,7 +279,10 @@ class PreliminaryMerger {
     if (!f.present_anywhere) return;
     if (!f.present_everywhere || !f.within) {
       // Pessimistic-safe fallback for uncertainty: take the max.
-      if (f.within || options_.value_tolerance > 0) {
+      if (!f.within && window_accepts(f, options_.policy.window_uncertainty)) {
+        result_.note("uncertainty on " + merged().clock(mc).name +
+                     ": kept max over modes (windowed envelope)");
+      } else if (f.within || options_.value_tolerance > 0) {
         result_.note("uncertainty on " + merged().clock(mc).name +
                      ": kept max over modes (pessimistic)");
       }
@@ -289,10 +309,16 @@ class PreliminaryMerger {
       return v;
     });
     if (!f.present_anywhere) return;
-    if (!f.present_everywhere || !f.within) {
+    const bool enveloped = !f.within && f.present_everywhere &&
+                           window_accepts(f, options_.policy.window_transition);
+    if (!f.present_everywhere || (!f.within && !enveloped)) {
       result_.note("dropped clock transition on " + merged().clock(mc).name);
       ++result_.stats.clock_constraints_dropped;
       return;
+    }
+    if (enveloped) {
+      result_.note("clock transition on " + merged().clock(mc).name +
+                   ": kept worst-case envelope (windowed policy)");
     }
     sdc::ClockTransition tr;
     tr.clock = mc;
@@ -415,7 +441,10 @@ class PreliminaryMerger {
               other.is_transition == dc.is_transition &&
               other.minmax == dc.minmax) {
             found = within_tolerance(other.value, dc.value,
-                                     options_.value_tolerance);
+                                     options_.value_tolerance) ||
+                    (options_.policy.windowed() &&
+                     within_window(other.value, dc.value,
+                                   options_.policy.window_drive_load));
             max_value = std::max(max_value, other.value);
             break;
           }
@@ -439,7 +468,10 @@ class PreliminaryMerger {
         for (const sdc::LoadConstraint& other : modes_[m]->loads()) {
           if (other.port_pin == lc.port_pin) {
             found = within_tolerance(other.value, lc.value,
-                                     options_.value_tolerance);
+                                     options_.value_tolerance) ||
+                    (options_.policy.windowed() &&
+                     within_window(other.value, lc.value,
+                                   options_.policy.window_drive_load));
             max_value = std::max(max_value, other.value);
             break;
           }

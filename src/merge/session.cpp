@@ -38,20 +38,26 @@ std::string journal_name(const std::string& name, MergeSession::ModeId id) {
 }  // namespace
 
 MergeSession::MergeSession(const timing::TimingGraph& graph, MergeContext& ctx)
-    : timing_graph_(graph), ctx_(&ctx), journal_id_(next_session_journal_id()) {}
+    : timing_graph_(graph),
+      ctx_(&ctx),
+      journal_id_(next_session_journal_id()),
+      policy_salt_(ctx.options().policy.fingerprint()) {}
 
 MergeSession::MergeSession(const timing::TimingGraph& graph,
                            MergeOptions options)
     : timing_graph_(graph),
       owned_ctx_(std::make_unique<MergeContext>(options)),
       ctx_(owned_ctx_.get()),
-      journal_id_(next_session_journal_id()) {}
+      journal_id_(next_session_journal_id()),
+      policy_salt_(owned_ctx_->options().policy.fingerprint()) {}
 
 MergeSession::~MergeSession() = default;
 
-uint64_t MergeSession::pair_key(ModeId a, ModeId b) {
+uint64_t MergeSession::pair_key(ModeId a, ModeId b) const {
   if (a > b) std::swap(a, b);
-  return (a << 32) | b;
+  // XOR-salted with the policy fingerprint (0 under exact, so exact keys are
+  // the plain packed ids); remove_mode un-salts before parsing the ids back.
+  return ((a << 32) | b) ^ policy_salt_;
 }
 
 size_t MergeSession::position_of(ModeId id) const {
@@ -115,7 +121,7 @@ void MergeSession::remove_mode(ModeId id) {
   // Drop the mode's verdict row; surviving pairs stay clean — only cliques
   // that contained the mode will re-merge (their member-id key changes).
   for (auto it = verdicts_.begin(); it != verdicts_.end();) {
-    const uint64_t key = it->first;
+    const uint64_t key = it->first ^ policy_salt_;
     if ((key >> 32) == id || (key & 0xffffffffu) == id) {
       it = verdicts_.erase(it);
     } else {
@@ -236,6 +242,18 @@ const MergeSession::CommitResult& MergeSession::commit() {
         // across threads, so readers must not render it in stable output.
         if (v.subject_key_id != 0) ev.field("key_id", v.subject_key_id);
       }
+      // Policy provenance, emitted only under a non-exact policy so journals
+      // of exact runs stay byte-identical to pre-policy builds. The window
+      // fields name the largest comparison the window (not tolerance)
+      // accepted — absent when the verdict needed no window at all.
+      if (v.policy != "exact") {
+        ev.field("policy", v.policy);
+        if (!v.window_field.empty()) {
+          ev.field("window_field", v.window_field)
+              .field("window_used", v.window_used)
+              .field("window_budget", v.window_budget);
+        }
+      }
     }
   }
   const size_t total_pairs = n < 2 ? 0 : n * (n - 1) / 2;
@@ -270,7 +288,11 @@ const MergeSession::CommitResult& MergeSession::commit() {
   size_t clique_index = 0;
   for (const std::vector<size_t>& clique : out.cliques) {
     std::vector<ModeId> ids;
+    // Member-id key, tagged with the policy fingerprint when windowed so a
+    // cached clique result is only ever reused under the policy it was
+    // merged with (empty tag under exact keeps that path's keys unchanged).
     std::string key;
+    if (policy_salt_ != 0) key = "p" + std::to_string(policy_salt_) + ":";
     bool any_dirty = false;
     for (size_t pos : clique) {
       const ModeId id = modes_[pos].id;

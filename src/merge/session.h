@@ -168,7 +168,7 @@ class MergeSession {
     std::shared_ptr<const ModeRelationships> rels;
   };
 
-  static uint64_t pair_key(ModeId a, ModeId b);
+  uint64_t pair_key(ModeId a, ModeId b) const;
   void mark_dirty(ModeId id);
   size_t position_of(ModeId id) const;
 
@@ -180,6 +180,12 @@ class MergeSession {
   /// the 1-based commit counter scoping each journal segment.
   uint64_t journal_id_ = 0;
   uint64_t commit_seq_ = 0;
+
+  /// Content fingerprint of the context's merge policy (0 for exact),
+  /// folded into every pair-verdict key and clique-result key so cached
+  /// decisions made under one policy can never be served to another —
+  /// defense in depth for callers sharing caches across contexts.
+  uint64_t policy_salt_ = 0;
 
   ModeId next_id_ = 1;
   std::vector<Entry> modes_;  // live modes, insertion order

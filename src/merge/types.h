@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "merge/policy.h"
 #include "sdc/sdc.h"
 #include "timing/graph.h"
 
@@ -34,6 +35,13 @@ enum class DebugMutation : uint8_t {
 };
 
 struct MergeOptions {
+  /// Merge policy (merge/policy.h): exact (default, byte-identical to the
+  /// pre-policy engine) or windowed (per-field bounded-pessimism budgets;
+  /// mergeability accepts disagreement that fits the budget and the merged
+  /// deck takes the worst-case envelope). Orthogonal to value_tolerance:
+  /// a comparison passes when it is within tolerance OR within the
+  /// policy's window for the field.
+  MergePolicy policy;
   /// Relative tolerance for merging clock-based / drive / load constraint
   /// values across modes (paper §3.1.2 "within a certain tolerance limit").
   double value_tolerance = 0.0;

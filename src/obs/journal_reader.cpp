@@ -180,6 +180,18 @@ std::string explain_pair(const JournalData& journal, std::string_view a,
       os << "    subject:  " << ev.str("subject") << "\n";
       os << "    reason:   " << ev.str("reason") << "\n";
     }
+    // Policy provenance is only journaled for non-exact policies; a
+    // mergeable verdict with a window_field merged under a windowed
+    // acceptance (bounded-pessimism), not exact agreement.
+    if (const std::string policy = ev.str("policy"); !policy.empty()) {
+      os << "  policy: " << policy;
+      if (ev.find("window_field") != nullptr) {
+        os << " (accepted " << ev.num("window_used") << " of "
+           << ev.num("window_budget") << " " << ev.str("window_field")
+           << " window)";
+      }
+      os << "\n";
+    }
     auto it = cliques.find(v.commit);
     if (it != cliques.end()) {
       const std::string names[2] = {ev.str("a"), ev.str("b")};

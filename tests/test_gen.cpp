@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "gen/design_gen.h"
 #include "gen/mode_gen.h"
 #include "merge/mergeability.h"
@@ -129,6 +131,102 @@ TEST(ModeGen, ScanModeUsesTestClock) {
   EXPECT_NE(family[1].sdc_text.find("set_case_analysis 1 test_mode"),
             std::string::npos);
   EXPECT_EQ(family[1].sdc_text.find("CLK0"), std::string::npos);
+}
+
+TEST(ModeGen, NearMissWalksWindowBoundary) {
+  netlist::Library lib = netlist::Library::builtin();
+  DesignParams dp;
+  dp.num_regs = 60;
+  dp.num_domains = 2;
+  netlist::Design design = generate_design(lib, dp);
+
+  ModeFamilyParams mp;
+  mp.num_modes = 6;
+  mp.target_groups = 6;  // one functional mode per group
+  mp.near_miss_window = 0.2;
+  mp.near_miss_epsilon = 0.05;
+  const auto family = generate_mode_family(dp, mp);
+  ASSERT_EQ(family.size(), 6u);
+
+  std::vector<sdc::Sdc> modes;
+  std::vector<const sdc::Sdc*> ptrs;
+  for (const GeneratedMode& gm : family) {
+    SCOPED_TRACE(gm.name);
+    ASSERT_NO_THROW(modes.push_back(sdc::parse_sdc(gm.sdc_text, design)))
+        << gm.sdc_text;
+  }
+  for (const auto& m : modes) ptrs.push_back(&m);
+
+  // Exact policy: every carrier gap is out of tolerance -> 6 singletons.
+  merge::MergeabilityGraph exact(ptrs, {});
+  EXPECT_EQ(exact.clique_cover().size(), 6u);
+
+  // Windowed with the family's window: even->odd gaps are W - eps
+  // (accepted), odd->even gaps are W + eps (rejected), distance >= 2 gaps
+  // accumulate to >= 2W. Adjacency is exactly the even-start pairs.
+  merge::MergeOptions wopt;
+  wopt.policy = merge::MergePolicy::uniform(mp.near_miss_window);
+  merge::MergeabilityGraph windowed(ptrs, wopt);
+  for (size_t i = 0; i < family.size(); ++i) {
+    for (size_t j = i + 1; j < family.size(); ++j) {
+      const bool expect_edge = (j == i + 1) && (i % 2 == 0);
+      EXPECT_EQ(windowed.edge(i, j), expect_edge)
+          << family[i].name << " vs " << family[j].name << ": "
+          << windowed.reason(i, j);
+    }
+  }
+  EXPECT_EQ(windowed.clique_cover().size(), 3u);
+}
+
+TEST(ModeGen, NearMissCarriersAndCommonMcps) {
+  DesignParams dp;
+  dp.num_domains = 2;
+  ModeFamilyParams mp;
+  mp.num_modes = 4;
+  mp.target_groups = 4;
+  mp.near_miss_window = 0.1;
+  mp.near_miss_epsilon = 0.02;
+  const auto family = generate_mode_family(dp, mp);
+  ASSERT_EQ(family.size(), 4u);
+
+  // Latency carrier sits on the non-I/O clock in every functional mode.
+  for (const auto& gm : family) {
+    SCOPED_TRACE(gm.name);
+    EXPECT_NE(gm.sdc_text.find("set_clock_latency"), std::string::npos);
+    EXPECT_EQ(gm.sdc_text.find("set_clock_latency 2 [get_clocks CLK0]"),
+              std::string::npos);
+  }
+
+  // MCPs are family-common in near-miss mode (a one-sided MCP would block
+  // the cross-group merges the family exists to exercise).
+  auto mcp_lines = [](const std::string& text) {
+    std::string out;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+      if (line.rfind("set_multicycle_path", 0) == 0) out += line + "\n";
+    }
+    return out;
+  };
+  EXPECT_FALSE(mcp_lines(family[0].sdc_text).empty());
+  for (size_t i = 1; i < family.size(); ++i) {
+    EXPECT_EQ(mcp_lines(family[i].sdc_text), mcp_lines(family[0].sdc_text));
+  }
+
+  // Inactive near-miss (window 0) reproduces the seed family byte-for-byte,
+  // epsilon ignored.
+  ModeFamilyParams seed_mp;
+  seed_mp.num_modes = 4;
+  seed_mp.target_groups = 4;
+  ModeFamilyParams zero_mp = seed_mp;
+  zero_mp.near_miss_window = 0.0;
+  zero_mp.near_miss_epsilon = 0.5;
+  const auto a = generate_mode_family(dp, seed_mp);
+  const auto b = generate_mode_family(dp, zero_mp);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].sdc_text, b[i].sdc_text) << a[i].name;
+  }
 }
 
 TEST(ModeGen, GroupCountBoundsRespected) {

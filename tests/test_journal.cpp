@@ -170,6 +170,70 @@ TEST_F(JournalTest, VerdictProvenanceAndContentKeysRecorded) {
   EXPECT_EQ(conflicts, 1u);
 }
 
+/// Windowed-policy sessions record window provenance on accepted
+/// pair_verdict events (policy, winning field, used-vs-budget) and
+/// mmreport explain renders it; exact sessions emit no policy key at all,
+/// keeping their journals byte-compatible with the pre-policy format.
+TEST_F(JournalTest, WindowedPolicyProvenanceRecorded) {
+  // A two-group near-miss family: the adjacent pair disagrees by
+  // W - eps = 0.15, inside the 0.2 window, outside exact tolerance.
+  gen::ModeFamilyParams mp;
+  mp.seed = 11;
+  mp.num_modes = 2;
+  mp.target_groups = 2;
+  mp.near_miss_window = 0.2;
+  mp.near_miss_epsilon = 0.05;
+  const auto fam = gen::generate_mode_family(dp_, mp);
+  std::vector<std::unique_ptr<sdc::Sdc>> nm;
+  for (const gen::GeneratedMode& gm : fam) {
+    nm.push_back(std::make_unique<sdc::Sdc>(
+        sdc::parse_sdc(gm.sdc_text, *design_)));
+  }
+
+  const std::string file = path("journal_windowed.jsonl");
+  ASSERT_TRUE(Journal::open(file));
+  merge::MergeOptions opt;
+  opt.validate = false;
+  opt.policy = merge::MergePolicy::uniform(0.2);
+  merge::MergeSession session(*graph_, opt);
+  session.add_mode(fam[0].name, nm[0].get());
+  session.add_mode(fam[1].name, nm[1].get());
+  session.commit();
+  Journal::close();
+
+  const JournalData j = read_journal(file);
+  size_t windowed_accepts = 0;
+  for (const JournalRecord& rec : j.events) {
+    if (rec.ev != "pair_verdict") continue;
+    ASSERT_TRUE(rec.json.boolean("mergeable", false));
+    EXPECT_EQ(rec.json.str("policy"), "windowed");
+    EXPECT_FALSE(rec.json.str("window_field").empty());
+    EXPECT_DOUBLE_EQ(rec.json.num("window_budget"), 0.2);
+    EXPECT_GT(rec.json.num("window_used"), 0.0);
+    EXPECT_LE(rec.json.num("window_used"),
+              rec.json.num("window_budget") + 1e-12);
+    ++windowed_accepts;
+  }
+  EXPECT_EQ(windowed_accepts, 1u);
+  EXPECT_NE(explain_pair(j, fam[0].name, fam[1].name).find("policy: windowed"),
+            std::string::npos);
+
+  // Exact control: same modes, default options — no policy key anywhere.
+  const std::string exact_file = path("journal_exact_ctrl.jsonl");
+  ASSERT_TRUE(Journal::open(exact_file));
+  merge::MergeOptions exact;
+  exact.validate = false;
+  merge::MergeSession exact_session(*graph_, exact);
+  exact_session.add_mode(fam[0].name, nm[0].get());
+  exact_session.add_mode(fam[1].name, nm[1].get());
+  exact_session.commit();
+  Journal::close();
+  const JournalData je = read_journal(exact_file);
+  for (const JournalRecord& rec : je.events) {
+    EXPECT_EQ(rec.json.find("policy"), nullptr) << rec.ev;
+  }
+}
+
 /// mmreport explain/timeline are byte-stable across the producing run's
 /// --threads (the ISSUE acceptance bar). Session journal ids are process-
 /// wide, so normalize them before comparing two same-process runs — a CLI

@@ -54,6 +54,8 @@ void usage(std::FILE* to) {
       "  --no-cover           skip P4 clique-cover validity/maximality\n"
       "  --no-incremental     skip P5 MergeSession delta-vs-batch parity\n"
       "  --no-sharded         skip P6 sharded-vs-unsharded byte parity\n"
+      "  --no-policy          skip P7 windowed-policy never-optimistic +\n"
+      "                       bounded-pessimism oracle\n"
       "\n"
       "oracle mutation testing:\n"
       "  --inject KIND        none | falsify-mcp | drop-exceptions |\n"
@@ -155,6 +157,7 @@ int main(int argc, char** argv) {
     else if (arg == "--no-cover") opt.check_cover = false;
     else if (arg == "--no-incremental") opt.check_incremental = false;
     else if (arg == "--no-sharded") opt.check_sharded = false;
+    else if (arg == "--no-policy") opt.check_policy = false;
     else if (arg == "--inject") {
       const char* name = value();
       if (!fuzz::parse_mutation(name, &opt.inject)) {

@@ -38,6 +38,7 @@
 #include <sstream>
 
 #include "merge/merger.h"
+#include "merge/qor.h"
 #include "merge/session.h"
 #include "merge/sharded_session.h"
 #include "netlist/liberty.h"
@@ -97,6 +98,22 @@ void usage(std::FILE* to) {
       "                       boundary (docs/SHARDING.md; output is\n"
       "                       byte-identical to --shards 1, the default)\n"
       "  --shard-seed N       partitioner seed (block placement sweeps)\n"
+      "\n"
+      "merge policy (docs/POLICIES.md):\n"
+      "  --merge-policy P     exact (default: byte-identical decks only) |\n"
+      "                       windowed (accept per-field disagreement within\n"
+      "                       the window budgets below; merged deck keeps the\n"
+      "                       worst-case envelope, never optimistic)\n"
+      "  --window X           set all four window budgets to X and select\n"
+      "                       the windowed policy\n"
+      "  --window-latency X      clock source/network latency budget\n"
+      "  --window-uncertainty X  clock uncertainty budget\n"
+      "  --window-transition X   input transition (slew) budget\n"
+      "  --window-drive-load X   driving-cell / port-load budget\n"
+      "  --qor-out FILE       write the mm.qor/1 conformity report (merged vs\n"
+      "                       worst-member slack per endpoint; batch mode\n"
+      "                       only, runs one batched STA per multi-mode\n"
+      "                       clique)\n"
       "\n"
       "analysis / reports:\n"
       "  --sta                run STA individual-vs-merged and report reduction\n"
@@ -338,6 +355,9 @@ int main(int argc, char** argv) {
   std::string journal_out;
   bool profile_flag = false;
   merge::MergeOptions options;
+  std::string qor_out;
+  bool policy_level_set = false;  // explicit --merge-policy wins over the
+  bool window_flag_seen = false;  // windowed default a --window* flag implies
   bool run_sta_flag = false;
   size_t report_paths = 0;
   bool report_clocks_flag = false;
@@ -375,6 +395,36 @@ int main(int argc, char** argv) {
     else if (arg == "--shard-seed")
       options.shard_seed =
           static_cast<uint64_t>(parse_size_arg("--shard-seed", value()));
+    else if (arg == "--merge-policy") {
+      const char* name = value();
+      if (!merge::parse_policy_level(name, &options.policy.level)) {
+        bad_arg("--merge-policy", name, "exact|windowed");
+      }
+      policy_level_set = true;
+    } else if (arg == "--window") {
+      const double w = parse_double_arg("--window", value());
+      options.policy.window_latency = w;
+      options.policy.window_uncertainty = w;
+      options.policy.window_transition = w;
+      options.policy.window_drive_load = w;
+      window_flag_seen = true;
+    } else if (arg == "--window-latency") {
+      options.policy.window_latency =
+          parse_double_arg("--window-latency", value());
+      window_flag_seen = true;
+    } else if (arg == "--window-uncertainty") {
+      options.policy.window_uncertainty =
+          parse_double_arg("--window-uncertainty", value());
+      window_flag_seen = true;
+    } else if (arg == "--window-transition") {
+      options.policy.window_transition =
+          parse_double_arg("--window-transition", value());
+      window_flag_seen = true;
+    } else if (arg == "--window-drive-load") {
+      options.policy.window_drive_load =
+          parse_double_arg("--window-drive-load", value());
+      window_flag_seen = true;
+    } else if (arg == "--qor-out") qor_out = value();
     else if (arg == "--seed")
       seed = static_cast<uint64_t>(parse_size_arg("--seed", value()));
     else if (arg == "--stats-out") stats_out = value();
@@ -399,6 +449,26 @@ int main(int argc, char** argv) {
   if (netlist_path.empty() || (mode_paths.empty() == script_path.empty())) {
     usage(stderr);
     return 2;
+  }
+  // A window budget without --merge-policy implies the windowed level; an
+  // explicit --merge-policy always wins (e.g. exact + budgets = budgets
+  // parked for a later run).
+  if (window_flag_seen && !policy_level_set) {
+    options.policy.level = merge::PolicyLevel::kWindowed;
+  }
+  if (!qor_out.empty() && !script_path.empty()) {
+    std::fprintf(stderr,
+                 "modemerge: --qor-out is batch-mode only (not --script)\n");
+    return 2;
+  }
+  if (options.policy.windowed()) {
+    std::printf("merge policy: windowed (latency %g, uncertainty %g, "
+                "transition %g, drive/load %g; pessimism bound %g)\n",
+                options.policy.window_latency,
+                options.policy.window_uncertainty,
+                options.policy.window_transition,
+                options.policy.window_drive_load,
+                options.policy.pessimism_bound());
   }
 
   if (!trace_out.empty()) obs::Trace::set_enabled(true);
@@ -542,6 +612,30 @@ int main(int argc, char** argv) {
         std::printf("\n=== merged mode %zu worst paths ===\n%s", c,
                     timing::report_timing(graph, merged, ro).c_str());
       }
+    }
+
+    if (!qor_out.empty()) {
+      const merge::QoRReport qor = merge::qor_report(graph, ptrs, out, options);
+      std::printf(
+          "\nQoR: %zu clique(s) compared, %zu endpoint(s); max pessimism "
+          "%.4f (bound %.4f), optimism violations %zu, missing endpoints "
+          "%zu -> %s\n",
+          qor.cliques.size(), qor.endpoints_compared, qor.max_pessimism,
+          qor.pessimism_bound, qor.optimism_violations, qor.missing_endpoints,
+          qor.never_optimistic() ? "never optimistic" : "OPTIMISTIC");
+      std::ofstream file(qor_out);
+      file << merge::write_qor_json(qor);
+      file.close();
+      if (!file) {
+        std::fprintf(stderr, "error: cannot write %s\n", qor_out.c_str());
+        wrote_ok = false;
+      } else {
+        std::fprintf(stderr, "wrote QoR report to %s\n", qor_out.c_str());
+      }
+      meta.numbers["qor_max_pessimism"] = qor.max_pessimism;
+      meta.numbers["qor_optimism_violations"] =
+          static_cast<double>(qor.optimism_violations);
+      safe &= qor.never_optimistic();
     }
 
     if (run_sta_flag) {
