@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "fuzz/corpus.h"
+#include "gen/corner_gen.h"
+#include "merge/mcmm_session.h"
 #include "merge/mergeability.h"
 #include "merge/qor.h"
 #include "obs/journal.h"
@@ -723,6 +725,153 @@ void check_policy_property(const timing::TimingGraph& graph,
   }
 }
 
+/// P8: the corner-aware MCMM engine agrees with the flat engine everywhere
+/// the flat engine is defined. Two halves:
+///
+///   C == 1 identity   a single-corner McmmSession over the case's (possibly
+///                     mutated) decks must reproduce the batch cover and
+///                     merged bytes exactly — the corner machinery adds zero
+///                     byte-level difference.
+///   matrix parity     a case-seeded unmutated corner family (uniform
+///                     multiplicative derates preserve exact-policy verdicts
+///                     corner by corner, see gen/corner_gen.h) is merged
+///                     corner-aware; the combined mergeability graph must
+///                     equal the corner-0 reference graph edge for edge and
+///                     reason for reason (skeleton sharing + value-only
+///                     screens change no verdict), and every corner's merged
+///                     decks must be byte-identical to an independent flat
+///                     merge of that corner's decks.
+void check_mcmm_property(const timing::TimingGraph& graph,
+                         const netlist::Design& design,
+                         const std::vector<const sdc::Sdc*>& ptrs,
+                         const merge::MergedModeSet& base_out,
+                         const FuzzCase& c, const FuzzOptions& options,
+                         std::vector<Violation>& violations) {
+  merge::MergeOptions base = baseline_options(options);
+  base.validate = false;  // validation does not affect bytes or cover
+
+  {
+    merge::McmmSession session(graph, merge::CornerSet(), base);
+    for (size_t m = 0; m < ptrs.size(); ++m) {
+      session.add_mode(c.mode_names[m], {ptrs[m]});
+    }
+    const merge::McmmSession::CommitResult& r = session.commit();
+    if (r.cliques != base_out.cliques) {
+      violations.push_back(
+          {"mcmm", "C=1 session clique cover differs from batch merge"});
+      return;
+    }
+    for (size_t k = 0; k < r.cliques.size(); ++k) {
+      if (sdc::write_sdc(*r.merged[0][k]->merge.merged) !=
+          sdc::write_sdc(*base_out.merged[k].merge.merged)) {
+        violations.push_back(
+            {"mcmm", "C=1 merged SDC bytes differ from batch for clique " +
+                         std::to_string(k)});
+        return;
+      }
+    }
+  }
+
+  // The matrix half runs on generator output, never mutated text: the
+  // verdict-preservation argument needs values that are either identical
+  // (in-group) or separated by a planted conflict step (cross-group), both
+  // of which survive uniform scaling.
+  Rng rng(Rng::mix(c.case_seed, 0x8cc));
+  gen::ModeFamilyParams mp;
+  mp.num_modes = 2 + rng.below(3);
+  mp.target_groups = 1 + rng.below(mp.num_modes);
+  const double periods[] = {4.0, 8.0, 10.0, 16.0};
+  mp.base_period = rng.pick(periods);
+  mp.group_mcps = rng.below(3);
+  mp.mode_fps = rng.below(3);
+  mp.seed = rng.next();
+
+  gen::CornerFamilyParams cp;
+  const size_t corner_cap = options.max_corners < 2 ? 2 : options.max_corners;
+  cp.num_corners = 2 + rng.below(corner_cap - 1);
+  cp.clock_derate_step = 0.05 * static_cast<double>(1 + rng.below(3));
+  cp.drive_derate_step = 0.04 * static_cast<double>(1 + rng.below(3));
+  cp.load_derate_step = 0.10;
+  if (rng.chance(30)) {
+    // Break one corner's skeleton: the full-extraction fallback must still
+    // produce flat-identical verdicts and bytes.
+    cp.structural_break_corner = 1 + rng.below(cp.num_corners - 1);
+  }
+  const gen::CornerFamily fam = gen::generate_corner_family(c.design, mp, cp);
+  const size_t num_modes = fam.modes.size();
+  const size_t num_corners = fam.corners.size();
+
+  // Corner-major parse of the matrix. Corner transformations only rewrite
+  // numeric values of parseable generator output, so a parse failure here is
+  // a corner_gen bug and propagates as such.
+  std::vector<std::vector<sdc::Sdc>> matrix(num_corners);
+  for (size_t cc = 0; cc < num_corners; ++cc) {
+    for (size_t m = 0; m < num_modes; ++m) {
+      matrix[cc].push_back(sdc::parse_sdc(fam.sdc_texts[m][cc], design));
+    }
+  }
+
+  std::vector<std::string> corner_names;
+  for (const gen::CornerSpec& spec : fam.corners) {
+    corner_names.push_back(spec.name);
+  }
+  merge::McmmSession session(graph, merge::CornerSet(corner_names), base);
+  for (size_t m = 0; m < num_modes; ++m) {
+    std::vector<const sdc::Sdc*> decks;
+    for (size_t cc = 0; cc < num_corners; ++cc) decks.push_back(&matrix[cc][m]);
+    session.add_mode(fam.modes[m].name, decks);
+  }
+  const merge::McmmSession::CommitResult& r = session.commit();
+
+  // Verdict identity: every corner agrees with corner 0 by construction, so
+  // the combined graph must equal the corner-0 reference graph (fresh
+  // context, reference Sdc-pair path).
+  std::vector<const sdc::Sdc*> c0_ptrs;
+  for (const sdc::Sdc& m : matrix[0]) c0_ptrs.push_back(&m);
+  merge::MergeContext ref_ctx(base);
+  const merge::MergeabilityGraph ref(c0_ptrs, ref_ctx);
+  for (size_t i = 0; i < num_modes; ++i) {
+    for (size_t j = i + 1; j < num_modes; ++j) {
+      if (session.graph().edge(i, j) != ref.edge(i, j) ||
+          session.graph().reason(i, j) != ref.reason(i, j)) {
+        violations.push_back(
+            {"mcmm", "combined verdict for pair (" + std::to_string(i) + "," +
+                         std::to_string(j) +
+                         ") differs from the corner-0 reference: '" +
+                         session.graph().reason(i, j) + "' vs '" +
+                         ref.reason(i, j) + "'"});
+        return;
+      }
+    }
+  }
+
+  // Per-corner byte parity to C independent flat merges.
+  for (size_t cc = 0; cc < num_corners; ++cc) {
+    std::vector<const sdc::Sdc*> corner_ptrs;
+    for (const sdc::Sdc& m : matrix[cc]) corner_ptrs.push_back(&m);
+    const merge::MergedModeSet flat =
+        merge::merge_mode_set(graph, corner_ptrs, base);
+    if (flat.cliques != r.cliques) {
+      violations.push_back(
+          {"mcmm", "corner " + fam.corners[cc].name +
+                       ": flat clique cover differs from the shared MCMM"
+                       " cover"});
+      return;
+    }
+    for (size_t k = 0; k < r.cliques.size(); ++k) {
+      if (sdc::write_sdc(*r.merged[cc][k]->merge.merged) !=
+          sdc::write_sdc(*flat.merged[k].merge.merged)) {
+        violations.push_back(
+            {"mcmm", "corner " + fam.corners[cc].name +
+                         ": merged SDC bytes differ from the flat merge for"
+                         " clique " +
+                         std::to_string(k)});
+        return;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 CheckResult check_case(const FuzzCase& c, const FuzzOptions& options) {
@@ -765,6 +914,9 @@ CheckResult check_case(const FuzzCase& c, const FuzzOptions& options) {
     check_sharded_property(graph, ptrs, options, out, result.violations);
   if (options.check_policy)
     check_policy_property(graph, design, c, options, result.violations);
+  if (options.check_mcmm)
+    check_mcmm_property(graph, design, ptrs, out, c, options,
+                        result.violations);
   return result;
 }
 

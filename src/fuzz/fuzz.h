@@ -61,6 +61,11 @@ struct FuzzOptions {
   bool check_policy = true;       // P7: windowed policy never-optimistic +
                                   //     bounded pessimism on a case-seeded
                                   //     near-miss family
+  bool check_mcmm = true;         // P8: corner-aware MCMM parity — C == 1
+                                  //     engine identity + per-corner byte
+                                  //     parity to independent flat merges
+  /// Corner-count cap for P8's generated matrix (cases draw 2..max_corners).
+  size_t max_corners = 4;
   /// Cliques per case put through the idempotence re-merge (cost control).
   size_t idempotence_cliques = 2;
   /// Stop after this many violations (each is minimized first).
@@ -84,7 +89,8 @@ struct FuzzCase {
 
 struct Violation {
   std::string property;  // "equivalence" | "parity" | "idempotence" |
-                         // "cover" | "incremental" | "sharded" | "policy"
+                         // "cover" | "incremental" | "sharded" | "policy" |
+                         // "mcmm"
   std::string detail;    // human-readable first finding
 };
 
@@ -163,7 +169,19 @@ std::string mutate_sdc_text(const std::string& text, util::Rng& rng);
 ///                    merge/qor.h oracle: merged decks NEVER optimistic vs
 ///                    the worst individual mode (hard), pessimism within
 ///                    MergePolicy::pessimism_bound() when refinement
-///                    accounted for everything (unresolved_pessimism == 0).
+///                    accounted for everything (unresolved_pessimism == 0);
+///   P8 mcmm:         the corner-aware MCMM engine (merge/mcmm_session.h)
+///                    at C == 1 over the case's decks reproduces the batch
+///                    cover and merged bytes exactly; and over a
+///                    case-seeded M x C corner family (gen/corner_gen.h:
+///                    uniform per-corner value derates, which preserve
+///                    exact-policy verdicts corner by corner) the combined
+///                    mergeability graph equals the corner-0 reference
+///                    graph edge for edge and reason for reason — skeleton
+///                    sharing and value-only corner checks change no
+///                    verdict — and each corner's merged decks are
+///                    byte-identical to an independent flat merge of that
+///                    corner's decks.
 CheckResult check_case(const FuzzCase& c, const FuzzOptions& options);
 
 /// Delta-debugging minimizer: greedily drop whole modes, ddmin each mode's

@@ -1,0 +1,102 @@
+#include "merge/corner.h"
+
+namespace mm::merge {
+
+namespace {
+
+struct Fnv {
+  uint64_t h = 14695981039346656037ull;
+
+  void bytes(const void* data, size_t n) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+  void u64(uint64_t v) { bytes(&v, sizeof v); }
+  void f64(double v) { bytes(&v, sizeof v); }
+  void point(const sdc::ExceptionPoint& pt) {
+    u64(pt.pins.size());
+    for (netlist::PinId p : pt.pins) u64(p.value());
+    u64(pt.clocks.size());
+    for (sdc::ClockId c : pt.clocks) u64(c.value());
+  }
+};
+
+}  // namespace
+
+uint64_t structural_fingerprint(const Sdc& sdc) {
+  Fnv f;
+
+  // Design identity (extraction output embeds pin/port ids resolved against
+  // this design; full port-name folding is content_key's job — corner decks
+  // are only ever matched against siblings parsed on the same design).
+  const netlist::Design& design = sdc.design();
+  f.str(design.name());
+  f.u64(design.num_pins());
+  f.u64(design.num_ports());
+
+  // Clock table: every field clock_key/exception_signature can read.
+  f.u64(sdc.num_clocks());
+  for (const sdc::Clock& c : sdc.clocks()) {
+    f.str(c.name);
+    f.f64(c.period);
+    f.u64(c.waveform.size());
+    for (double w : c.waveform) f.f64(w);
+    f.u64(c.sources.size());
+    for (netlist::PinId p : c.sources) f.u64(p.value());
+    f.u64((c.add ? 1u : 0u) | (c.propagated ? 2u : 0u) |
+          (c.is_generated ? 4u : 0u));
+    if (c.is_generated) {
+      f.str(c.master_clock);
+      f.u64(c.master_source.value());
+      f.u64(static_cast<uint64_t>(c.divide_by));
+      f.u64(static_cast<uint64_t>(c.multiply_by));
+    }
+  }
+
+  // Exceptions: anchors AND values — an exception's value (MCP multiplier,
+  // min/max delay) is part of its signature, not a corner-varying number.
+  f.u64(sdc.exceptions().size());
+  for (const sdc::Exception& ex : sdc.exceptions()) {
+    f.u64(static_cast<uint64_t>(ex.kind));
+    f.f64(ex.value);
+    f.u64((ex.setup_hold.setup ? 1u : 0u) | (ex.setup_hold.hold ? 2u : 0u));
+    f.point(ex.from);
+    f.u64(ex.throughs.size());
+    for (const sdc::ExceptionPoint& th : ex.throughs) f.point(th);
+    f.point(ex.to);
+  }
+
+  // Drive/load channel shape: which channels exist, in which order —
+  // values excluded (they are exactly what corners change).
+  f.u64(sdc.drives().size());
+  for (const sdc::DriveConstraint& dc : sdc.drives()) {
+    f.u64(dc.port_pin.value());
+    f.u64((dc.is_transition ? 1u : 0u) | (dc.minmax.min ? 2u : 0u) |
+          (dc.minmax.max ? 4u : 0u));
+  }
+  f.u64(sdc.loads().size());
+  for (const sdc::LoadConstraint& lc : sdc.loads()) {
+    f.u64(lc.port_pin.value());
+  }
+
+  return f.h;
+}
+
+ModeSkeleton skeleton_of(const Sdc& sdc) {
+  ModeSkeleton s;
+  s.structure_hash = structural_fingerprint(sdc);
+  s.num_clocks = sdc.num_clocks();
+  s.num_exceptions = sdc.exceptions().size();
+  s.num_drive_channels = sdc.drives().size();
+  s.num_load_channels = sdc.loads().size();
+  return s;
+}
+
+}  // namespace mm::merge

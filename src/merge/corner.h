@@ -1,0 +1,90 @@
+#pragma once
+// Multi-corner data model (ROADMAP "Full MCMM"): corners of one mode differ
+// in *values* — derates, loads, voltages move latencies, uncertainties,
+// transitions and drive/load numbers — while the mode's *topology* (clock
+// definitions, exception anchors, constraint presence) is shared. The
+// engine therefore splits one mode's relationship data into
+//
+//   ModeSkeleton  — the value-independent structure, interned once per mode
+//                   into the shared CanonicalKeyTable (clock keys,
+//                   exception signatures, drive/load channel shape), and
+//   CornerDelta   — one per-corner table of the values riding on that
+//                   structure (relationship_cache.h fills it by a cheap
+//                   value-only re-scan of the corner deck),
+//
+// turning modes x corners relationship extraction into modes skeleton
+// interns + modes x corners delta fills. structural_fingerprint() is the
+// hash that decides whether a corner deck really shares its mode's
+// skeleton: it covers exactly the inputs relationship extraction reads,
+// with the value fields of the per-corner constraint lists excluded.
+// Equal fingerprints (same design) imply equal clock keys, equal exception
+// signatures, and an equal drive/load channel shape — so a skeleton's
+// interned view can be reused for the corner verbatim.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sdc/sdc.h"
+
+namespace mm::merge {
+
+using Sdc = sdc::Sdc;
+
+/// Index of a corner within a CornerSet. Corner 0 is the primary corner:
+/// its deck defines the mode's skeleton and the single-corner (C=1) path
+/// is byte-identical to the flat engine.
+using CornerId = uint32_t;
+constexpr CornerId kPrimaryCorner = 0;
+
+/// The registered corners of an MCMM run: an ordered set of names.
+/// CornerIds are positions; order is fixed at registration and shared by
+/// every mode in the matrix (decks are passed corner-major per mode).
+class CornerSet {
+ public:
+  /// Single default corner — the flat, single-corner engine.
+  CornerSet() : names_{"default"} {}
+  explicit CornerSet(std::vector<std::string> names)
+      : names_(std::move(names)) {
+    if (names_.empty()) names_.push_back("default");
+  }
+
+  CornerId add(std::string name) {
+    names_.push_back(std::move(name));
+    return static_cast<CornerId>(names_.size() - 1);
+  }
+
+  size_t size() const { return names_.size(); }
+  bool single() const { return names_.size() == 1; }
+  const std::string& name(CornerId c) const { return names_[c]; }
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// Value-independent summary of one mode's relationship structure. The
+/// authoritative skeleton *data* lives in the primary corner's
+/// ModeRelationships entry (relationship_cache.h) — this struct is the
+/// identity card: the structure hash corner decks are matched against,
+/// plus counts for reports.
+struct ModeSkeleton {
+  uint64_t structure_hash = 0;
+  size_t num_clocks = 0;
+  size_t num_exceptions = 0;
+  size_t num_drive_channels = 0;  // drive entries (channel shape, not values)
+  size_t num_load_channels = 0;
+};
+
+/// Hash of everything relationship extraction reads except per-corner
+/// values: design identity, the full clock table, exceptions (kind, value,
+/// setup/hold, anchor pins + clock indices), and the drive/load channel
+/// shape (port, type, min/max flags — values excluded). Two decks with
+/// equal fingerprints yield relationship sets that differ at most in the
+/// clock value tables and the drive/load values.
+uint64_t structural_fingerprint(const Sdc& sdc);
+
+/// The skeleton identity card of a deck (one structural_fingerprint pass).
+ModeSkeleton skeleton_of(const Sdc& sdc);
+
+}  // namespace mm::merge

@@ -139,6 +139,72 @@ PairVerdict load_conflict(PinId port_pin) {
   return v;
 }
 
+/// Drive/load compatibility over *effective* values. SDC semantics are
+/// last-entry-wins per channel — a channel being one (port, is_transition,
+/// min/max side) for drives and one port for loads — so a deck carrying a
+/// superseded duplicate (real decks do; the fuzz mutation stage manufactures
+/// them) must compare by what actually applies, not by every raw entry: the
+/// all-pairs scan made such a deck conflict with itself (fuzz P3, case
+/// 1532919352286236818). For each channel where `a` holds the effective
+/// entry, probe `b`'s effective entry for the same channel. a's entries are
+/// visited in source order (min side before max), identically in all three
+/// check paths, so the first conflict — and the verdict's reason/subject —
+/// stays byte-identical across them.
+std::optional<PairVerdict> drive_load_conflict_screen(
+    const std::vector<sdc::DriveConstraint>& a_drives,
+    const std::vector<sdc::DriveConstraint>& b_drives,
+    const std::vector<sdc::LoadConstraint>& a_loads,
+    const std::vector<sdc::LoadConstraint>& b_loads,
+    const MergeOptions& options, WindowUse& use) {
+  auto covers = [](const sdc::MinMaxFlags& mm, size_t side) {
+    return side == 0 ? mm.min : mm.max;
+  };
+  for (size_t k = 0; k < a_drives.size(); ++k) {
+    const sdc::DriveConstraint& da = a_drives[k];
+    for (size_t side = 0; side < 2; ++side) {
+      if (!covers(da.minmax, side)) continue;
+      bool effective = true;
+      for (size_t j = k + 1; j < a_drives.size() && effective; ++j) {
+        effective = !(a_drives[j].port_pin == da.port_pin &&
+                      a_drives[j].is_transition == da.is_transition &&
+                      covers(a_drives[j].minmax, side));
+      }
+      if (!effective) continue;
+      const sdc::DriveConstraint* db = nullptr;
+      for (const sdc::DriveConstraint& cand : b_drives) {
+        if (cand.port_pin == da.port_pin &&
+            cand.is_transition == da.is_transition &&
+            covers(cand.minmax, side)) {
+          db = &cand;  // forward scan: the last match is the effective one
+        }
+      }
+      if (db == nullptr) continue;
+      if (!value_ok(da.value, db->value, options,
+                    options.policy.window_drive_load, "drive", use)) {
+        return drive_conflict(da.port_pin);
+      }
+    }
+  }
+  for (size_t k = 0; k < a_loads.size(); ++k) {
+    const sdc::LoadConstraint& la = a_loads[k];
+    bool effective = true;
+    for (size_t j = k + 1; j < a_loads.size() && effective; ++j) {
+      effective = a_loads[j].port_pin != la.port_pin;
+    }
+    if (!effective) continue;
+    const sdc::LoadConstraint* lb = nullptr;
+    for (const sdc::LoadConstraint& cand : b_loads) {
+      if (cand.port_pin == la.port_pin) lb = &cand;
+    }
+    if (lb == nullptr) continue;
+    if (!value_ok(la.value, lb->value, options,
+                  options.policy.window_drive_load, "load", use)) {
+      return load_conflict(la.port_pin);
+    }
+  }
+  return std::nullopt;
+}
+
 PairVerdict exception_conflict(std::string anchor_sig, uint32_t anchor_key) {
   PairVerdict v;
   v.mergeable = false;
@@ -215,26 +281,9 @@ PairVerdict check_mergeable_interned(const ModeRelationships& a,
   }
 
   // --- drive / load compatibility ------------------------------------------
-  for (const sdc::DriveConstraint& da : a.drives) {
-    for (const sdc::DriveConstraint& db : b.drives) {
-      if (da.port_pin != db.port_pin || da.is_transition != db.is_transition)
-        continue;
-      if (!(da.minmax.min && db.minmax.min) && !(da.minmax.max && db.minmax.max))
-        continue;
-      if (!value_ok(da.value, db.value, options,
-                    options.policy.window_drive_load, "drive", use)) {
-        return finish_verdict(drive_conflict(da.port_pin), options, use);
-      }
-    }
-  }
-  for (const sdc::LoadConstraint& la : a.loads) {
-    for (const sdc::LoadConstraint& lb : b.loads) {
-      if (la.port_pin != lb.port_pin) continue;
-      if (!value_ok(la.value, lb.value, options,
-                    options.policy.window_drive_load, "load", use)) {
-        return finish_verdict(load_conflict(la.port_pin), options, use);
-      }
-    }
+  if (std::optional<PairVerdict> v = drive_load_conflict_screen(
+          a.drives, b.drives, a.loads, b.loads, options, use)) {
+    return finish_verdict(std::move(*v), options, use);
   }
 
   // --- exceptions ------------------------------------------------------------
@@ -302,26 +351,9 @@ PairVerdict check_mergeable(const ModeRelationships& a,
   }
 
   // --- drive / load compatibility ------------------------------------------
-  for (const sdc::DriveConstraint& da : a.drives) {
-    for (const sdc::DriveConstraint& db : b.drives) {
-      if (da.port_pin != db.port_pin || da.is_transition != db.is_transition)
-        continue;
-      if (!(da.minmax.min && db.minmax.min) && !(da.minmax.max && db.minmax.max))
-        continue;
-      if (!value_ok(da.value, db.value, options,
-                    options.policy.window_drive_load, "drive", use)) {
-        return finish_verdict(drive_conflict(da.port_pin), options, use);
-      }
-    }
-  }
-  for (const sdc::LoadConstraint& la : a.loads) {
-    for (const sdc::LoadConstraint& lb : b.loads) {
-      if (la.port_pin != lb.port_pin) continue;
-      if (!value_ok(la.value, lb.value, options,
-                    options.policy.window_drive_load, "load", use)) {
-        return finish_verdict(load_conflict(la.port_pin), options, use);
-      }
-    }
+  if (std::optional<PairVerdict> v = drive_load_conflict_screen(
+          a.drives, b.drives, a.loads, b.loads, options, use)) {
+    return finish_verdict(std::move(*v), options, use);
   }
 
   // --- exceptions ------------------------------------------------------------
@@ -365,6 +397,65 @@ PairVerdict check_mergeable(const ModeRelationships& a,
   if (!v.mergeable) return finish_verdict(std::move(v), options, use);
 
   return finish_verdict({true, ""}, options, use);
+}
+
+PairVerdict check_mergeable_values(const ModeRelationships& a,
+                                   const ModeRelationships& b,
+                                   const MergeOptions& options) {
+  WindowUse use;
+  std::optional<PairVerdict> v =
+      (options.use_interned_keys && a.interned && b.interned)
+          ? clock_conflict_screen_interned(a, b, options, use)
+          : clock_conflict_screen(a, b, options, use);
+  if (v) {
+    MM_COUNT("merge/mergeability_prescreen_conflicts", 1);
+    return finish_verdict(std::move(*v), options, use);
+  }
+  if (std::optional<PairVerdict> d = drive_load_conflict_screen(
+          a.drives, b.drives, a.loads, b.loads, options, use)) {
+    return finish_verdict(std::move(*d), options, use);
+  }
+  return finish_verdict({true, ""}, options, use);
+}
+
+PairVerdict check_mergeable_corners(
+    const std::vector<const ModeRelationships*>& a,
+    const std::vector<const ModeRelationships*>& b, const CornerSet& corners,
+    const MergeOptions& options) {
+  MM_ASSERT(a.size() == corners.size() && b.size() == corners.size());
+  // Structural check: once per pair, through the primary corner. At C == 1
+  // the corner accounting fields stay at their flat defaults, so the
+  // returned verdict is the flat verdict member for member.
+  PairVerdict primary = check_mergeable(*a[0], *b[0], options);
+  MM_COUNT("merge/mcmm_structural_checks", 1);
+  if (!primary.mergeable) {
+    if (!corners.single()) {
+      primary.corner = corners.name(kPrimaryCorner);
+      primary.corner_id = kPrimaryCorner;
+      primary.corners_checked = 1;
+    }
+    return primary;
+  }
+  // Value checks per corner, early exit on the first conflicting corner.
+  for (CornerId c = 1; c < corners.size(); ++c) {
+    const bool shares_skeleton =
+        a[c]->structure_fp == a[kPrimaryCorner]->structure_fp &&
+        b[c]->structure_fp == b[kPrimaryCorner]->structure_fp;
+    PairVerdict v = shares_skeleton
+                        ? check_mergeable_values(*a[c], *b[c], options)
+                        : check_mergeable(*a[c], *b[c], options);
+    MM_COUNT("merge/mcmm_value_checks", 1);
+    if (!v.mergeable) {
+      v.corner = corners.name(c);
+      v.corner_id = c;
+      v.corners_checked = c + 1;
+      return v;
+    }
+  }
+  if (!corners.single()) {
+    primary.corners_checked = static_cast<uint32_t>(corners.size());
+  }
+  return primary;
 }
 
 PairVerdict check_mergeable(const Sdc& a, const Sdc& b,
@@ -478,26 +569,9 @@ PairVerdict check_mergeable(const Sdc& a, const Sdc& b,
   }
 
   // --- drive / load compatibility ------------------------------------------
-  for (const sdc::DriveConstraint& da : a.drives()) {
-    for (const sdc::DriveConstraint& db : b.drives()) {
-      if (da.port_pin != db.port_pin || da.is_transition != db.is_transition)
-        continue;
-      if (!(da.minmax.min && db.minmax.min) && !(da.minmax.max && db.minmax.max))
-        continue;
-      if (!value_ok(da.value, db.value, options,
-                    options.policy.window_drive_load, "drive", use)) {
-        return finish_verdict(drive_conflict(da.port_pin), options, use);
-      }
-    }
-  }
-  for (const sdc::LoadConstraint& la : a.loads()) {
-    for (const sdc::LoadConstraint& lb : b.loads()) {
-      if (la.port_pin != lb.port_pin) continue;
-      if (!value_ok(la.value, lb.value, options,
-                    options.policy.window_drive_load, "load", use)) {
-        return finish_verdict(load_conflict(la.port_pin), options, use);
-      }
-    }
+  if (std::optional<PairVerdict> v = drive_load_conflict_screen(
+          a.drives(), b.drives(), a.loads(), b.loads(), options, use)) {
+    return finish_verdict(std::move(*v), options, use);
   }
 
   // --- exceptions ------------------------------------------------------------

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "merge/corner.h"
 #include "merge/relationship_cache.h"
 #include "merge/types.h"
 
@@ -50,6 +51,18 @@ struct PairVerdict {
   std::string window_field;
   double window_used = 0.0;
   double window_budget = 0.0;
+
+  /// Corner provenance (merge/corner.h), filled only by
+  /// check_mergeable_corners: the corner the first conflict fired in (name
+  /// + id; empty/0 on a single-corner run or a flat check), and how many
+  /// corners were value-checked before the verdict settled — C on a
+  /// mergeable verdict (every corner agreed), the conflicting corner's
+  /// 1-based position on early exit. All three stay at their flat defaults
+  /// from the corner-unaware check paths AND at C == 1, so a single-corner
+  /// verdict is the flat verdict member for member.
+  std::string corner;
+  uint32_t corner_id = 0;
+  uint32_t corners_checked = 0;
 };
 
 /// Pairwise mergeability: a mock preliminary merge checking for
@@ -77,6 +90,33 @@ PairVerdict check_mergeable(const Sdc& a, const Sdc& b,
 PairVerdict check_mergeable(const ModeRelationships& a,
                             const ModeRelationships& b,
                             const MergeOptions& options);
+
+/// The value-only half of check_mergeable: the clock constraint-window
+/// screen plus drive/load compatibility, skipping the exception-signature
+/// sections entirely. Valid as a corner's full verdict ONLY when the
+/// corner shares its mode's skeleton with a corner already checked in
+/// full: exception signatures, from-keys and clock-key sets are structural
+/// (merge/corner.h), so the skipped sections are guaranteed to reproduce
+/// the primary corner's outcome. Visit order matches check_mergeable, so
+/// a value conflict carries the identical reason/category/subject.
+PairVerdict check_mergeable_values(const ModeRelationships& a,
+                                   const ModeRelationships& b,
+                                   const MergeOptions& options);
+
+/// The MCMM accept rule: two modes merge only when mergeable in EVERY
+/// registered corner. `a`/`b` hold one relationship set per corner
+/// (corner-major, a.size() == corners.size()). The structural check runs
+/// once — corner 0 goes through full check_mergeable — and corners 1..C-1
+/// run the value-only check when they share their mode's skeleton (full
+/// check on a structure mismatch), with early exit on the first
+/// conflicting corner. Conflict verdicts carry the corner's name/id when
+/// C > 1; a C == 1 call returns exactly the flat verdict (byte-identical
+/// single-corner path). The mergeable verdict's window provenance is the
+/// primary corner's.
+PairVerdict check_mergeable_corners(
+    const std::vector<const ModeRelationships*>& a,
+    const std::vector<const ModeRelationships*>& b, const CornerSet& corners,
+    const MergeOptions& options);
 
 /// The greedy clique cover over an n-by-n adjacency matrix (row-major,
 /// nonzero = edge, diagonal set): seeds cliques in descending-degree order

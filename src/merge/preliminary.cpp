@@ -430,57 +430,94 @@ class PreliminaryMerger {
   // --- §3.1.6 drive and load constraints -------------------------------------
 
   void merge_drive_load() {
-    // Drives: same (port, type, flavour) in all modes within tolerance.
-    for (const sdc::DriveConstraint& dc : modes_[0]->drives()) {
+    // Drives and loads obey last-entry-wins per channel — (port, type,
+    // min/max side) for drives, port for loads — matching the effective
+    // comparison check_mergeable performs. A channel is kept when every
+    // mode holds an effective entry for it and the effective values agree
+    // within tolerance (or the policy window); the kept entry's value is
+    // the pessimistic maximum of the effective values. Superseded
+    // duplicates of a kept channel ride along verbatim: they cannot change
+    // what applies (a later kept entry overrides them) and keeping them
+    // makes merge a byte-level fixpoint (fuzz P3).
+    auto covers = [](const sdc::MinMaxFlags& mm, size_t side) {
+      return side == 0 ? mm.min : mm.max;
+    };
+    auto value_compatible = [&](double a, double b) {
+      return within_tolerance(a, b, options_.value_tolerance) ||
+             (options_.policy.windowed() &&
+              within_window(a, b, options_.policy.window_drive_load));
+    };
+    const std::vector<sdc::DriveConstraint>& drives0 = modes_[0]->drives();
+    for (size_t k = 0; k < drives0.size(); ++k) {
+      const sdc::DriveConstraint& dc = drives0[k];
+      // Every channel the entry covers must survive — also for superseded
+      // entries, which must not resurrect a value whose channel the merge
+      // dropped. Channel status compares mode 0's *effective* value.
       bool ok = true;
+      bool is_effective = false;
       double max_value = dc.value;
-      for (size_t m = 1; m < modes_.size() && ok; ++m) {
-        bool found = false;
-        for (const sdc::DriveConstraint& other : modes_[m]->drives()) {
-          if (other.port_pin == dc.port_pin &&
-              other.is_transition == dc.is_transition &&
-              other.minmax == dc.minmax) {
-            found = within_tolerance(other.value, dc.value,
-                                     options_.value_tolerance) ||
-                    (options_.policy.windowed() &&
-                     within_window(other.value, dc.value,
-                                   options_.policy.window_drive_load));
-            max_value = std::max(max_value, other.value);
-            break;
+      for (size_t side = 0; side < 2 && ok; ++side) {
+        if (!covers(dc.minmax, side)) continue;
+        double eff0 = dc.value;
+        bool effective = true;
+        for (size_t j = k + 1; j < drives0.size(); ++j) {
+          if (drives0[j].port_pin == dc.port_pin &&
+              drives0[j].is_transition == dc.is_transition &&
+              covers(drives0[j].minmax, side)) {
+            effective = false;
+            eff0 = drives0[j].value;
           }
         }
-        ok = found;
+        for (size_t m = 1; m < modes_.size() && ok; ++m) {
+          const sdc::DriveConstraint* other = nullptr;
+          for (const sdc::DriveConstraint& cand : modes_[m]->drives()) {
+            if (cand.port_pin == dc.port_pin &&
+                cand.is_transition == dc.is_transition &&
+                covers(cand.minmax, side)) {
+              other = &cand;  // forward scan: last match is effective
+            }
+          }
+          ok = other != nullptr && value_compatible(other->value, eff0);
+          if (ok && effective) max_value = std::max(max_value, other->value);
+        }
+        is_effective = is_effective || effective;
       }
       if (ok) {
         sdc::DriveConstraint out = dc;
-        out.value = max_value;  // pessimistic pick within tolerance window
+        // Pessimistic pick within the tolerance window; superseded entries
+        // keep their value (the effective entry downstream overrides them,
+        // which also keeps merge a byte-level fixpoint).
+        if (is_effective) out.value = max_value;
         merged().drives().push_back(out);
         ++result_.stats.drive_load_kept;
       } else {
         ++result_.stats.drive_load_dropped;
       }
     }
-    for (const sdc::LoadConstraint& lc : modes_[0]->loads()) {
+    const std::vector<sdc::LoadConstraint>& loads0 = modes_[0]->loads();
+    for (size_t k = 0; k < loads0.size(); ++k) {
+      const sdc::LoadConstraint& lc = loads0[k];
+      double eff0 = lc.value;
+      bool effective = true;
+      for (size_t j = k + 1; j < loads0.size(); ++j) {
+        if (loads0[j].port_pin == lc.port_pin) {
+          effective = false;
+          eff0 = loads0[j].value;
+        }
+      }
       bool ok = true;
       double max_value = lc.value;
       for (size_t m = 1; m < modes_.size() && ok; ++m) {
-        bool found = false;
-        for (const sdc::LoadConstraint& other : modes_[m]->loads()) {
-          if (other.port_pin == lc.port_pin) {
-            found = within_tolerance(other.value, lc.value,
-                                     options_.value_tolerance) ||
-                    (options_.policy.windowed() &&
-                     within_window(other.value, lc.value,
-                                   options_.policy.window_drive_load));
-            max_value = std::max(max_value, other.value);
-            break;
-          }
+        const sdc::LoadConstraint* other = nullptr;
+        for (const sdc::LoadConstraint& cand : modes_[m]->loads()) {
+          if (cand.port_pin == lc.port_pin) other = &cand;
         }
-        ok = found;
+        ok = other != nullptr && value_compatible(other->value, eff0);
+        if (ok && effective) max_value = std::max(max_value, other->value);
       }
       if (ok) {
         sdc::LoadConstraint out = lc;
-        out.value = max_value;
+        if (effective) out.value = max_value;
         merged().loads().push_back(out);
         ++result_.stats.drive_load_kept;
       } else {

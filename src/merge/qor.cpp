@@ -14,6 +14,20 @@ QoRReport qor_report(const timing::TimingGraph& graph,
                      const std::vector<const Sdc*>& modes,
                      const MergedModeSet& merged, const MergeOptions& options,
                      double slack_eps) {
+  std::vector<const Sdc*> merged_decks;
+  merged_decks.reserve(merged.merged.size());
+  for (const ValidatedMergeResult& r : merged.merged) {
+    merged_decks.push_back(r.merge.merged.get());
+  }
+  return qor_report(graph, modes, merged_decks, merged.cliques, options,
+                    slack_eps);
+}
+
+QoRReport qor_report(const timing::TimingGraph& graph,
+                     const std::vector<const Sdc*>& modes,
+                     const std::vector<const Sdc*>& merged_decks,
+                     const std::vector<std::vector<size_t>>& cliques,
+                     const MergeOptions& options, double slack_eps) {
   MM_SPAN("merge/qor_report");
   QoRReport out;
   out.policy = options.policy.name();
@@ -23,8 +37,8 @@ QoRReport qor_report(const timing::TimingGraph& graph,
   ThreadPool pool(options.num_threads);
   double pessimism_sum = 0.0;
 
-  for (size_t c = 0; c < merged.cliques.size(); ++c) {
-    const std::vector<size_t>& clique = merged.cliques[c];
+  for (size_t c = 0; c < cliques.size(); ++c) {
+    const std::vector<size_t>& clique = cliques[c];
     if (clique.size() < 2) continue;  // merged deck is the mode verbatim
 
     // Members + the merged deck as the last lane of one batched walk, so
@@ -32,7 +46,7 @@ QoRReport qor_report(const timing::TimingGraph& graph,
     std::vector<const Sdc*> lanes;
     lanes.reserve(clique.size() + 1);
     for (size_t m : clique) lanes.push_back(modes[m]);
-    lanes.push_back(merged.merged[c].merge.merged.get());
+    lanes.push_back(merged_decks[c]);
     const timing::BatchStaResult batch =
         timing::run_sta_batch(graph, lanes, /*analyze_hold=*/false, &pool);
     const timing::StaResult& merged_sta = batch.per_mode.back();

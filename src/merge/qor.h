@@ -68,6 +68,19 @@ QoRReport qor_report(const timing::TimingGraph& graph,
                      const MergedModeSet& merged, const MergeOptions& options,
                      double slack_eps = 1e-4);
 
+/// Deck-level entry: the same report over bare merged decks + clique
+/// membership, without requiring a MergedModeSet (whose results are
+/// move-only). This is how MCMM gates the invariant per corner: a corner's
+/// decks and its per-clique merged decks form one flat report, and
+/// McmmSession::qor runs it for each registered corner — never-optimistic
+/// must hold in every corner, not just the primary one (docs/MCMM.md).
+/// `merged_decks` is indexed like `cliques`.
+QoRReport qor_report(const timing::TimingGraph& graph,
+                     const std::vector<const Sdc*>& modes,
+                     const std::vector<const Sdc*>& merged_decks,
+                     const std::vector<std::vector<size_t>>& cliques,
+                     const MergeOptions& options, double slack_eps = 1e-4);
+
 /// Serialize as an mm.qor/1 JSON document (schema in docs/POLICIES.md).
 std::string write_qor_json(const QoRReport& report);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "merge/corner.h"
 #include "merge/keys.h"
 #include "obs/obs.h"
 #include "sdc/writer.h"
@@ -22,20 +23,24 @@ uint64_t fnv1a(uint64_t h, const std::string& s) {
   return fnv1a(h, s.data(), s.size());
 }
 
-}  // namespace
-
-ModeRelationships extract_relationships(const Sdc& sdc,
-                                        CanonicalKeyTable* table) {
-  MM_SPAN_HOT("merge/relationship_extract");
-  ModeRelationships out;
-
-  // Clocks: canonical keys plus constraint windows. Forward iteration with
-  // overwrite reproduces check_mergeable's last-matching-entry-wins scans.
-  out.clocks.resize(sdc.num_clocks());
-  for (size_t i = 0; i < sdc.num_clocks(); ++i) {
-    out.clocks[i].key = clock_key(sdc, ClockId(i));
-    out.by_key.emplace(out.clocks[i].key, i);
-    out.clock_keys.insert(out.clocks[i].key);
+/// The per-corner value tables: reset and re-fill every clock constraint
+/// window from the deck's raw lists (forward iteration with overwrite ==
+/// last-matching-entry-wins). Shared by full extraction and the corner
+/// delta fill so both produce bit-identical value tables.
+void fill_clock_values(ModeRelationships& out, const Sdc& sdc) {
+  for (ModeRelationships::ClockInfo& c : out.clocks) {
+    for (size_t src = 0; src < 2; ++src) {
+      for (size_t side = 0; side < 2; ++side) {
+        c.latency[src][side] = 0.0;
+        c.latency_present[src][side] = false;
+      }
+    }
+    for (size_t i = 0; i < 2; ++i) {
+      c.uncertainty[i] = 0.0;
+      c.uncertainty_present[i] = false;
+      c.transition[i] = 0.0;
+      c.transition_present[i] = false;
+    }
   }
   for (const sdc::ClockLatency& lat : sdc.clock_latencies()) {
     ModeRelationships::ClockInfo& c = out.clocks[lat.clock.index()];
@@ -71,6 +76,26 @@ ModeRelationships extract_relationships(const Sdc& sdc,
       c.transition_present[1] = true;
     }
   }
+}
+
+}  // namespace
+
+ModeRelationships extract_relationships(const Sdc& sdc,
+                                        CanonicalKeyTable* table) {
+  MM_SPAN_HOT("merge/relationship_extract");
+  ModeRelationships out;
+
+  out.structure_fp = structural_fingerprint(sdc);
+
+  // Clocks: canonical keys plus constraint windows. The shared value fill
+  // reproduces check_mergeable's last-matching-entry-wins scans.
+  out.clocks.resize(sdc.num_clocks());
+  for (size_t i = 0; i < sdc.num_clocks(); ++i) {
+    out.clocks[i].key = clock_key(sdc, ClockId(i));
+    out.by_key.emplace(out.clocks[i].key, i);
+    out.clock_keys.insert(out.clocks[i].key);
+  }
+  fill_clock_values(out, sdc);
 
   // Exceptions: both signature flavors + effective launch-clock keys.
   out.exceptions.reserve(sdc.exceptions().size());
@@ -177,6 +202,55 @@ std::shared_ptr<const ModeRelationships> RelationshipCache::get(
   // twice and the first insert wins.
   auto rels = std::make_shared<const ModeRelationships>(
       extract_relationships(sdc, table_));
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.misses;
+  MM_COUNT("merge/relationship_cache_misses", 1);
+  if (map_.size() >= max_entries_ && !map_.count(key)) {
+    stats_.evictions += map_.size();
+    map_.clear();
+  }
+  auto [it, inserted] = map_.emplace(key, std::move(rels));
+  return it->second;
+}
+
+std::shared_ptr<const ModeRelationships> RelationshipCache::get_corner(
+    const Sdc& corner_sdc, const ModeRelationships& skeleton) {
+  const uint64_t key = content_key(corner_sdc);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      ++stats_.hits;
+      MM_COUNT("merge/relationship_cache_hits", 1);
+      return it->second;
+    }
+  }
+
+  std::shared_ptr<const ModeRelationships> rels;
+  if (structural_fingerprint(corner_sdc) == skeleton.structure_fp) {
+    // Value-only delta fill: the skeleton's canonical keys, signatures and
+    // interned view are valid verbatim for this corner (equal fingerprints
+    // on the same design imply equal key derivations), so only the value
+    // tables are re-scanned — no string building, no interning.
+    MM_SPAN_HOT("merge/relationship_delta_fill");
+    auto filled = std::make_shared<ModeRelationships>(skeleton);
+    fill_clock_values(*filled, corner_sdc);
+    filled->drives = corner_sdc.drives();
+    filled->loads = corner_sdc.loads();
+    rels = std::move(filled);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.delta_fills;
+    MM_COUNT("merge/relationship_cache_delta_fills", 1);
+  } else {
+    // The corner deck's structure diverged from its mode's skeleton (extra
+    // clock, edited exception, reshaped drive list): full extraction.
+    rels = std::make_shared<const ModeRelationships>(
+        extract_relationships(corner_sdc, table_));
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.skeleton_mismatches;
+    MM_COUNT("merge/relationship_cache_skeleton_mismatches", 1);
+  }
+
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.misses;
   MM_COUNT("merge/relationship_cache_misses", 1);

@@ -78,6 +78,12 @@ struct ModeRelationships {
   std::vector<sdc::DriveConstraint> drives;
   std::vector<sdc::LoadConstraint> loads;
 
+  /// Structural fingerprint of the deck this set was extracted from
+  /// (merge/corner.h): the skeleton identity corner decks are matched
+  /// against before a value-only delta fill may reuse this entry's interned
+  /// structure.
+  uint64_t structure_fp = 0;
+
   /// Interned view, filled when extraction ran with a CanonicalKeyTable.
   /// Ids are only comparable against entries interned in the same table.
   bool interned = false;
@@ -103,6 +109,11 @@ class RelationshipCache {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
+    /// Corner entries produced by the value-only delta fill (skeleton
+    /// structure reused) vs corner decks whose structure diverged from
+    /// their skeleton and fell back to full extraction.
+    uint64_t delta_fills = 0;
+    uint64_t skeleton_mismatches = 0;
   };
 
   /// `max_entries` bounds memory; exceeding it evicts the whole table
@@ -120,6 +131,20 @@ class RelationshipCache {
   /// extract and the first insert wins. Increments the
   /// merge/relationship_cache_{hits,misses} counters.
   std::shared_ptr<const ModeRelationships> get(const Sdc& sdc);
+
+  /// Corner entry: extract-or-delta-fill. `skeleton` is the mode's primary
+  /// corner entry (from get()). When `corner_sdc`'s structural fingerprint
+  /// (merge/corner.h) matches the skeleton's, the entry is built by copying
+  /// the skeleton — canonical keys, signatures, interned ids, bitsets — and
+  /// re-scanning only the corner deck's value tables (clock
+  /// latency/uncertainty/transition, drives, loads): a value-only fill that
+  /// skips every key derivation and intern. The result is value-identical
+  /// to extract_relationships(corner_sdc) — asserted by fuzz P8 — so
+  /// skeleton sharing can never change a verdict. Structure mismatches
+  /// (counted merge/relationship_cache_skeleton_mismatches) fall back to
+  /// full extraction. Memoized under the same content key as get().
+  std::shared_ptr<const ModeRelationships> get_corner(
+      const Sdc& corner_sdc, const ModeRelationships& skeleton);
 
   /// The key get() uses: FNV-1a of write_sdc(sdc) mixed with the design's
   /// structural identity — name, pin/port/net/instance counts, and every

@@ -263,6 +263,14 @@ ShardedMergeSession::Projection ShardedMergeSession::build_projection(
   return proj;
 }
 
+PairVerdict ShardedMergeSession::stitch_check(const Sdc& a,
+                                              const Sdc& b) const {
+  if (partition_.num_blocks() <= 1) {
+    return check_mergeable(a, b, ctx_->options());
+  }
+  return stitch_pair(a, b);
+}
+
 PairVerdict ShardedMergeSession::stitch_pair(const Sdc& a,
                                              const Sdc& b) const {
   const Projection& pa = projections_.at(&a);

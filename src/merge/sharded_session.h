@@ -109,6 +109,17 @@ class ShardedMergeSession {
   /// The block-scoped child context of one block (K > 1 only).
   MergeContext& block_context(size_t block) { return *block_ctxs_[block]; }
 
+  /// Public stitch entry: the two-level (per-block + stitch) verdict for a
+  /// pair of decks registered in this session. Byte-identical to
+  /// check_mergeable(a, b) — this is the seam McmmSession's
+  /// set_structural_checker composes with, so sharded structural screening
+  /// drives the corner-aware matrix (docs/MCMM.md): register the primary
+  /// corner's decks here, route corner 0 through stitch_check, and let the
+  /// value-only corner screens run flat. K == 1 degenerates to the plain
+  /// full-netlist check. Thread-safe (invoked concurrently from session
+  /// pools); stitch accounting lands in last_stitch() at the next commit.
+  PairVerdict stitch_check(const Sdc& a, const Sdc& b) const;
+
  private:
   /// One deck's shard decomposition: the full relationship set plus its
   /// K+1 shard projections (boundary shard last) and boundary models.

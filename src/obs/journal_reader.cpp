@@ -180,6 +180,17 @@ std::string explain_pair(const JournalData& journal, std::string_view a,
       os << "    subject:  " << ev.str("subject") << "\n";
       os << "    reason:   " << ev.str("reason") << "\n";
     }
+    // Corner provenance is only journaled by the corner-aware MCMM engine
+    // at C > 1: corners_checked on every verdict, plus the conflicting
+    // corner's identity when the per-corner scan early-exited.
+    if (ev.find("corners_checked") != nullptr) {
+      os << "  corners: " << ev.uint("corners_checked") << " checked";
+      if (ev.find("corner") != nullptr) {
+        os << "; conflict in corner " << ev.str("corner") << " (id "
+           << ev.uint("corner_id") << ")";
+      }
+      os << "\n";
+    }
     // Policy provenance is only journaled for non-exact policies; a
     // mergeable verdict with a window_field merged under a windowed
     // acceptance (bounded-pessimism), not exact agreement.
@@ -214,7 +225,11 @@ std::string explain_pair(const JournalData& journal, std::string_view a,
   } else {
     os << "\nconclusion: " << a << " and " << b
        << " do not merge: " << last.str("reason") << " [" << last.str("category")
-       << " on " << last.str("subject") << "]\n";
+       << " on " << last.str("subject") << "]";
+    if (last.find("corner") != nullptr) {
+      os << " (first conflicting corner: " << last.str("corner") << ")";
+    }
+    os << "\n";
   }
   return os.str();
 }

@@ -5,7 +5,9 @@
 //   read_journal     parse a JSONL journal file (schema-checked)
 //   explain_pair     the "why don't these two modes merge" chain — every
 //                    commit's re-check verdict with first-conflict
-//                    provenance and where the cover placed each mode
+//                    provenance (including the first conflicting corner on
+//                    MCMM journals, which carry corner fields at C > 1)
+//                    and where the cover placed each mode
 //   render_timeline  per-commit session history: deltas -> pairs rechecked
 //                    -> cliques dirtied -> bytes changed
 //   profile_report   top-k self-time table aggregated from a Chrome

@@ -1,0 +1,2 @@
+set_input_transition 0.1 [get_ports di_0]
+set_input_transition 0.11 [get_ports di_0]

@@ -40,6 +40,8 @@ void usage(std::FILE* to) {
       "  --threads N          worker threads for the baseline config's whole\n"
       "                       merge pipeline (extraction, pair checks,\n"
       "                       refinement, validation; 0 = hardware)\n"
+      "  --corners N          corner cap for P8's generated MCMM matrix;\n"
+      "                       cases draw 2..N corners (default 4, min 2)\n"
       "  --max-violations N   stop after N minimized findings (default 1)\n"
       "  --corpus-dir DIR     write minimized repros under DIR\n"
       "  --no-mutate          skip the SDC text-mutation stage\n"
@@ -56,6 +58,7 @@ void usage(std::FILE* to) {
       "  --no-sharded         skip P6 sharded-vs-unsharded byte parity\n"
       "  --no-policy          skip P7 windowed-policy never-optimistic +\n"
       "                       bounded-pessimism oracle\n"
+      "  --no-mcmm            skip P8 corner-aware MCMM flat-parity oracle\n"
       "\n"
       "oracle mutation testing:\n"
       "  --inject KIND        none | falsify-mcp | drop-exceptions |\n"
@@ -144,6 +147,11 @@ int main(int argc, char** argv) {
       opt.max_regs = static_cast<size_t>(parse_u64_arg("--max-regs", value()));
     else if (arg == "--threads")
       opt.threads = static_cast<size_t>(parse_u64_arg("--threads", value()));
+    else if (arg == "--corners") {
+      const char* text = value();
+      opt.max_corners = static_cast<size_t>(parse_u64_arg("--corners", text));
+      if (opt.max_corners < 2) bad_arg("--corners", text, "an integer >= 2");
+    }
     else if (arg == "--max-violations")
       opt.max_violations =
           static_cast<size_t>(parse_u64_arg("--max-violations", value()));
@@ -158,6 +166,7 @@ int main(int argc, char** argv) {
     else if (arg == "--no-incremental") opt.check_incremental = false;
     else if (arg == "--no-sharded") opt.check_sharded = false;
     else if (arg == "--no-policy") opt.check_policy = false;
+    else if (arg == "--no-mcmm") opt.check_mcmm = false;
     else if (arg == "--inject") {
       const char* name = value();
       if (!fuzz::parse_mutation(name, &opt.inject)) {

@@ -37,6 +37,7 @@
 #include <memory>
 #include <sstream>
 
+#include "merge/mcmm_session.h"
 #include "merge/merger.h"
 #include "merge/qor.h"
 #include "merge/session.h"
@@ -98,6 +99,14 @@ void usage(std::FILE* to) {
       "                       boundary (docs/SHARDING.md; output is\n"
       "                       byte-identical to --shards 1, the default)\n"
       "  --shard-seed N       partitioner seed (block placement sweeps)\n"
+      "  --corners C          multi-corner (MCMM) batch merge: the --mode\n"
+      "                       list is an M x C deck matrix in mode-major\n"
+      "                       order (mode 0 corner 0, mode 0 corner 1, ...);\n"
+      "                       modes merge only when mergeable in EVERY\n"
+      "                       corner, one clique cover is shared across\n"
+      "                       corners, and each clique writes one\n"
+      "                       merged_<k>_corner<c>.sdc per corner\n"
+      "                       (docs/MCMM.md; default 1 = today's flat merge)\n"
       "\n"
       "merge policy (docs/POLICIES.md):\n"
       "  --merge-policy P     exact (default: byte-identical decks only) |\n"
@@ -327,6 +336,118 @@ int run_script_impl(const std::string& script_path,
   return wrote_ok ? 0 : 1;
 }
 
+/// Multi-corner batch (--corners C > 1): `modes` is an M x C deck matrix
+/// in mode-major order. Runs one McmmSession commit — one shared clique
+/// cover, per-corner merges — and writes one merged_<k>_corner<c>.sdc per
+/// (clique, corner). With --qor-out, the per-corner conformity reports
+/// land in <qor_out>.<corner>; every corner must be never-optimistic for
+/// a zero exit.
+int run_mcmm(const mm::timing::TimingGraph& graph,
+             const std::vector<std::string>& mode_paths,
+             const std::vector<mm::sdc::Sdc>& modes, size_t num_corners,
+             const mm::merge::MergeOptions& options, const std::string& out_dir,
+             const std::string& qor_out, mm::obs::StatsMeta& meta) {
+  using namespace mm;
+
+  const size_t num_modes = modes.size() / num_corners;
+  std::vector<std::string> corner_names;
+  corner_names.reserve(num_corners);
+  for (size_t c = 0; c < num_corners; ++c) {
+    corner_names.push_back("corner" + std::to_string(c));
+  }
+  merge::McmmSession session(graph, merge::CornerSet(corner_names), options);
+  for (size_t m = 0; m < num_modes; ++m) {
+    std::vector<const sdc::Sdc*> decks;
+    decks.reserve(num_corners);
+    for (size_t c = 0; c < num_corners; ++c) {
+      decks.push_back(&modes[m * num_corners + c]);
+    }
+    session.add_mode(mode_paths[m * num_corners], std::move(decks));
+  }
+  const merge::McmmSession::CommitResult& out = session.commit();
+
+  const merge::RelationshipCache::Stats cache =
+      session.context().cache().stats();
+  std::printf(
+      "\nmcmm: %zu modes x %zu corners -> %zu merged (%.1f%% reduction) in "
+      "%.2fs\n"
+      "mcmm: %zu pair-corner checks (%zu reused), %zu skeleton extractions, "
+      "%zu corner delta fills, %zu skeleton mismatches\n",
+      num_modes, num_corners, out.num_merged_modes(), out.reduction_percent(),
+      out.total_seconds, out.pair_corner_checks, out.pair_corner_reuses,
+      static_cast<size_t>(cache.misses - cache.delta_fills -
+                          cache.skeleton_mismatches),
+      static_cast<size_t>(cache.delta_fills),
+      static_cast<size_t>(cache.skeleton_mismatches));
+  meta.numbers["corners"] = static_cast<double>(num_corners);
+  meta.numbers["num_input_modes"] = static_cast<double>(num_modes);
+  meta.numbers["num_merged_modes"] = static_cast<double>(out.num_merged_modes());
+  meta.numbers["reduction_percent"] = out.reduction_percent();
+  meta.numbers["merge_seconds"] = out.total_seconds;
+  meta.numbers["mcmm_pair_corner_checks"] =
+      static_cast<double>(out.pair_corner_checks);
+  meta.numbers["mcmm_delta_fills"] = static_cast<double>(cache.delta_fills);
+
+  bool safe = true;
+  bool wrote_ok = true;
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  for (size_t k = 0; k < out.cliques.size(); ++k) {
+    std::printf("\n--- merged mode %zu <- {", k);
+    for (size_t i = 0; i < out.clique_ids[k].size(); ++i) {
+      std::printf("%s%s", i ? ", " : "",
+                  session.mode_name(out.clique_ids[k][i]).c_str());
+    }
+    std::printf("} ---\n");
+    for (size_t c = 0; c < num_corners; ++c) {
+      const merge::ValidatedMergeResult& m = *out.merged[c][k];
+      safe &= !options.validate || m.equivalence.signoff_safe();
+      const std::string out_path = out_dir + "/merged_" + std::to_string(k) +
+                                   "_" + corner_names[c] + ".sdc";
+      std::ofstream file(out_path);
+      file << sdc::write_sdc(*m.merge.merged);
+      file.close();
+      if (!file) {
+        std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+        wrote_ok = false;
+      } else {
+        std::printf("wrote %s\n", out_path.c_str());
+      }
+    }
+  }
+
+  if (!qor_out.empty()) {
+    for (size_t c = 0; c < num_corners; ++c) {
+      const merge::QoRReport qor =
+          session.qor(static_cast<merge::CornerId>(c));
+      std::printf(
+          "QoR %s: %zu clique(s), %zu endpoint(s); max pessimism %.4f, "
+          "optimism violations %zu -> %s\n",
+          corner_names[c].c_str(), qor.cliques.size(), qor.endpoints_compared,
+          qor.max_pessimism, qor.optimism_violations,
+          qor.never_optimistic() ? "never optimistic" : "OPTIMISTIC");
+      const std::string path = qor_out + "." + corner_names[c];
+      std::ofstream file(path);
+      file << merge::write_qor_json(qor);
+      file.close();
+      if (!file) {
+        std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+        wrote_ok = false;
+      } else {
+        std::fprintf(stderr, "wrote QoR report to %s\n", path.c_str());
+      }
+      safe &= qor.never_optimistic();
+    }
+  }
+
+  if (!safe) {
+    std::fprintf(stderr,
+                 "\nFAIL: at least one merged mode is not sign-off safe\n");
+    return 1;
+  }
+  return wrote_ok ? 0 : 1;
+}
+
 int run_script(const std::string& script_path,
                const mm::timing::TimingGraph& graph,
                const mm::netlist::Design& design,
@@ -362,6 +483,7 @@ int main(int argc, char** argv) {
   size_t report_paths = 0;
   bool report_clocks_flag = false;
   uint64_t seed = 1;
+  size_t num_corners = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -395,6 +517,10 @@ int main(int argc, char** argv) {
     else if (arg == "--shard-seed")
       options.shard_seed =
           static_cast<uint64_t>(parse_size_arg("--shard-seed", value()));
+    else if (arg == "--corners") {
+      num_corners = parse_size_arg("--corners", value());
+      if (num_corners == 0) bad_arg("--corners", "0", "a positive integer");
+    }
     else if (arg == "--merge-policy") {
       const char* name = value();
       if (!merge::parse_policy_level(name, &options.policy.level)) {
@@ -460,6 +586,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "modemerge: --qor-out is batch-mode only (not --script)\n");
     return 2;
+  }
+  if (num_corners > 1) {
+    if (!script_path.empty() || options.num_shards > 1 || run_sta_flag ||
+        report_paths > 0 || report_clocks_flag) {
+      std::fprintf(stderr,
+                   "modemerge: --corners is batch-mode only and composes with "
+                   "--qor-out, not --script/--shards/--sta/--report-*\n");
+      return 2;
+    }
+    if (mode_paths.size() % num_corners != 0) {
+      std::fprintf(stderr,
+                   "modemerge: --corners %zu needs a mode count divisible by "
+                   "the corner count (got %zu decks)\n",
+                   num_corners, mode_paths.size());
+      return 2;
+    }
   }
   if (options.policy.windowed()) {
     std::printf("merge policy: windowed (latency %g, uncertainty %g, "
@@ -559,6 +701,13 @@ int main(int argc, char** argv) {
                   modes.back().case_analysis().size());
     }
     for (const sdc::Sdc& m : modes) ptrs.push_back(&m);
+
+    if (num_corners > 1) {
+      const int status = run_mcmm(graph, mode_paths, modes, num_corners,
+                                  options, out_dir, qor_out, meta);
+      const bool artifacts_ok = emit_observability();
+      return status != 0 ? status : (artifacts_ok ? 0 : 1);
+    }
 
     merge::MergedModeSet out;
     if (options.num_shards > 1) {
